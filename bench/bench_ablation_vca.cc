@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Ablation benches for the VCA design choices DESIGN.md calls out:
+ *
+ *  - rename-table associativity (paper Section 2.1.1 argues 4-way-like
+ *    behaviour is enough; Section 3 sizes 3/5/6 ways by thread count);
+ *  - ASTQ depth (Section 2.2.2: "only four entries are required");
+ *  - RSID translation-table size (Section 2.2.1);
+ *  - branch recovery scheme: P4-style commit-table walk vs (infeasible
+ *    in hardware, but a useful bound) instant checkpointing.
+ *
+ * Each sweep runs the call-heavy windowed benchmarks on VCA at 192
+ * physical registers and reports execution-time impact plus the stall
+ * counters that explain it.
+ */
+
+#include "bench_common.hh"
+
+using namespace vca;
+using namespace vca::bench;
+
+namespace {
+
+struct AblationResult
+{
+    double ipc = 0;
+    double stalls = 0;
+    double extra = 0;
+};
+
+AblationResult
+runConfig(const cpu::CpuParams &params)
+{
+    const analysis::RunOptions opts = defaultOptions();
+    double cycles = 0, insts = 0, stalls = 0, extra = 0;
+    for (const auto &prof : wload::regWindowProfiles()) {
+        cpu::CpuParams p = params;
+        cpu::OooCpu cpu(p, {wload::cachedProgram(prof, true)});
+        cpu.run(opts.warmupInsts, opts.warmupInsts * 200 + 100'000);
+        cpu.resetStats();
+        auto res = cpu.run(opts.measureInsts,
+                           opts.measureInsts * 200 + 100'000);
+        cycles += static_cast<double>(res.cycles);
+        insts += static_cast<double>(res.totalInsts);
+        const auto *group = static_cast<const stats::StatGroup *>(&cpu);
+        if (const auto *s = dynamic_cast<const stats::Scalar *>(
+                group->find("stalls_table_conflict")))
+            stalls += s->value();
+        if (const auto *s = dynamic_cast<const stats::Scalar *>(
+                group->find("stalls_astq")))
+            extra += s->value();
+    }
+    return {insts / cycles, stalls / insts * 1000, extra / insts * 1000};
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    const auto base = [] {
+        cpu::CpuParams p =
+            cpu::CpuParams::preset(cpu::RenamerKind::Vca, 192);
+        return p;
+    };
+
+    std::printf("== Ablation: VCA rename-table associativity "
+                "(192 phys regs, 64 sets) ==\n");
+    std::printf("%6s %8s %16s\n", "assoc", "IPC", "conflicts/kinst");
+    for (unsigned assoc : {1u, 2u, 3u, 4u, 6u, 8u}) {
+        cpu::CpuParams p = base();
+        p.vcaTableAssoc = assoc;
+        const auto r = runConfig(p);
+        std::printf("%6u %8.3f %16.2f\n", assoc, r.ipc, r.stalls);
+    }
+
+    std::printf("\n== Ablation: ASTQ depth ==\n");
+    std::printf("%6s %8s %16s\n", "depth", "IPC", "astq-stalls/kinst");
+    for (unsigned depth : {1u, 2u, 4u, 8u, 16u}) {
+        cpu::CpuParams p = base();
+        p.astqEntries = depth;
+        const auto r = runConfig(p);
+        std::printf("%6u %8.3f %16.2f\n", depth, r.ipc, r.extra);
+    }
+
+    std::printf("\n== Ablation: RSID table entries ==\n");
+    std::printf("%6s %8s\n", "rsids", "IPC");
+    for (unsigned rsids : {2u, 4u, 8u, 16u, 32u}) {
+        cpu::CpuParams p = base();
+        p.rsidEntries = rsids;
+        const auto r = runConfig(p);
+        std::printf("%6u %8.3f\n", rsids, r.ipc);
+    }
+
+    std::printf("\n== Ablation: misprediction recovery scheme ==\n");
+    for (bool checkpoint : {false, true}) {
+        cpu::CpuParams p = base();
+        p.vcaCheckpointRecovery = checkpoint;
+        const auto r = runConfig(p);
+        std::printf("%-24s IPC %8.3f\n",
+                    checkpoint ? "checkpoint (idealized)"
+                               : "commit-table walk (P4)",
+                    r.ipc);
+    }
+
+    std::printf("\n== Extension: dead-value hints "
+                "(paper future work, Secs. 5-6) ==\n");
+    for (bool hints : {false, true}) {
+        cpu::CpuParams p = base();
+        p.physRegs = 112; // small file: spills matter
+        p.vcaDeadValueHints = hints;
+        const auto r = runConfig(p);
+        std::printf("%-24s IPC %8.3f\n",
+                    hints ? "hints on" : "hints off", r.ipc);
+    }
+
+    std::printf("\n== Ablation: rename ports ==\n");
+    std::printf("%6s %8s\n", "ports", "IPC");
+    for (unsigned ports : {4u, 6u, 8u, 12u}) {
+        cpu::CpuParams p = base();
+        p.vcaRenamePorts = ports;
+        const auto r = runConfig(p);
+        std::printf("%6u %8.3f\n", ports, r.ipc);
+    }
+    return 0;
+}

@@ -1,0 +1,190 @@
+#include "bench_common.hh"
+
+#include <fstream>
+
+namespace vca::bench {
+
+using analysis::Measurement;
+using cpu::RenamerKind;
+
+std::map<std::string, std::vector<double>>
+regWindowSweep(const std::vector<unsigned> &physRegs,
+               const analysis::RunOptions &opts, bool metricIsDcache,
+               unsigned normalizePorts)
+{
+    const auto benches = wload::regWindowProfiles();
+
+    // Reference: dual-port baseline with 256 physical registers.
+    std::map<std::string, double> reference;
+    {
+        analysis::RunOptions refOpts = opts;
+        refOpts.dcachePorts = normalizePorts;
+        for (const auto &prof : benches) {
+            const Measurement m = analysis::runBench(
+                prof, RenamerKind::Baseline, 256, refOpts);
+            if (!m.ok)
+                fatal("reference run failed for %s", prof.name.c_str());
+            reference[prof.name] = metricIsDcache
+                ? analysis::totalDcacheAccesses(prof,
+                                                RenamerKind::Baseline, m)
+                : analysis::executionTime(prof, RenamerKind::Baseline, m);
+        }
+    }
+
+    std::map<std::string, std::vector<double>> series;
+    for (RenamerKind kind : regWindowArchs()) {
+        std::vector<double> row;
+        for (unsigned p : physRegs) {
+            std::vector<double> normalized;
+            bool operable = true;
+            for (const auto &prof : benches) {
+                const Measurement m =
+                    analysis::runBench(prof, kind, p, opts);
+                if (!m.ok) {
+                    operable = false;
+                    break;
+                }
+                const double value = metricIsDcache
+                    ? analysis::totalDcacheAccesses(prof, kind, m)
+                    : analysis::executionTime(prof, kind, m);
+                normalized.push_back(value / reference[prof.name]);
+            }
+            row.push_back(operable ? analysis::mean(normalized) : -1.0);
+        }
+        series[archLabel(kind)] = std::move(row);
+    }
+    return series;
+}
+
+} // namespace vca::bench
+
+namespace vca::bench {
+
+void
+writeSeriesCsv(const std::string &slug,
+               const std::vector<unsigned> &physRegs,
+               const std::map<std::string, std::vector<double>> &series)
+{
+    const char *dir = std::getenv("VCA_CSV_DIR");
+    if (!dir || !*dir)
+        return;
+    const std::string path = std::string(dir) + "/" + slug + ".csv";
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write CSV to %s", path.c_str());
+        return;
+    }
+    os << "phys_regs";
+    for (const auto &[name, values] : series)
+        os << "," << name;
+    os << "\n";
+    for (size_t i = 0; i < physRegs.size(); ++i) {
+        os << physRegs[i];
+        for (const auto &[name, values] : series) {
+            os << ",";
+            if (i < values.size() && values[i] >= 0)
+                os << values[i];
+        }
+        os << "\n";
+    }
+    inform("wrote %s", path.c_str());
+}
+
+analysis::WorkloadSelection
+benchWorkloads()
+{
+    analysis::SelectionOptions sel;
+    sel.numTwoThread =
+        static_cast<unsigned>(envU64("VCA_WORKLOADS_2T", 8));
+    sel.numFourThread =
+        static_cast<unsigned>(envU64("VCA_WORKLOADS_4T", 6));
+    sel.statInsts = envU64("VCA_SELECT_INSTS", 25'000);
+    return analysis::selectWorkloads(sel);
+}
+
+const std::map<std::string, double> &
+singleThreadReference(const analysis::RunOptions &opts)
+{
+    static std::map<std::string, double> refs;
+    if (refs.empty()) {
+        analysis::RunOptions refOpts = opts;
+        refOpts.stopOnFirstThread = false;
+        refOpts.numThreads = 1;
+        for (const auto &prof : wload::spec2000Profiles()) {
+            const auto m = analysis::runBench(
+                prof, cpu::RenamerKind::Baseline, 256, refOpts);
+            if (!m.ok)
+                fatal("single-thread reference failed for %s",
+                      prof.name.c_str());
+            refs[prof.name] = analysis::executionTime(
+                prof, cpu::RenamerKind::Baseline, m);
+        }
+    }
+    return refs;
+}
+
+namespace {
+
+analysis::Measurement
+runSmtWorkload(const std::vector<std::string> &benches,
+               cpu::RenamerKind kind, unsigned physRegs,
+               bool windowedBinaries, const analysis::RunOptions &base)
+{
+    std::vector<const isa::Program *> programs;
+    for (const std::string &name : benches) {
+        programs.push_back(wload::cachedProgram(
+            wload::profileByName(name), windowedBinaries));
+    }
+    analysis::RunOptions opts = base;
+    opts.stopOnFirstThread = true;
+    return analysis::runTiming(programs, kind, physRegs, opts);
+}
+
+} // namespace
+
+double
+weightedSpeedup(const std::vector<std::string> &benches,
+                cpu::RenamerKind kind, unsigned physRegs,
+                bool windowedBinaries,
+                const analysis::RunOptions &baseOpts)
+{
+    const auto m = runSmtWorkload(benches, kind, physRegs,
+                                  windowedBinaries, baseOpts);
+    if (!m.ok)
+        return -1.0;
+    const auto &refs = singleThreadReference(baseOpts);
+
+    double speedup = 0;
+    for (size_t t = 0; t < benches.size(); ++t) {
+        const auto &prof = wload::profileByName(benches[t]);
+        const double smtExec = m.threadCpi[t] *
+            static_cast<double>(
+                analysis::pathLength(prof, windowedBinaries));
+        if (smtExec <= 0)
+            return -1.0;
+        speedup += refs.at(benches[t]) / smtExec;
+    }
+    return speedup;
+}
+
+double
+cacheAccessMetric(const std::vector<std::string> &benches,
+                  cpu::RenamerKind kind, unsigned physRegs,
+                  bool windowedBinaries,
+                  const analysis::RunOptions &baseOpts)
+{
+    const auto m = runSmtWorkload(benches, kind, physRegs,
+                                  windowedBinaries, baseOpts);
+    if (!m.ok)
+        return -1.0;
+    double work = 0;
+    for (size_t t = 0; t < benches.size(); ++t) {
+        const auto &prof = wload::profileByName(benches[t]);
+        work += static_cast<double>(m.threadInsts[t]) /
+                static_cast<double>(
+                    analysis::pathLength(prof, windowedBinaries));
+    }
+    return work > 0 ? m.dcacheAccesses / work : -1.0;
+}
+
+} // namespace vca::bench

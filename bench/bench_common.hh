@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction benches.
+ *
+ * Every bench prints the rows/series of one table or figure from the
+ * paper's evaluation. Interval lengths are scaled down from the
+ * paper's 100M-instruction SimPoints to laptop budgets; set
+ * VCA_MEASURE_INSTS / VCA_WARMUP_INSTS (and for the SMT benches
+ * VCA_WORKLOADS_2T / VCA_WORKLOADS_4T) to scale up.
+ */
+
+#ifndef VCA_BENCH_COMMON_HH
+#define VCA_BENCH_COMMON_HH
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "analysis/workloads.hh"
+#include "sim/logging.hh"
+
+namespace vca::bench {
+
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+inline analysis::RunOptions
+defaultOptions()
+{
+    analysis::RunOptions opts;
+    opts.warmupInsts = envU64("VCA_WARMUP_INSTS", 15'000);
+    opts.measureInsts = envU64("VCA_MEASURE_INSTS", 150'000);
+    return opts;
+}
+
+/** The four register-window architectures of Figures 4-6. */
+inline const std::vector<cpu::RenamerKind> &
+regWindowArchs()
+{
+    static const std::vector<cpu::RenamerKind> archs = {
+        cpu::RenamerKind::Baseline,
+        cpu::RenamerKind::IdealWindow,
+        cpu::RenamerKind::ConvWindow,
+        cpu::RenamerKind::Vca,
+    };
+    return archs;
+}
+
+inline const char *
+archLabel(cpu::RenamerKind kind)
+{
+    switch (kind) {
+      case cpu::RenamerKind::Baseline:    return "baseline";
+      case cpu::RenamerKind::IdealWindow: return "ideal";
+      case cpu::RenamerKind::ConvWindow:  return "regwindow";
+      case cpu::RenamerKind::Vca:         return "vca";
+    }
+    return "?";
+}
+
+/**
+ * Write one figure's series as CSV into $VCA_CSV_DIR (if set), so the
+ * plots can be regenerated with scripts/plot_figures.py.
+ */
+void writeSeriesCsv(const std::string &slug,
+                    const std::vector<unsigned> &physRegs,
+                    const std::map<std::string,
+                                   std::vector<double>> &series);
+
+/** Print one figure-style series table (and CSV when enabled). */
+inline void
+printSeries(const char *title, const char *valueName,
+            const std::vector<unsigned> &physRegs,
+            const std::map<std::string, std::vector<double>> &series)
+{
+    std::printf("\n== %s ==\n", title);
+    std::printf("%-12s", "arch");
+    for (unsigned p : physRegs)
+        std::printf(" %9u", p);
+    std::printf("   (%s)\n", valueName);
+    for (const auto &[name, values] : series) {
+        std::printf("%-12s", name.c_str());
+        for (double v : values) {
+            if (v < 0)
+                std::printf(" %9s", "n/a");
+            else
+                std::printf(" %9.3f", v);
+        }
+        std::printf("\n");
+    }
+
+    std::string slug;
+    for (const char *c = title; *c && *c != ':'; ++c)
+        slug += (*c == ' ') ? '_' : static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*c)));
+    writeSeriesCsv(slug, physRegs, series);
+}
+
+/**
+ * Sweep the register-window architectures over physical register file
+ * sizes. Returns metric[arch][sizeIndex] where the metric is computed
+ * per benchmark, normalized to the baseline reference, and averaged
+ * over the call-heavy benchmark set. Negative = cannot operate.
+ *
+ * @param metricIsDcache false: execution time; true: cache accesses
+ */
+std::map<std::string, std::vector<double>>
+regWindowSweep(const std::vector<unsigned> &physRegs,
+               const analysis::RunOptions &opts, bool metricIsDcache,
+               unsigned normalizePorts = 2);
+
+// ---------------------------------------------------------------------
+// SMT machinery (Figures 7 and 8)
+// ---------------------------------------------------------------------
+
+/** Workload selection with bench-scaled defaults (env-overridable). */
+analysis::WorkloadSelection benchWorkloads();
+
+/**
+ * Single-threaded reference execution times: baseline at 256 physical
+ * registers running the non-windowed binary (the paper's normalization
+ * point for both SMT figures). Cached per process.
+ */
+const std::map<std::string, double> &singleThreadReference(
+    const analysis::RunOptions &opts);
+
+/**
+ * Weighted speedup of one multiprogrammed workload: the sum over
+ * threads of refExecTime / smtExecTime, where execution time is
+ * CPI x complete-program path length of the binary each side ran.
+ * Returns a negative value when the configuration cannot operate.
+ */
+double weightedSpeedup(const std::vector<std::string> &benches,
+                       cpu::RenamerKind kind, unsigned physRegs,
+                       bool windowedBinaries,
+                       const analysis::RunOptions &baseOpts);
+
+/**
+ * Cache-traffic metric for one workload: measured data-cache accesses
+ * per unit of completed architectural work (sum over threads of
+ * committed insts / path length). Ratios of this metric between
+ * configurations reproduce the Section 4.3 accounting.
+ */
+double cacheAccessMetric(const std::vector<std::string> &benches,
+                         cpu::RenamerKind kind, unsigned physRegs,
+                         bool windowedBinaries,
+                         const analysis::RunOptions &baseOpts);
+
+} // namespace vca::bench
+
+#endif // VCA_BENCH_COMMON_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 4 reproduction: register-window execution time over physical
+ * register file sizes {64, 128, 192, 256}, for the baseline, ideal,
+ * conventional-register-window and VCA machines, normalized to the
+ * baseline with 256 physical registers.
+ *
+ * Expected shape (paper Section 4.1):
+ *  - VCA within ~1% of ideal at 256 registers;
+ *  - VCA faster than the baseline at every size, by more at smaller
+ *    sizes (4% at 256 -> ~9% at 128);
+ *  - conventional windows much slower at small register files;
+ *  - the baseline cannot operate at 64 registers.
+ */
+
+#include "bench_common.hh"
+
+using namespace vca;
+using namespace vca::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::vector<unsigned> sizes = {64, 128, 192, 256};
+    const auto series =
+        regWindowSweep(sizes, defaultOptions(), /*metricIsDcache=*/false);
+    printSeries("Figure 4: Register window execution time "
+                "(normalized to baseline @ 256)",
+                "norm. execution time", sizes, series);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 7 reproduction: SMT weighted speedup (no register windows)
+ * for VCA and the conventional baseline with two and four threads,
+ * over physical register file sizes 64..448, relative to
+ * single-threaded execution on the baseline with 256 registers.
+ *
+ * Expected shape (paper Section 4.2):
+ *  - the baseline cannot operate unless physRegs > 64 x threads
+ *    ("Max 1T/2T/4T" markers in the figure);
+ *  - VCA at 192 registers reaches ~97-99% of the baseline's best
+ *    2T/4T speedups, which need 320/448 registers;
+ *  - VCA runs (and speeds up) even with fewer physical registers than
+ *    one thread's architectural state.
+ */
+
+#include "bench_common.hh"
+
+using namespace vca;
+using namespace vca::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::vector<unsigned> sizes = {64, 128, 192, 256, 320,
+                                         384, 448};
+    const analysis::RunOptions opts = defaultOptions();
+    const auto workloads = benchWorkloads();
+
+    std::printf("workload selection: %zu 2T candidates -> %zu kept, "
+                "%zu 4T candidates -> %zu kept\n",
+                workloads.twoThreadCandidates, workloads.twoThread.size(),
+                workloads.fourThreadCandidates,
+                workloads.fourThread.size());
+    for (const auto &w : workloads.twoThread) {
+        std::printf("  2T: %s + %s\n", w[0].c_str(), w[1].c_str());
+    }
+
+    std::map<std::string, std::vector<double>> series;
+    struct Config
+    {
+        const char *label;
+        cpu::RenamerKind kind;
+        const std::vector<std::vector<std::string>> *workloads;
+    };
+    const std::vector<Config> configs = {
+        {"baseline 2T", cpu::RenamerKind::Baseline, &workloads.twoThread},
+        {"baseline 4T", cpu::RenamerKind::Baseline,
+         &workloads.fourThread},
+        {"vca 2T", cpu::RenamerKind::Vca, &workloads.twoThread},
+        {"vca 4T", cpu::RenamerKind::Vca, &workloads.fourThread},
+    };
+
+    for (const Config &cfg : configs) {
+        std::vector<double> row;
+        for (unsigned p : sizes) {
+            std::vector<double> speedups;
+            bool operable = true;
+            for (const auto &w : *cfg.workloads) {
+                // Figure 7 is SMT without windows: both machines run
+                // the non-windowed binaries (VCA still virtualizes the
+                // thread contexts).
+                const double s = weightedSpeedup(w, cfg.kind, p,
+                                                 /*windowed=*/false,
+                                                 opts);
+                if (s < 0) {
+                    operable = false;
+                    break;
+                }
+                speedups.push_back(s);
+            }
+            row.push_back(operable ? analysis::mean(speedups) : -1.0);
+        }
+        series[cfg.label] = std::move(row);
+    }
+
+    printSeries("Figure 7: SMT weighted speedup "
+                "(vs 1T baseline @ 256)",
+                "weighted speedup", sizes, series);
+    return 0;
+}

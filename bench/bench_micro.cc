@@ -1,0 +1,124 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's own hot paths:
+ * decode, functional execution, cache access, branch prediction, and
+ * whole-pipeline throughput per architecture. These guard the
+ * simulator's performance (the figure sweeps run hundreds of detailed
+ * simulations) rather than reproducing a paper result.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bpred/bpred.hh"
+#include "cpu/ooo_cpu.hh"
+#include "func/func_sim.hh"
+#include "mem/cache.hh"
+#include "sim/rng.hh"
+#include "wload/generator.hh"
+#include "wload/profile.hh"
+
+using namespace vca;
+
+namespace {
+
+void
+BM_Decode(benchmark::State &state)
+{
+    const isa::Program *prog = wload::cachedProgram(
+        wload::profileByName("crafty"), false);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(isa::decode(prog->code[i]));
+        i = (i + 1) % prog->code.size();
+    }
+}
+BENCHMARK(BM_Decode);
+
+void
+BM_FunctionalSim(benchmark::State &state)
+{
+    const isa::Program *prog = wload::cachedProgram(
+        wload::profileByName("crafty"), false);
+    auto memory = std::make_unique<mem::SparseMemory>();
+    auto sim = std::make_unique<func::FuncSim>(*prog, *memory);
+    func::StepRecord rec;
+    for (auto _ : state) {
+        if (!sim->step(rec)) {
+            state.PauseTiming();
+            sim.reset();
+            memory = std::make_unique<mem::SparseMemory>();
+            sim = std::make_unique<func::FuncSim>(*prog, *memory);
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalSim);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    stats::StatGroup root("bench");
+    mem::MemSystem ms(mem::MemSystemParams{}, &root);
+    Rng rng(42);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr addr = rng.below(1 << 22);
+        benchmark::DoNotOptimize(ms.dataAccess(addr, false, now));
+        now += 1;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    stats::StatGroup root("bench");
+    bpred::BranchPredictor bp(bpred::BPredParams{}, 1, &root);
+    bpred::BPredCheckpoint ckpt;
+    Rng rng(7);
+    for (auto _ : state) {
+        const Addr pc = rng.below(4096);
+        const bool pred = bp.predict(0, pc, ckpt);
+        const bool actual = (pc & 3) != 0;
+        bp.update(0, pc, actual, ckpt.history);
+        if (pred != actual)
+            bp.repairHistory(0, ckpt, actual);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredict);
+
+void
+BM_PipelineThroughput(benchmark::State &state)
+{
+    setQuiet(true);
+    const auto kind = static_cast<cpu::RenamerKind>(state.range(0));
+    const isa::Program *prog = wload::cachedProgram(
+        wload::profileByName("crafty"),
+        kind != cpu::RenamerKind::Baseline);
+    cpu::CpuParams params = cpu::CpuParams::preset(kind, 256);
+    cpu::OooCpu cpu(params, {prog});
+    InstCount committed = 0;
+    for (auto _ : state) {
+        cpu.tick();
+        benchmark::DoNotOptimize(cpu.currentCycle());
+    }
+    committed = cpu.committedInsts(0);
+    state.SetItemsProcessed(static_cast<std::int64_t>(committed));
+    state.counters["ipc"] = benchmark::Counter(
+        static_cast<double>(committed) /
+        static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_PipelineThroughput)
+    ->Arg(static_cast<int>(cpu::RenamerKind::Baseline))
+    ->Arg(static_cast<int>(cpu::RenamerKind::ConvWindow))
+    ->Arg(static_cast<int>(cpu::RenamerKind::IdealWindow))
+    ->Arg(static_cast<int>(cpu::RenamerKind::Vca));
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Building your own workload: define a BenchProfile, generate both ABI
+ * binaries, validate them functionally, and measure the VCA benefit.
+ *
+ * This is the path a user takes to study their own workload shape
+ * (e.g. "my workload calls every 80 instructions with 10 live locals
+ * per frame - what does VCA buy me?").
+ */
+
+#include <cstdio>
+
+#include "analysis/experiment.hh"
+#include "func/func_sim.hh"
+#include "wload/generator.hh"
+
+using namespace vca;
+using cpu::RenamerKind;
+
+int
+main()
+{
+    setQuiet(true);
+
+    // A very call-heavy, deeply recursive profile: small bodies, many
+    // saved registers - the best case for register windows.
+    wload::BenchProfile prof;
+    prof.name = "callstorm";
+    prof.numFuncs = 32;
+    prof.callFanout = 3;
+    prof.callSpan = 4;
+    prof.bodyOps = 24;
+    prof.avgLocals = 10;
+    prof.leafFrac = 0.3;
+    prof.loopTripMean = 3;
+    prof.randomBranchFrac = 0.2;
+    prof.footprintBytes = 128 * 1024;
+    prof.memOpFrac = 0.25;
+    prof.fpFrac = 0.0;
+    prof.targetDynInsts = 1'000'000;
+    prof.seed = 2026;
+
+    // Generate both ABIs and sanity-check them functionally.
+    const isa::Program *windowed = wload::cachedProgram(prof, true);
+    const isa::Program *flat = wload::cachedProgram(prof, false);
+
+    mem::SparseMemory mw, mf;
+    func::FuncSim fw(*windowed, mw), ff(*flat, mf);
+    const auto sw = fw.run(500'000'000);
+    const auto sf = ff.run(500'000'000);
+    std::printf("generated '%s': %zu/%zu static insts "
+                "(windowed/baseline)\n",
+                prof.name.c_str(), windowed->size(), flat->size());
+    std::printf("dynamic: %llu vs %llu insts -> path ratio %.3f, "
+                "%.0f insts/call, max depth %u\n\n",
+                (unsigned long long)sw.insts,
+                (unsigned long long)sf.insts,
+                double(sw.insts) / double(sf.insts),
+                double(sf.insts) / double(sf.calls), sf.maxCallDepth);
+
+    analysis::RunOptions opts;
+    opts.warmupInsts = 15'000;
+    opts.measureInsts = 150'000;
+
+    std::printf("%-12s %10s %14s\n", "arch", "exec time",
+                "dcache accesses");
+    double base = 0, baseAcc = 0;
+    for (RenamerKind kind :
+         {RenamerKind::Baseline, RenamerKind::ConvWindow,
+          RenamerKind::Vca}) {
+        const auto m = analysis::runBench(prof, kind, 192, opts);
+        if (!m.ok) {
+            std::printf("%-12s cannot operate\n",
+                        cpu::renamerKindName(kind));
+            continue;
+        }
+        const double t = analysis::executionTime(prof, kind, m);
+        const double a = analysis::totalDcacheAccesses(prof, kind, m);
+        if (kind == RenamerKind::Baseline) {
+            base = t;
+            baseAcc = a;
+            std::printf("%-12s %9.2fM %13.2fM\n",
+                        cpu::renamerKindName(kind), t / 1e6, a / 1e6);
+        } else {
+            std::printf("%-12s %9.2fM %13.2fM  (%.0f%% time, %.0f%% "
+                        "accesses vs baseline)\n",
+                        cpu::renamerKindName(kind), t / 1e6, a / 1e6,
+                        100 * t / base, 100 * a / baseAcc);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Quickstart: assemble a tiny windowed program, run it on a VCA core,
+ * and print what the virtual context architecture did.
+ *
+ * The program computes fib(14) with deep recursion. Every call frame
+ * keeps its locals in *windowed* registers with no save/restore code at
+ * all: the VCA renamer maps each frame's registers to distinct
+ * logical-register memory addresses and lets the physical register
+ * file cache the hot subset, spilling and filling single registers on
+ * demand through the ASTQ.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "cpu/ooo_cpu.hh"
+#include "wload/asm_builder.hh"
+
+using namespace vca;
+using wload::AsmBuilder;
+
+namespace {
+
+isa::Program
+buildFib(unsigned n)
+{
+    AsmBuilder b;
+    const auto fib = b.newLabel();
+
+    // main: a0 = n; call fib; halt (result stays in a0).
+    b.addi(isa::regArg0, isa::regZero, static_cast<std::int32_t>(n));
+    b.call(fib);
+    b.halt();
+
+    // fib(n): n < 2 -> return n; else fib(n-1) + fib(n-2).
+    // r10/r11 are windowed locals: every recursion level gets its own.
+    b.bind(fib);
+    const auto recurse = b.newLabel();
+    const auto out = b.newLabel();
+    b.addi(5, isa::regZero, 2);
+    b.branch(isa::Opcode::Bge, isa::regArg0, 5, recurse);
+    b.jmp(out);
+    b.bind(recurse);
+    b.mov(10, isa::regArg0);           // local: n
+    b.addi(isa::regArg0, 10, -1);
+    b.call(fib);                       // fib(n-1)
+    b.mov(11, isa::regArg0);           // local: partial sum
+    b.addi(isa::regArg0, 10, -2);
+    b.call(fib);                       // fib(n-2)
+    b.emitR(isa::Opcode::Add, isa::regArg0, isa::regArg0, 11);
+    b.bind(out);
+    b.ret();
+
+    isa::Program p;
+    p.name = "fib";
+    p.windowedAbi = true; // calls/returns shift the register window
+    p.code = b.seal();
+    p.finalize();
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    isa::Program prog = buildFib(14);
+
+    std::printf("program: %zu static instructions, windowed ABI\n",
+                prog.size());
+    for (Addr pc = 0; pc < 8; ++pc)
+        std::printf("  %2llu: %s\n", (unsigned long long)pc,
+                    isa::disassemble(prog.inst(pc)).c_str());
+    std::printf("  ...\n\n");
+
+    // A Table-1 baseline core, but with the VCA renamer and a physical
+    // register file *smaller* than one architectural context.
+    cpu::CpuParams params =
+        cpu::CpuParams::preset(cpu::RenamerKind::Vca, 56);
+    cpu::OooCpu cpu(params, {&prog});
+    const auto res = cpu.run(10'000'000, 50'000'000);
+
+    std::printf("ran to completion on a VCA core with %u physical "
+                "registers\n", params.physRegs);
+    std::printf("  committed insts : %llu\n",
+                (unsigned long long)res.totalInsts);
+    std::printf("  cycles          : %llu\n",
+                (unsigned long long)res.cycles);
+    std::printf("  IPC             : %.3f\n", res.ipc);
+
+    // fib(14) = 377 sits in the physical register currently mapped to
+    // a0. The easiest architectural view: ask the renamer.
+    std::printf("\nVCA activity:\n");
+    std::ostringstream os;
+    cpu.dump(os);
+    std::string line;
+    std::istringstream is(os.str());
+    while (std::getline(is, line)) {
+        if (line.find("fills ") != std::string::npos ||
+            line.find("spills ") != std::string::npos ||
+            line.find("overwrite_frees") != std::string::npos)
+            std::printf("  %s\n", line.c_str());
+    }
+    std::printf("\nNote: 56 physical registers < 64 architectural "
+                "registers.\nA conventional machine cannot run at all "
+                "in this configuration;\nVCA treats the register file "
+                "as a cache and keeps going.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Plot the reproduced figures from the bench CSVs.
+
+Usage:
+    mkdir -p csv && VCA_CSV_DIR=csv ./build/bench/bench_fig4_regwindow_time
+    ... (repeat for the other figure benches, or run them all) ...
+    python3 scripts/plot_figures.py csv/
+
+Produces one PNG per CSV next to it. Requires matplotlib.
+"""
+
+import csv
+import pathlib
+import sys
+
+
+def plot_file(path: pathlib.Path) -> None:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    with path.open() as fh:
+        rows = list(csv.reader(fh))
+    header, data = rows[0], rows[1:]
+    xs = [int(r[0]) for r in data]
+
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for col in range(1, len(header)):
+        ys, pts = [], []
+        for i, r in enumerate(data):
+            if r[col]:
+                pts.append(xs[i])
+                ys.append(float(r[col]))
+        ax.plot(pts, ys, marker="o", label=header[col])
+    ax.set_xlabel("physical registers")
+    ax.set_title(path.stem.replace("_", " "))
+    ax.legend(fontsize=8)
+    ax.grid(True, alpha=0.3)
+    out = path.with_suffix(".png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=130)
+    print(f"wrote {out}")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 1
+    directory = pathlib.Path(sys.argv[1])
+    files = sorted(directory.glob("*.csv"))
+    if not files:
+        print(f"no CSV files in {directory}")
+        return 1
+    for f in files:
+        plot_file(f)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+#include "analysis/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace vca::analysis {
+
+namespace {
+
+double
+sqDist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double d = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        d += (a[i] - b[i]) * (a[i] - b[i]);
+    return d;
+}
+
+} // namespace
+
+std::vector<unsigned>
+averageLinkageCluster(const Matrix &points, unsigned numClusters)
+{
+    const size_t n = points.size();
+    if (n == 0)
+        return {};
+    numClusters = std::max(1u, std::min<unsigned>(numClusters, n));
+
+    // Active clusters as member lists.
+    std::vector<std::vector<size_t>> clusters(n);
+    for (size_t i = 0; i < n; ++i)
+        clusters[i] = {i};
+
+    // Pairwise point distances (n is a few hundred at most).
+    Matrix dist(n, std::vector<double>(n, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j)
+            dist[i][j] = dist[j][i] = sqDist(points[i], points[j]);
+    }
+
+    auto linkage = [&](const std::vector<size_t> &a,
+                       const std::vector<size_t> &b) {
+        double sum = 0;
+        for (size_t x : a) {
+            for (size_t y : b)
+                sum += dist[x][y];
+        }
+        return sum / (static_cast<double>(a.size()) * b.size());
+    };
+
+    while (clusters.size() > numClusters) {
+        size_t bi = 0, bj = 1;
+        double best = std::numeric_limits<double>::max();
+        for (size_t i = 0; i < clusters.size(); ++i) {
+            for (size_t j = i + 1; j < clusters.size(); ++j) {
+                const double d = linkage(clusters[i], clusters[j]);
+                if (d < best) {
+                    best = d;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(),
+                            clusters[bj].end());
+        clusters.erase(clusters.begin() +
+                       static_cast<std::ptrdiff_t>(bj));
+    }
+
+    std::vector<unsigned> assign(n, 0);
+    for (size_t c = 0; c < clusters.size(); ++c) {
+        for (size_t m : clusters[c])
+            assign[m] = static_cast<unsigned>(c);
+    }
+    return assign;
+}
+
+std::vector<size_t>
+clusterMedoids(const Matrix &points, const std::vector<unsigned> &assign)
+{
+    if (points.size() != assign.size())
+        panic("clusterMedoids: size mismatch");
+    unsigned numClusters = 0;
+    for (unsigned a : assign)
+        numClusters = std::max(numClusters, a + 1);
+
+    const size_t dims = points.empty() ? 0 : points[0].size();
+    Matrix centroids(numClusters, std::vector<double>(dims, 0.0));
+    std::vector<unsigned> counts(numClusters, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+        for (size_t d = 0; d < dims; ++d)
+            centroids[assign[i]][d] += points[i][d];
+        ++counts[assign[i]];
+    }
+    for (unsigned c = 0; c < numClusters; ++c) {
+        if (counts[c] == 0)
+            panic("empty cluster %u", c);
+        for (size_t d = 0; d < dims; ++d)
+            centroids[c][d] /= counts[c];
+    }
+
+    std::vector<size_t> medoids(numClusters, SIZE_MAX);
+    std::vector<double> bestDist(numClusters,
+                                 std::numeric_limits<double>::max());
+    for (size_t i = 0; i < points.size(); ++i) {
+        const unsigned c = assign[i];
+        const double d = sqDist(points[i], centroids[c]);
+        if (d < bestDist[c]) {
+            bestDist[c] = d;
+            medoids[c] = i;
+        }
+    }
+    return medoids;
+}
+
+} // namespace vca::analysis

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Agglomerative hierarchical clustering with average linkage, plus
+ * medoid selection — the "linkage-based clustering algorithm" the paper
+ * uses to pick representative SMT workloads (Section 3.2).
+ */
+
+#ifndef VCA_ANALYSIS_CLUSTER_HH
+#define VCA_ANALYSIS_CLUSTER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/pca.hh"
+
+namespace vca::analysis {
+
+/**
+ * Cluster points into numClusters groups (average linkage, Euclidean).
+ * @return cluster index per point
+ */
+std::vector<unsigned> averageLinkageCluster(const Matrix &points,
+                                            unsigned numClusters);
+
+/**
+ * The member of each cluster nearest the cluster centroid.
+ * @return point index per cluster (size == number of clusters)
+ */
+std::vector<std::size_t> clusterMedoids(const Matrix &points,
+                                   const std::vector<unsigned> &assign);
+
+} // namespace vca::analysis
+
+#endif // VCA_ANALYSIS_CLUSTER_HH

@@ -1,0 +1,138 @@
+#include "analysis/experiment.hh"
+
+#include <map>
+#include <mutex>
+#include <numeric>
+
+#include "func/func_sim.hh"
+#include "sim/logging.hh"
+
+namespace vca::analysis {
+
+using cpu::RenamerKind;
+
+bool
+usesWindowedBinary(RenamerKind kind)
+{
+    return kind != RenamerKind::Baseline;
+}
+
+Measurement
+runTiming(const std::vector<const isa::Program *> &programs,
+          RenamerKind kind, unsigned physRegs, const RunOptions &opts)
+{
+    Measurement m;
+    cpu::CpuParams params = cpu::CpuParams::preset(
+        kind, physRegs, static_cast<unsigned>(programs.size()));
+    params.dcachePorts = opts.dcachePorts;
+
+    try {
+        cpu::OooCpu cpu(params, programs);
+        cpu.run(opts.warmupInsts, opts.warmupInsts * 200 + 100'000,
+                opts.stopOnFirstThread);
+        cpu.resetStats();
+        auto res = cpu.run(opts.measureInsts,
+                           opts.measureInsts * 200 + 100'000,
+                           opts.stopOnFirstThread);
+        m.ok = true;
+        m.cycles = res.cycles;
+        m.insts = res.totalInsts;
+        m.ipc = res.ipc;
+        m.cpi = res.totalInsts
+            ? static_cast<double>(res.cycles) / res.totalInsts : 0.0;
+        m.dcacheAccesses = res.dcacheAccesses;
+        m.dcacheAccPerInst = res.totalInsts
+            ? res.dcacheAccesses / res.totalInsts : 0.0;
+        m.threadInsts = res.threadInsts;
+        for (InstCount ti : res.threadInsts) {
+            m.threadCpi.push_back(
+                ti ? static_cast<double>(res.cycles) / ti : 0.0);
+            m.threadDcachePerInst.push_back(m.dcacheAccPerInst);
+        }
+    } catch (const FatalError &e) {
+        m.ok = false;
+        m.error = e.what();
+    }
+    return m;
+}
+
+Measurement
+runBench(const wload::BenchProfile &profile, RenamerKind kind,
+         unsigned physRegs, const RunOptions &opts)
+{
+    const isa::Program *prog =
+        wload::cachedProgram(profile, usesWindowedBinary(kind));
+    return runTiming({prog}, kind, physRegs, opts);
+}
+
+namespace {
+
+struct PathInfo
+{
+    InstCount insts;
+    InstCount memOps;
+};
+
+PathInfo
+pathInfo(const wload::BenchProfile &profile, bool windowed)
+{
+    static std::mutex mutex;
+    static std::map<std::pair<std::string, bool>, PathInfo> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto key = std::make_pair(profile.name, windowed);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        mem::SparseMemory memory;
+        func::FuncSim sim(*wload::cachedProgram(profile, windowed),
+                          memory);
+        const auto stats = sim.run(2'000'000'000ULL);
+        if (!sim.halted())
+            fatal("benchmark '%s' did not run to completion",
+                  profile.name.c_str());
+        it = cache.emplace(key,
+                           PathInfo{stats.insts,
+                                    stats.loads + stats.stores}).first;
+    }
+    return it->second;
+}
+
+} // namespace
+
+InstCount
+pathLength(const wload::BenchProfile &profile, bool windowed)
+{
+    return pathInfo(profile, windowed).insts;
+}
+
+InstCount
+memOpCount(const wload::BenchProfile &profile, bool windowed)
+{
+    return pathInfo(profile, windowed).memOps;
+}
+
+double
+executionTime(const wload::BenchProfile &profile, RenamerKind kind,
+              const Measurement &m)
+{
+    return m.cpi * static_cast<double>(
+        pathLength(profile, usesWindowedBinary(kind)));
+}
+
+double
+totalDcacheAccesses(const wload::BenchProfile &profile, RenamerKind kind,
+                    const Measurement &m)
+{
+    return m.dcacheAccPerInst * static_cast<double>(
+        pathLength(profile, usesWindowedBinary(kind)));
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+}
+
+} // namespace vca::analysis

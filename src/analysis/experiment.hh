@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Experiment harness shared by the benches, examples and tests.
+ *
+ * Implements the paper's measurement methodology (Section 3):
+ *  - detailed simulation of a warm-up interval followed by a measured
+ *    interval (scaled-down SimPoint stand-in; the synthetic programs
+ *    are stationary by construction);
+ *  - complete-program dynamic path lengths from functional simulation
+ *    (Section 3.1), cached per benchmark and ABI;
+ *  - execution-time estimates as CPI x dynamic path length, so that
+ *    windowed and non-windowed binaries are comparable even though
+ *    their instruction counts differ;
+ *  - weighted speedup / weighted cache accesses for SMT (Section 3.2).
+ */
+
+#ifndef VCA_ANALYSIS_EXPERIMENT_HH
+#define VCA_ANALYSIS_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/ooo_cpu.hh"
+#include "wload/generator.hh"
+#include "wload/profile.hh"
+
+namespace vca::analysis {
+
+struct RunOptions
+{
+    InstCount warmupInsts = 20'000;
+    InstCount measureInsts = 200'000;
+    unsigned dcachePorts = 2;
+    unsigned numThreads = 1;
+    /** Stop the measured interval when the first thread reaches the
+     *  budget (the paper's SMT methodology). */
+    bool stopOnFirstThread = false;
+};
+
+struct Measurement
+{
+    bool ok = false;     ///< false: configuration cannot operate
+    std::string error;   ///< reason when !ok ("No Baseline" cases)
+    Cycle cycles = 0;
+    InstCount insts = 0;
+    double ipc = 0;
+    double cpi = 0;
+    double dcacheAccesses = 0;       ///< during the measured interval
+    double dcacheAccPerInst = 0;
+    std::vector<double> threadCpi;   ///< per-thread CPI
+    std::vector<double> threadDcachePerInst; ///< aggregate rate copy
+    std::vector<InstCount> threadInsts;
+};
+
+/** Run a timing measurement for an arbitrary program/thread set. */
+Measurement runTiming(const std::vector<const isa::Program *> &programs,
+                      cpu::RenamerKind kind, unsigned physRegs,
+                      const RunOptions &opts);
+
+/** Convenience wrapper: one benchmark on one architecture. The binary
+ *  ABI is implied by the architecture (baseline runs the non-windowed
+ *  binary; the windowed machines run the windowed one). */
+Measurement runBench(const wload::BenchProfile &profile,
+                     cpu::RenamerKind kind, unsigned physRegs,
+                     const RunOptions &opts);
+
+/** Which binary ABI an architecture executes. */
+bool usesWindowedBinary(cpu::RenamerKind kind);
+
+/** Complete-program dynamic instruction count (cached). */
+InstCount pathLength(const wload::BenchProfile &profile, bool windowed);
+
+/** Complete-program load+store count (cached with pathLength). */
+InstCount memOpCount(const wload::BenchProfile &profile, bool windowed);
+
+/**
+ * Execution-time estimate for a measured benchmark: CPI x the
+ * complete-program path length of the binary it ran.
+ */
+double executionTime(const wload::BenchProfile &profile,
+                     cpu::RenamerKind kind, const Measurement &m);
+
+/**
+ * Total data-cache accesses estimate: accesses-per-committed-
+ * instruction x complete-program path length.
+ */
+double totalDcacheAccesses(const wload::BenchProfile &profile,
+                           cpu::RenamerKind kind, const Measurement &m);
+
+/** Arithmetic mean (figures average across benchmarks). */
+double mean(const std::vector<double> &xs);
+
+} // namespace vca::analysis
+
+#endif // VCA_ANALYSIS_EXPERIMENT_HH

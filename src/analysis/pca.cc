@@ -1,0 +1,190 @@
+#include "analysis/pca.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace vca::analysis {
+
+void
+zscoreNormalize(Matrix &rows)
+{
+    if (rows.empty())
+        return;
+    const size_t cols = rows[0].size();
+    for (size_t c = 0; c < cols; ++c) {
+        double sum = 0;
+        for (const auto &r : rows)
+            sum += r[c];
+        const double mean = sum / rows.size();
+        double var = 0;
+        for (const auto &r : rows)
+            var += (r[c] - mean) * (r[c] - mean);
+        var /= rows.size();
+        const double sd = std::sqrt(var);
+        for (auto &r : rows)
+            r[c] = sd > 1e-12 ? (r[c] - mean) / sd : 0.0;
+    }
+}
+
+Matrix
+covariance(const Matrix &rows)
+{
+    if (rows.empty())
+        return {};
+    const size_t n = rows.size();
+    const size_t cols = rows[0].size();
+    std::vector<double> mean(cols, 0.0);
+    for (const auto &r : rows) {
+        for (size_t c = 0; c < cols; ++c)
+            mean[c] += r[c];
+    }
+    for (double &m : mean)
+        m /= static_cast<double>(n);
+
+    Matrix cov(cols, std::vector<double>(cols, 0.0));
+    for (const auto &r : rows) {
+        for (size_t i = 0; i < cols; ++i) {
+            for (size_t j = i; j < cols; ++j)
+                cov[i][j] += (r[i] - mean[i]) * (r[j] - mean[j]);
+        }
+    }
+    for (size_t i = 0; i < cols; ++i) {
+        for (size_t j = i; j < cols; ++j) {
+            cov[i][j] /= static_cast<double>(n);
+            cov[j][i] = cov[i][j];
+        }
+    }
+    return cov;
+}
+
+EigenResult
+jacobiEigen(const Matrix &sym, unsigned maxSweeps)
+{
+    const size_t n = sym.size();
+    Matrix a = sym;
+    Matrix v(n, std::vector<double>(n, 0.0));
+    for (size_t i = 0; i < n; ++i)
+        v[i][i] = 1.0;
+
+    for (unsigned sweep = 0; sweep < maxSweeps; ++sweep) {
+        double off = 0;
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q)
+                off += a[p][q] * a[p][q];
+        }
+        if (off < 1e-20)
+            break;
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                if (std::fabs(a[p][q]) < 1e-18)
+                    continue;
+                const double theta = (a[q][q] - a[p][p]) / (2 * a[p][q]);
+                const double t = (theta >= 0 ? 1.0 : -1.0) /
+                                 (std::fabs(theta) +
+                                  std::sqrt(theta * theta + 1));
+                const double c = 1.0 / std::sqrt(t * t + 1);
+                const double s = t * c;
+                for (size_t k = 0; k < n; ++k) {
+                    const double akp = a[k][p];
+                    const double akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    const double apk = a[p][k];
+                    const double aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    const double vkp = v[k][p];
+                    const double vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    EigenResult res;
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return a[x][x] > a[y][y];
+    });
+    for (size_t i : order) {
+        res.values.push_back(a[i][i]);
+        std::vector<double> vec(n);
+        for (size_t k = 0; k < n; ++k)
+            vec[k] = v[k][i];
+        res.vectors.push_back(std::move(vec));
+    }
+    return res;
+}
+
+namespace {
+
+Matrix
+projectPrepared(const Matrix &normalized, double varianceFraction)
+{
+    const Matrix cov = covariance(normalized);
+    const EigenResult eig = jacobiEigen(cov);
+
+    double total = 0;
+    for (double v : eig.values)
+        total += std::max(v, 0.0);
+    unsigned dims = 0;
+    double acc = 0;
+    while (dims < eig.values.size() &&
+           (total <= 0 || acc / total < varianceFraction)) {
+        acc += std::max(eig.values[dims], 0.0);
+        ++dims;
+    }
+    dims = std::max(dims, 1u);
+
+    Matrix out(normalized.size(), std::vector<double>(dims, 0.0));
+    for (size_t r = 0; r < normalized.size(); ++r) {
+        for (unsigned d = 0; d < dims; ++d) {
+            double dot = 0;
+            for (size_t c = 0; c < normalized[r].size(); ++c)
+                dot += normalized[r][c] * eig.vectors[d][c];
+            out[r][d] = dot;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Matrix
+pcaProject(const Matrix &rows, double varianceFraction)
+{
+    if (rows.empty())
+        return {};
+    Matrix normalized = rows;
+    zscoreNormalize(normalized);
+    return projectPrepared(normalized, varianceFraction);
+}
+
+Matrix
+pcaProjectCentered(const Matrix &rows, double varianceFraction)
+{
+    if (rows.empty())
+        return {};
+    Matrix centered = rows;
+    const size_t cols = centered[0].size();
+    for (size_t c = 0; c < cols; ++c) {
+        double mean = 0;
+        for (const auto &r : centered)
+            mean += r[c];
+        mean /= static_cast<double>(centered.size());
+        for (auto &r : centered)
+            r[c] -= mean;
+    }
+    return projectPrepared(centered, varianceFraction);
+}
+
+} // namespace vca::analysis

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small dense linear-algebra kit: z-score normalization, covariance,
+ * and a cyclic Jacobi eigensolver for symmetric matrices. Used to
+ * reproduce the paper's workload-selection methodology (Section 3.2):
+ * statistics vectors are normalized, reduced with principal components
+ * analysis, and clustered.
+ */
+
+#ifndef VCA_ANALYSIS_PCA_HH
+#define VCA_ANALYSIS_PCA_HH
+
+#include <vector>
+
+namespace vca::analysis {
+
+using Matrix = std::vector<std::vector<double>>; ///< row major
+
+/** Normalize columns to zero mean / unit variance (in place).
+ *  Constant columns become all-zero. */
+void zscoreNormalize(Matrix &rows);
+
+/** Covariance matrix of the rows (features in columns). */
+Matrix covariance(const Matrix &rows);
+
+/** Result of an eigendecomposition, sorted by descending eigenvalue. */
+struct EigenResult
+{
+    std::vector<double> values;
+    Matrix vectors; ///< vectors[i] is the eigenvector for values[i]
+};
+
+/** Cyclic Jacobi eigensolver for a symmetric matrix. */
+EigenResult jacobiEigen(const Matrix &sym, unsigned maxSweeps = 64);
+
+/**
+ * Project rows onto the leading principal components that explain at
+ * least varianceFraction of the total variance. Columns are z-score
+ * normalized first (appropriate for heterogeneous statistics vectors).
+ */
+Matrix pcaProject(const Matrix &rows, double varianceFraction = 0.9);
+
+/**
+ * As pcaProject, but columns are only mean-centered, not rescaled.
+ * Appropriate for homogeneous data such as basic-block frequency
+ * vectors, where rescaling would amplify noise dimensions.
+ */
+Matrix pcaProjectCentered(const Matrix &rows,
+                          double varianceFraction = 0.9);
+
+} // namespace vca::analysis
+
+#endif // VCA_ANALYSIS_PCA_HH

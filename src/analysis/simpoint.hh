@@ -1,0 +1,81 @@
+/**
+ * @file
+ * SimPoint-style program phase analysis (Sherwood et al., ASPLOS '02),
+ * which the paper's methodology uses to pick representative simulation
+ * regions ("we generated the best single SimPoint for each binary",
+ * Section 3).
+ *
+ * Pipeline: execute the program functionally, accumulating a basic
+ * block vector (BBV) per fixed-length interval; project the BBVs to a
+ * low dimension; cluster with k-means over k = 1..maxK scored by a
+ * BIC-like criterion; return the member of the largest cluster nearest
+ * its centroid — the "best single SimPoint".
+ *
+ * For the synthetic benchmarks this doubles as a stationarity check:
+ * a program whose intervals collapse to one phase is faithfully
+ * represented by any warm-up + measure window, which is what the bench
+ * harness relies on.
+ */
+
+#ifndef VCA_ANALYSIS_SIMPOINT_HH
+#define VCA_ANALYSIS_SIMPOINT_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/pca.hh"
+#include "isa/program.hh"
+
+namespace vca::analysis {
+
+/** Execution counts per basic-block leader PC, one map per interval. */
+using Bbv = std::map<Addr, std::uint64_t>;
+
+/**
+ * Run the program functionally and collect per-interval basic block
+ * vectors. A basic block is led by a control-flow target (or the
+ * instruction after a control instruction); each executed instruction
+ * is attributed to its block's leader.
+ *
+ * @param intervalInsts interval length in dynamic instructions
+ * @param maxIntervals  stop after this many intervals (0 = run to halt)
+ */
+std::vector<Bbv> collectBbvs(const isa::Program &prog,
+                             InstCount intervalInsts,
+                             unsigned maxIntervals = 0);
+
+/** Dense, per-interval-normalized matrix over the union of blocks. */
+Matrix bbvsToMatrix(const std::vector<Bbv> &bbvs);
+
+struct KMeansResult
+{
+    std::vector<unsigned> assign; ///< cluster per point
+    Matrix centroids;
+    double distortion = 0; ///< sum of squared distances
+};
+
+/** Deterministic k-means (farthest-point init, fixed iterations). */
+KMeansResult kmeans(const Matrix &points, unsigned k,
+                    unsigned iterations = 32);
+
+struct SimPointResult
+{
+    size_t intervalIndex = 0;     ///< the chosen SimPoint
+    unsigned numPhases = 1;       ///< chosen k
+    std::vector<unsigned> phaseOf; ///< phase id per interval
+    double largestPhaseWeight = 1; ///< fraction in the chosen phase
+};
+
+/**
+ * Choose the best single SimPoint for a program.
+ * @param maxK largest phase count considered
+ */
+SimPointResult pickSimPoint(const isa::Program &prog,
+                            InstCount intervalInsts,
+                            unsigned maxK = 6,
+                            unsigned maxIntervals = 64);
+
+} // namespace vca::analysis
+
+#endif // VCA_ANALYSIS_SIMPOINT_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * VCA physical-register state (paper §2.1.2, Figure 2).
+ *
+ * Each physical register carries: the logical-register memory address
+ * it caches (if any), a reference count (pinning), the committed and
+ * dirty bits, an in-flight-overwriter count (registers about to be
+ * overwritten get lowest replacement priority), an LRU stamp, and a
+ * fill-pending marker. A register is *free* exactly when it has no
+ * logical address.
+ */
+
+#ifndef VCA_CORE_REG_STATE_HH
+#define VCA_CORE_REG_STATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace vca::core {
+
+struct PhysState
+{
+    Addr addr = invalidAddr;   ///< logical address; invalidAddr = free
+    std::uint32_t refCount = 0;
+    std::uint32_t overwriters = 0;
+    bool committed = false;
+    bool dirty = false;
+    bool fillPending = false;
+    /**
+     * Overwritten while an orphaned fill (its consumers were squashed)
+     * is still in flight: the register is detached from the table and
+     * freed when the fill completes.
+     */
+    bool zombie = false;
+    std::uint64_t lru = 0;
+
+    bool free() const { return addr == invalidAddr; }
+    bool pinned() const { return refCount > 0; }
+
+    /** Eligible to be reallocated to a different logical register. */
+    bool
+    evictable() const
+    {
+        return !free() && !pinned() && committed && !fillPending;
+    }
+
+    void
+    clear()
+    {
+        *this = PhysState{};
+    }
+};
+
+/**
+ * The full register-state array plus the free list and a clock-hand
+ * LRU-approximating victim scanner.
+ */
+class RegStateArray
+{
+  public:
+    explicit RegStateArray(unsigned numRegs) : state_(numRegs)
+    {
+        for (unsigned p = 0; p < numRegs; ++p)
+            freeList_.push_back(static_cast<PhysRegIndex>(p));
+    }
+
+    PhysState &operator[](PhysRegIndex p) { return state_.at(check(p)); }
+    const PhysState &
+    operator[](PhysRegIndex p) const
+    {
+        return state_.at(check(p));
+    }
+
+    unsigned numRegs() const { return state_.size(); }
+    bool hasFree() const { return !freeList_.empty(); }
+    unsigned numFree() const { return freeList_.size(); }
+
+    PhysRegIndex
+    popFree()
+    {
+        if (freeList_.empty())
+            panic("popFree on empty free list");
+        PhysRegIndex p = freeList_.back();
+        freeList_.pop_back();
+        return p;
+    }
+
+    void
+    pushFree(PhysRegIndex p)
+    {
+        state_.at(check(p)).clear();
+        freeList_.push_back(p);
+    }
+
+    void touch(PhysRegIndex p) { state_.at(check(p)).lru = ++stamp_; }
+
+    /**
+     * Pick a replacement victim approximating LRU with a clock hand.
+     * Registers with a dispatched overwriting instruction are skipped
+     * in the first pass ("lowest priority for replacement", §2.1.2);
+     * if requireClean is set, dirty registers are also skipped (used
+     * when no spill can be enqueued this cycle).
+     *
+     * @return invalidPhysReg if no eligible victim exists
+     */
+    PhysRegIndex
+    findVictim(bool requireClean)
+    {
+        PhysRegIndex best = invalidPhysReg;
+        std::uint64_t bestLru = ~std::uint64_t(0);
+        PhysRegIndex fallback = invalidPhysReg;
+        std::uint64_t fallbackLru = ~std::uint64_t(0);
+        const unsigned n = state_.size();
+        // Exact LRU over the (small) register file: the replacement
+        // quality directly sets the fill rate, which Figures 5 and 7
+        // are sensitive to.
+        for (unsigned i = 0; i < n; ++i) {
+            const PhysState &s = state_[i];
+            if (!s.evictable())
+                continue;
+            if (requireClean && s.dirty)
+                continue;
+            if (s.overwriters == 0) {
+                if (s.lru < bestLru) {
+                    bestLru = s.lru;
+                    best = static_cast<PhysRegIndex>(i);
+                }
+            } else if (s.lru < fallbackLru) {
+                fallbackLru = s.lru;
+                fallback = static_cast<PhysRegIndex>(i);
+            }
+        }
+        return best != invalidPhysReg ? best : fallback;
+    }
+
+    /** All registers whose address maps through the given predicate. */
+    template <typename Pred>
+    std::vector<PhysRegIndex>
+    collect(Pred pred) const
+    {
+        std::vector<PhysRegIndex> out;
+        for (unsigned i = 0; i < state_.size(); ++i) {
+            if (!state_[i].free() && pred(state_[i]))
+                out.push_back(static_cast<PhysRegIndex>(i));
+        }
+        return out;
+    }
+
+  private:
+    static size_t
+    check(PhysRegIndex p)
+    {
+        if (p < 0)
+            panic("invalid physical register index");
+        return static_cast<size_t>(p);
+    }
+
+    std::vector<PhysState> state_;
+    std::vector<PhysRegIndex> freeList_;
+    std::uint64_t stamp_ = 0;
+};
+
+} // namespace vca::core
+
+#endif // VCA_CORE_REG_STATE_HH

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The VCA tagged, set-associative rename table (paper §2.1.1, §2.2.1).
+ *
+ * Each entry maps one logical-register memory address to its newest
+ * (front) and committed physical registers. The paper describes the
+ * front-end table and the P4-style commit table as separate structures
+ * with identical geometry; we model them as one structure with two
+ * physical-register fields, which is functionally equivalent (see
+ * DESIGN.md). The index is taken from the low address bits; the stored
+ * tag is {RSID, remaining offset bits}, but for simulation we keep the
+ * full address and account the tag width separately.
+ *
+ * An "unbounded" mode (sets == 0) backs the idealized register-window
+ * model: no conflict or capacity constraints.
+ */
+
+#ifndef VCA_CORE_RENAME_TABLE_HH
+#define VCA_CORE_RENAME_TABLE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace vca::core {
+
+struct TableEntry
+{
+    bool valid = false;
+    Addr addr = invalidAddr;
+    int rsid = -1;
+    PhysRegIndex front = invalidPhysReg;
+    PhysRegIndex commit = invalidPhysReg;
+    /**
+     * Renamed-but-uncommitted producers targeting this logical
+     * register. The committed copy's PhysState::overwriters mirrors
+     * this count so replacement can deprioritize registers that are
+     * about to be overwritten (paper 2.1.2).
+     */
+    std::uint32_t specProducers = 0;
+    std::uint64_t lru = 0;
+};
+
+class RenameTable
+{
+  public:
+    /** sets == 0 selects the unbounded (ideal) table. */
+    RenameTable(unsigned sets, unsigned assoc)
+        : sets_(sets), assoc_(assoc)
+    {
+        if (sets_ > 0)
+            entries_.resize(size_t(sets_) * assoc_);
+    }
+
+    bool unbounded() const { return sets_ == 0; }
+    unsigned sets() const { return sets_; }
+    unsigned assoc() const { return assoc_; }
+
+    /** Set index for an address (low register-slot bits). */
+    size_t
+    setIndex(Addr addr) const
+    {
+        return static_cast<size_t>((addr >> 3) % sets_);
+    }
+
+    /** Find the entry mapping addr, or nullptr. */
+    TableEntry *
+    lookup(Addr addr)
+    {
+        if (unbounded()) {
+            auto it = map_.find(addr);
+            if (it == map_.end() || !it->second.valid)
+                return nullptr;
+            it->second.lru = ++stamp_;
+            return &it->second;
+        }
+        TableEntry *ways = &entries_[setIndex(addr) * assoc_];
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (ways[w].valid && ways[w].addr == addr) {
+                ways[w].lru = ++stamp_;
+                return &ways[w];
+            }
+        }
+        return nullptr;
+    }
+
+    /** A free (invalid) way in addr's set, or nullptr. */
+    TableEntry *
+    freeWay(Addr addr)
+    {
+        if (unbounded())
+            return &map_[addr]; // creates an invalid entry in place
+        TableEntry *ways = &entries_[setIndex(addr) * assoc_];
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (!ways[w].valid)
+                return &ways[w];
+        }
+        return nullptr;
+    }
+
+    /**
+     * All valid ways in addr's set ordered by ascending LRU stamp
+     * (replacement candidates; caller filters by evictability).
+     */
+    std::vector<TableEntry *>
+    waysByLru(Addr addr)
+    {
+        std::vector<TableEntry *> out;
+        if (unbounded())
+            return out;
+        TableEntry *ways = &entries_[setIndex(addr) * assoc_];
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (ways[w].valid)
+                out.push_back(&ways[w]);
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const TableEntry *a, const TableEntry *b) {
+                      return a->lru < b->lru;
+                  });
+        return out;
+    }
+
+    void
+    install(TableEntry *entry, Addr addr, int rsid)
+    {
+        entry->valid = true;
+        entry->addr = addr;
+        entry->rsid = rsid;
+        entry->front = invalidPhysReg;
+        entry->commit = invalidPhysReg;
+        entry->lru = ++stamp_;
+    }
+
+    void
+    invalidate(TableEntry *entry)
+    {
+        if (unbounded()) {
+            map_.erase(entry->addr);
+            return;
+        }
+        *entry = TableEntry{};
+    }
+
+    /** Visit every valid entry (for RSID flushes and validation). */
+    template <typename Fn>
+    void
+    forEach(Fn fn)
+    {
+        if (unbounded()) {
+            for (auto &[addr, e] : map_) {
+                if (e.valid)
+                    fn(e);
+            }
+            return;
+        }
+        for (TableEntry &e : entries_) {
+            if (e.valid)
+                fn(e);
+        }
+    }
+
+    /** Number of valid entries (stats / tests). */
+    size_t
+    validCount() const
+    {
+        size_t n = 0;
+        for (const TableEntry &e : entries_)
+            n += e.valid ? 1 : 0;
+        if (unbounded()) {
+            for (const auto &[addr, e] : map_)
+                n += e.valid ? 1 : 0;
+        }
+        return n;
+    }
+
+  private:
+    unsigned sets_;
+    unsigned assoc_;
+    std::vector<TableEntry> entries_;
+    std::unordered_map<Addr, TableEntry> map_; ///< unbounded mode
+    std::uint64_t stamp_ = 0;
+};
+
+} // namespace vca::core
+
+#endif // VCA_CORE_RENAME_TABLE_HH

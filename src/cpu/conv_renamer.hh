@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Conventional renaming: a per-thread flat map table over the logical
+ * register space plus a shared free list, with walk-based squash undo.
+ *
+ * ConvRenamer is the paper's baseline. WindowConvRenamer extends it
+ * with SPARC-style register windows held *inside* the logical register
+ * file: the logical space is enlarged to hold k windows (the most that
+ * fit while leaving windowMinRenameRegs rename registers, Section 4.1),
+ * and window overflow/underflow traps at commit: the pipeline is
+ * flushed, rename stalls for windowTrapCycles, and whole-window
+ * save/restore memory operations drain through the data-cache ports.
+ */
+
+#ifndef VCA_CPU_CONV_RENAMER_HH
+#define VCA_CPU_CONV_RENAMER_HH
+
+#include <deque>
+#include <vector>
+
+#include "cpu/params.hh"
+#include "cpu/phys_regfile.hh"
+#include "cpu/renamer.hh"
+#include "isa/program.hh"
+#include "stats/statistics.hh"
+
+namespace vca::cpu {
+
+class ConvRenamer : public Renamer
+{
+  public:
+    /**
+     * @param logicalPerThread size of each thread's logical space
+     *        (64 for the baseline; globals + k*windowSlots for windows)
+     */
+    ConvRenamer(const CpuParams &params, PhysRegFile &regs,
+                unsigned logicalPerThread, stats::StatGroup *parent);
+
+    bool rename(DynInst &inst, Cycle now) override;
+    CommitAction commitInst(DynInst &inst) override;
+    void squashInst(DynInst &inst) override;
+    void validate() const override;
+
+    unsigned freeRegs() const { return freeList_.size(); }
+
+    stats::Scalar renameStallsFreeList;
+
+  protected:
+    /** Logical index of an architectural register for this thread. */
+    virtual std::int32_t logicalIndex(ThreadId tid, isa::RegClass cls,
+                                      RegIndex idx) const;
+
+    /** Hooks for the windowed subclass (called inside rename()). */
+    virtual void preRename(DynInst &inst) { (void)inst; }
+    virtual void postRename(DynInst &inst) { (void)inst; }
+    virtual void undoControl(DynInst &inst) { (void)inst; }
+
+    PhysRegIndex ratLookup(ThreadId tid, std::int32_t logical) const;
+    void ratWrite(ThreadId tid, std::int32_t logical, PhysRegIndex phys);
+    void freePhys(PhysRegIndex phys);
+
+    const CpuParams &params_;
+    PhysRegFile &regs_;
+    unsigned logicalPerThread_;
+    std::vector<std::vector<PhysRegIndex>> rat_; ///< per thread
+    std::vector<PhysRegIndex> freeList_;
+};
+
+class WindowConvRenamer : public ConvRenamer
+{
+  public:
+    WindowConvRenamer(const CpuParams &params, PhysRegFile &regs,
+                      std::vector<mem::SparseMemory *> memories,
+                      stats::StatGroup *parent);
+
+    /** Windows that fit: max k with G + k*W + minRename <= physRegs. */
+    static unsigned windowsForConfig(const CpuParams &params);
+
+    CommitAction commitInst(DynInst &inst) override;
+    void performTrap(ThreadId tid) override;
+
+    bool hasTransferOp() const override { return !transferQueue_.empty(); }
+    TransferOp popTransferOp() override;
+    void transferDone(const TransferOp &op) override;
+    bool
+    transfersBlockRename() const override
+    {
+        return outstandingTransfers_ > 0;
+    }
+
+    unsigned numWindows() const { return numWindows_; }
+
+    stats::Scalar overflowTraps;
+    stats::Scalar underflowTraps;
+    stats::Scalar windowSaves;    ///< registers written out by overflows
+    stats::Scalar windowRestores; ///< registers read back by underflows
+
+  protected:
+    std::int32_t logicalIndex(ThreadId tid, isa::RegClass cls,
+                              RegIndex idx) const override;
+    void preRename(DynInst &inst) override;
+    void postRename(DynInst &inst) override;
+    void undoControl(DynInst &inst) override;
+
+  private:
+    /** Backing-memory address of window slot s at call depth d. */
+    static Addr frameAddr(unsigned depth, unsigned slot);
+
+    struct ThreadWindows
+    {
+        std::int32_t renameDepth = 0; ///< speculative (rename-stage)
+        std::int32_t commitDepth = 0; ///< architectural
+        std::int32_t oldestResident = 0;
+        // dirty[w][slot]: written since window copy w became current.
+        std::vector<std::vector<bool>> dirty;
+        enum class Trap { None, Overflow, Underflow } pendingTrap =
+            Trap::None;
+        // Physical register holding the *victim* window's ra value when
+        // an overflowing call has already overwritten the shared RAT
+        // slot (the call's previous-mapping register).
+        PhysRegIndex trapOldRaPhys = invalidPhysReg;
+    };
+
+    unsigned numWindows_ = 0;
+    std::vector<mem::SparseMemory *> memories_;
+    std::vector<ThreadWindows> threads_;
+    std::deque<TransferOp> transferQueue_;
+    unsigned outstandingTransfers_ = 0;
+};
+
+} // namespace vca::cpu
+
+#endif // VCA_CPU_CONV_RENAMER_HH

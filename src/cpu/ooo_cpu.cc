@@ -1,0 +1,930 @@
+#include "cpu/ooo_cpu.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/vca_renamer.hh"
+#include "cpu/conv_renamer.hh"
+#include "func/func_sim.hh"
+#include "sim/logging.hh"
+
+namespace vca::cpu {
+
+using isa::Opcode;
+using isa::RegClass;
+namespace layout = isa::layout;
+
+const char *
+renamerKindName(RenamerKind kind)
+{
+    switch (kind) {
+      case RenamerKind::Baseline:    return "baseline";
+      case RenamerKind::ConvWindow:  return "register window";
+      case RenamerKind::IdealWindow: return "ideal";
+      case RenamerKind::Vca:         return "vca";
+    }
+    return "?";
+}
+
+OooCpu::OooCpu(const CpuParams &params,
+               std::vector<const isa::Program *> programs,
+               stats::StatGroup *parent)
+    : stats::StatGroup("cpu", parent),
+      numCycles(this, "cycles", "simulated cycles"),
+      committedTotal(this, "committed_insts", "committed instructions"),
+      committedLoads(this, "committed_loads", "committed loads"),
+      committedStores(this, "committed_stores", "committed stores"),
+      fetchedInsts(this, "fetched_insts", "fetched instructions"),
+      squashedInsts(this, "squashed_insts", "squashed instructions"),
+      branchesCommitted(this, "branches", "committed cond. branches"),
+      mispredicts(this, "mispredicts", "mispredicted control insts"),
+      loadForwards(this, "load_forwards", "loads forwarded from SQ"),
+      fetchIcacheStalls(this, "fetch_icache_stalls",
+                        "fetch cycles lost to icache misses"),
+      renameStallCycles(this, "rename_stall_cycles",
+                        "cycles rename made no progress"),
+      robFullStalls(this, "rob_full_stalls", "rename stalls: ROB full"),
+      iqFullStalls(this, "iq_full_stalls", "rename stalls: IQ full"),
+      lsqFullStalls(this, "lsq_full_stalls", "rename stalls: LSQ full"),
+      robOccupancyDist(this, "rob_occupancy",
+                       "ROB occupancy sampled per cycle", 0,
+                       params.robSize + 1, 16),
+      iqOccupancyDist(this, "iq_occupancy",
+                      "IQ occupancy sampled per cycle", 0,
+                      params.iqSize + 1, 16),
+      params_(params),
+      memSys_(params.memParams, this),
+      bpred_(params.bpredParams, params.numThreads, this),
+      regs_(params.physRegs)
+{
+    if (programs.size() != params_.numThreads)
+        fatal("cpu: %zu programs for %u threads", programs.size(),
+              params_.numThreads);
+
+    threads_.resize(params_.numThreads);
+    std::vector<mem::SparseMemory *> memories;
+    for (unsigned t = 0; t < params_.numThreads; ++t) {
+        ThreadState &ts = threads_[t];
+        ts.program = programs[t];
+        if (!ts.program->finalized())
+            fatal("cpu: program '%s' not finalized",
+                  ts.program->name.c_str());
+        ts.memory = std::make_unique<mem::SparseMemory>();
+        func::loadProgramData(*ts.program, *ts.memory);
+        ts.fetchPc = ts.program->entry;
+        memories.push_back(ts.memory.get());
+    }
+
+    switch (params_.renamer) {
+      case RenamerKind::Baseline:
+        renamer_ = std::make_unique<ConvRenamer>(params_, regs_,
+                                                 isa::numArchRegs, this);
+        break;
+      case RenamerKind::ConvWindow:
+        renamer_ = std::make_unique<WindowConvRenamer>(params_, regs_,
+                                                       memories, this);
+        break;
+      case RenamerKind::IdealWindow:
+        renamer_ = std::make_unique<core::VcaRenamer>(params_, regs_,
+                                                      memories, true,
+                                                      this);
+        break;
+      case RenamerKind::Vca:
+        renamer_ = std::make_unique<core::VcaRenamer>(params_, regs_,
+                                                      memories, false,
+                                                      this);
+        break;
+    }
+
+    for (unsigned t = 0; t < params_.numThreads; ++t) {
+        renamer_->setThreadContext(static_cast<ThreadId>(t),
+                                   threads_[t].program->windowedAbi);
+    }
+
+    frontendDelay_ = params_.decodeDelay + renamer_->extraFrontendCycles();
+    waiters_.resize(params_.physRegs);
+}
+
+OooCpu::~OooCpu() = default;
+
+mem::SparseMemory &
+OooCpu::threadMemory(ThreadId tid)
+{
+    return *threads_.at(tid).memory;
+}
+
+unsigned
+OooCpu::robOccupancy() const
+{
+    unsigned n = 0;
+    for (const ThreadState &t : threads_)
+        n += t.rob.size();
+    return n;
+}
+
+unsigned
+OooCpu::inflightCount(ThreadId tid) const
+{
+    const ThreadState &t = threads_.at(tid);
+    return t.fetchQueue.size() + t.rob.size();
+}
+
+unsigned
+OooCpu::fuLimit(isa::FuClass fu) const
+{
+    switch (fu) {
+      case isa::FuClass::IntAlu:   return params_.fuIntAlu;
+      case isa::FuClass::IntMul:   return params_.fuIntMul;
+      case isa::FuClass::IntDiv:   return params_.fuIntDiv;
+      case isa::FuClass::FpAlu:    return params_.fuFpAlu;
+      case isa::FuClass::FpMul:    return params_.fuFpMul;
+      case isa::FuClass::FpDiv:    return params_.fuFpDiv;
+      case isa::FuClass::MemRead:  return params_.dcachePorts;
+      case isa::FuClass::MemWrite: return params_.dcachePorts;
+      case isa::FuClass::None:     return params_.issueWidth;
+    }
+    return 1;
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+std::uint64_t
+OooCpu::readOperand(const DynInst *inst, unsigned s) const
+{
+    const isa::StaticInst &si = *inst->si;
+    if (s >= si.numSrcs || !si.srcValid[s])
+        return 0;
+    return regs_.read(inst->srcPhys[s]);
+}
+
+namespace {
+
+std::int64_t
+safeDiv(std::int64_t a, std::int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (a == std::numeric_limits<std::int64_t>::min() && b == -1)
+        return a;
+    return a / b;
+}
+
+double
+asD(std::uint64_t b)
+{
+    return std::bit_cast<double>(b);
+}
+
+std::uint64_t
+asB(double d)
+{
+    return std::bit_cast<std::uint64_t>(d);
+}
+
+/**
+ * Canonicalize FP results: VRISC-64 defines every NaN result as the
+ * canonical quiet NaN. (Hardware NaN payload propagation depends on
+ * operand order, which compilers are free to commute, so two
+ * separately compiled interpreters would otherwise disagree.)
+ */
+std::uint64_t
+canonFp(double d)
+{
+    if (d != d)
+        return 0x7ff8000000000000ULL;
+    return std::bit_cast<std::uint64_t>(d);
+}
+
+
+} // namespace
+
+void
+OooCpu::executeInst(DynInst *inst)
+{
+    const isa::StaticInst &si = *inst->si;
+    const std::uint64_t a = readOperand(inst, 0);
+    const std::uint64_t b = readOperand(inst, 1);
+    std::uint64_t r = 0;
+
+    switch (si.op) {
+      case Opcode::Add:  r = a + b; break;
+      case Opcode::Sub:  r = a - b; break;
+      case Opcode::Mul:
+        r = static_cast<std::uint64_t>(static_cast<std::int64_t>(a) *
+                                       static_cast<std::int64_t>(b));
+        break;
+      case Opcode::Div:
+        r = static_cast<std::uint64_t>(
+            safeDiv(static_cast<std::int64_t>(a),
+                    static_cast<std::int64_t>(b)));
+        break;
+      case Opcode::And:  r = a & b; break;
+      case Opcode::Or:   r = a | b; break;
+      case Opcode::Xor:  r = a ^ b; break;
+      case Opcode::Sll:  r = a << (b & 63); break;
+      case Opcode::Srl:  r = a >> (b & 63); break;
+      case Opcode::Sra:
+        r = static_cast<std::uint64_t>(static_cast<std::int64_t>(a) >>
+                                       (b & 63));
+        break;
+      case Opcode::Slt:
+        r = static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+        break;
+      case Opcode::Sltu: r = a < b; break;
+
+      case Opcode::Addi: r = a + si.imm; break;
+      case Opcode::Andi: r = a & si.imm; break;
+      case Opcode::Ori:  r = a | si.imm; break;
+      case Opcode::Xori: r = a ^ si.imm; break;
+      case Opcode::Slli: r = a << (si.imm & 63); break;
+      case Opcode::Srli: r = a >> (si.imm & 63); break;
+      case Opcode::Srai:
+        r = static_cast<std::uint64_t>(static_cast<std::int64_t>(a) >>
+                                       (si.imm & 63));
+        break;
+      case Opcode::Slti:
+        r = static_cast<std::int64_t>(a) < si.imm;
+        break;
+      case Opcode::Lui:
+        r = static_cast<std::uint64_t>(si.imm);
+        break;
+
+      case Opcode::Ld: case Opcode::Fld:
+        inst->effAddr = (a + si.imm) & ~Addr(7);
+        inst->effAddrValid = true;
+        break;
+      case Opcode::St: case Opcode::Fst:
+        inst->effAddr = (a + si.imm) & ~Addr(7);
+        inst->effAddrValid = true;
+        inst->storeData = b;
+        break;
+
+      case Opcode::Fadd: r = canonFp(asD(a) + asD(b)); break;
+      case Opcode::Fsub: r = canonFp(asD(a) - asD(b)); break;
+      case Opcode::Fmul: r = canonFp(asD(a) * asD(b)); break;
+      case Opcode::Fdiv:
+        r = canonFp(asD(b) == 0.0 ? 0.0 : asD(a) / asD(b));
+        break;
+      case Opcode::Fneg: r = canonFp(-asD(a)); break;
+      case Opcode::Fmov: r = a; break;
+      case Opcode::Fcvtif:
+        r = asB(static_cast<double>(static_cast<std::int64_t>(a)));
+        break;
+      case Opcode::Fcvtfi: {
+        const double d = asD(a);
+        std::int64_t v = 0;
+        if (d == d) {
+            if (d >= 9.2233720368547758e18)
+                v = std::numeric_limits<std::int64_t>::max();
+            else if (d <= -9.2233720368547758e18)
+                v = std::numeric_limits<std::int64_t>::min();
+            else
+                v = static_cast<std::int64_t>(d);
+        }
+        r = static_cast<std::uint64_t>(v);
+        break;
+      }
+      case Opcode::Feq: r = asD(a) == asD(b); break;
+      case Opcode::Flt: r = asD(a) < asD(b); break;
+
+      case Opcode::Beq: case Opcode::Bne:
+      case Opcode::Blt: case Opcode::Bge: {
+        const auto sa = static_cast<std::int64_t>(a);
+        const auto sb = static_cast<std::int64_t>(b);
+        bool taken = false;
+        switch (si.op) {
+          case Opcode::Beq: taken = sa == sb; break;
+          case Opcode::Bne: taken = sa != sb; break;
+          case Opcode::Blt: taken = sa < sb; break;
+          default:          taken = sa >= sb; break;
+        }
+        inst->actualTaken = taken;
+        inst->actualNpc = taken ? inst->pc + 1 + si.imm : inst->pc + 1;
+        break;
+      }
+      case Opcode::Call:
+        r = inst->pc + 1; // ra
+        inst->actualNpc = static_cast<Addr>(si.imm);
+        break;
+      case Opcode::Ret:
+        inst->actualNpc = static_cast<Addr>(a);
+        break;
+
+      case Opcode::Jmp:
+        inst->actualNpc = static_cast<Addr>(si.imm);
+        break;
+      case Opcode::Nop:
+      case Opcode::Halt:
+        break;
+      default:
+        panic("executeInst: unhandled opcode");
+    }
+    inst->result = r;
+}
+
+void
+OooCpu::scheduleCompletion(DynInst *inst, Cycle when)
+{
+    events_[when].emplace_back(inst, inst->seq);
+}
+
+void
+OooCpu::wakeup(PhysRegIndex reg)
+{
+    auto &list = waiters_.at(reg);
+    for (auto &[inst, seq] : list) {
+        if (inst->seq != seq || inst->squashed)
+            continue;
+        if (inst->iqSlot <= 0)
+            panic("wakeup of instruction not waiting in IQ");
+        --inst->iqSlot;
+        if (inst->iqSlot == 0)
+            readyList_.emplace_back(inst, inst->seq);
+    }
+    list.clear();
+}
+
+void
+OooCpu::completeInst(DynInst *inst)
+{
+    if (inst->completed)
+        return;
+    inst->completed = true;
+    if (inst->si->hasDest) {
+        regs_.write(inst->destPhys, inst->result);
+        regs_.setReady(inst->destPhys, true);
+        wakeup(inst->destPhys);
+    }
+    if (inst->isControl())
+        resolveControl(inst);
+}
+
+void
+OooCpu::resolveControl(DynInst *inst)
+{
+    if (inst->actualNpc == inst->predNpc)
+        return;
+
+    ++mispredicts;
+    inst->mispredicted = true;
+    const ThreadId tid = inst->tid;
+
+    // How far the branch sits from the ROB head determines the
+    // commit-table walk length of the VCA recovery scheme.
+    unsigned before = 0;
+    for (const DynInst *d : threads_[tid].rob) {
+        if (d->seq >= inst->seq)
+            break;
+        ++before;
+    }
+
+    squashThread(tid, inst->seq);
+
+    // Repair speculative predictor state past the squash.
+    if (inst->si->isBranch && inst->hasBpCkpt) {
+        bpred_.repairHistory(tid, inst->bpCkpt, inst->actualTaken);
+        ++bpred_.condMispredicts;
+    } else if (inst->si->isRet && inst->hasBpCkpt) {
+        bpred_.restore(tid, inst->bpCkpt);
+        bpred::BPredCheckpoint scratch;
+        bpred_.popRas(tid, scratch);
+        ++bpred_.rasMispredicts;
+    }
+
+    ThreadState &ts = threads_[tid];
+    ts.fetchPc = inst->actualNpc;
+    ts.fetchReadyAt = std::max(ts.fetchReadyAt, now_ + 1);
+    ts.fetchHalted = false;
+    const unsigned recovery = renamer_->recoveryCycles(before);
+    ts.renameBlockedUntil =
+        std::max(ts.renameBlockedUntil, now_ + recovery);
+}
+
+void
+OooCpu::squashThread(ThreadId tid, std::uint64_t afterSeq)
+{
+    ThreadState &ts = threads_.at(tid);
+
+    // Front-end entries are all younger than anything in the ROB:
+    // undo their predictor effects youngest-first, then drop them.
+    for (auto it = ts.fetchQueue.rbegin(); it != ts.fetchQueue.rend();
+         ++it) {
+        DynInst *inst = it->inst;
+        if (inst->hasBpCkpt)
+            bpred_.restore(tid, inst->bpCkpt);
+        inst->squashed = true;
+        ++squashedInsts;
+        releaseInst(inst);
+    }
+    ts.fetchQueue.clear();
+    ts.fetchHalted = false;
+
+    while (!ts.rob.empty() && ts.rob.back()->seq > afterSeq) {
+        DynInst *inst = ts.rob.back();
+        ts.rob.pop_back();
+        if (inst->hasBpCkpt)
+            bpred_.restore(tid, inst->bpCkpt);
+        renamer_->squashInst(*inst);
+        if (inst->iqSlot >= 0)
+            --iqCount_;
+        inst->squashed = true;
+        ++squashedInsts;
+        releaseInst(inst);
+    }
+    while (!ts.lq.empty() && ts.lq.back()->seq > afterSeq)
+        ts.lq.pop_back();
+    while (!ts.sq.empty() && ts.sq.back()->seq > afterSeq)
+        ts.sq.pop_back();
+}
+
+void
+OooCpu::releaseInst(DynInst *inst)
+{
+    pool_.release(inst);
+}
+
+// ---------------------------------------------------------------------
+// Pipeline stages
+// ---------------------------------------------------------------------
+
+void
+OooCpu::processCompletions()
+{
+    // Normal completions scheduled for this cycle, oldest first so a
+    // mispredicting older branch squashes younger same-cycle events.
+    auto it = events_.find(now_);
+    if (it != events_.end()) {
+        auto list = std::move(it->second);
+        events_.erase(it);
+        std::sort(list.begin(), list.end(),
+                  [](const auto &x, const auto &y) {
+                      return x.second < y.second;
+                  });
+        for (auto &[inst, seq] : list) {
+            if (inst->seq != seq || inst->squashed)
+                continue;
+            completeInst(inst);
+        }
+    }
+
+    auto tit = transferEvents_.find(now_);
+    if (tit != transferEvents_.end()) {
+        auto ops = std::move(tit->second);
+        transferEvents_.erase(tit);
+        for (const TransferOp &op : ops) {
+            renamer_->transferDone(op);
+            if (!op.isStore && op.reg != invalidPhysReg)
+                wakeup(op.reg);
+        }
+    }
+}
+
+void
+OooCpu::commitStage()
+{
+    unsigned budget = params_.commitWidth;
+    const unsigned nThreads = params_.numThreads;
+    for (unsigned i = 0; i < nThreads && budget > 0; ++i) {
+        const unsigned t = (commitRR_ + i) % nThreads;
+        ThreadState &ts = threads_[t];
+        while (budget > 0 && !ts.rob.empty()) {
+            DynInst *inst = ts.rob.front();
+            if (!inst->completed)
+                break;
+
+            if (inst->isStore()) {
+                if (storeBuffer_.size() >= params_.storeBufferSize)
+                    break;
+                ts.memory->write(inst->effAddr, inst->storeData);
+                storeBuffer_.push_back(
+                    {inst->effAddr, static_cast<ThreadId>(t)});
+                if (!ts.sq.empty() && ts.sq.front() == inst)
+                    ts.sq.pop_front();
+                ++committedStores;
+            }
+            if (inst->isLoad()) {
+                if (!ts.lq.empty() && ts.lq.front() == inst)
+                    ts.lq.pop_front();
+                ++committedLoads;
+            }
+
+            const CommitAction action = renamer_->commitInst(*inst);
+
+            if (inst->si->isBranch) {
+                ++branchesCommitted;
+                bpred_.update(static_cast<ThreadId>(t), inst->pc,
+                              inst->actualTaken, inst->bpCkpt.history);
+            }
+
+            if (commitHook_)
+                commitHook_(*inst);
+
+            ts.rob.pop_front();
+            ++ts.committed;
+            ++committedTotal;
+            --budget;
+
+            const bool halted = inst->si->isHalt;
+            const std::uint64_t seq = inst->seq;
+            // Trapping instructions are calls/returns: execution must
+            // resume at their actual control-flow target.
+            const Addr resumePc = inst->isControl() ? inst->actualNpc
+                                                    : inst->pc + 1;
+            releaseInst(inst);
+
+            if (halted) {
+                ts.done = true;
+                squashThread(static_cast<ThreadId>(t), seq);
+                break;
+            }
+
+            if (action.windowTrap) {
+                // Flush everything younger, run the handler, restart
+                // fetch after the trapping call/return.
+                squashThread(static_cast<ThreadId>(t), seq);
+                renamer_->performTrap(static_cast<ThreadId>(t));
+                ts.renameBlockedUntil = std::max(
+                    ts.renameBlockedUntil, now_ + action.stallCycles);
+                ts.fetchPc = resumePc;
+                ts.fetchReadyAt = std::max(ts.fetchReadyAt, now_ + 1);
+                break;
+            }
+        }
+    }
+    commitRR_ = (commitRR_ + 1) % nThreads;
+}
+
+void
+OooCpu::issueStage()
+{
+    unsigned issueBudget = params_.issueWidth;
+    unsigned memPorts = params_.dcachePorts;
+    unsigned fuUsed[9] = {};
+
+    if (!readyList_.empty()) {
+        std::sort(readyList_.begin(), readyList_.end(),
+                  [](const auto &x, const auto &y) {
+                      return x.second < y.second;
+                  });
+        std::vector<std::pair<DynInst *, std::uint64_t>> remaining;
+        remaining.reserve(readyList_.size());
+
+        for (auto &[inst, seq] : readyList_) {
+            if (inst->seq != seq || inst->squashed || inst->issued)
+                continue;
+            if (issueBudget == 0) {
+                remaining.emplace_back(inst, seq);
+                continue;
+            }
+            const isa::FuClass fu = inst->si->fu;
+            const auto fuIdx = static_cast<unsigned>(fu);
+            if (fuUsed[fuIdx] >= fuLimit(fu)) {
+                remaining.emplace_back(inst, seq);
+                continue;
+            }
+
+            if (inst->isLoad()) {
+                // Loads need a data-cache port and a disambiguated LSQ.
+                if (memPorts == 0) {
+                    remaining.emplace_back(inst, seq);
+                    continue;
+                }
+                executeInst(inst); // address generation
+                DynInst *forwardFrom = nullptr;
+                if (!loadReadyInLsq(inst, &forwardFrom)) {
+                    remaining.emplace_back(inst, seq);
+                    continue;
+                }
+                const Addr tagged = mem::MemSystem::threadTag(
+                    inst->tid, inst->effAddr);
+                const auto access =
+                    memSys_.dataAccess(tagged, false, now_);
+                if (!access.accepted) {
+                    --memPorts; // the probe consumed a port
+                    remaining.emplace_back(inst, seq);
+                    continue;
+                }
+                Cycle latency = access.latency;
+                std::uint64_t value;
+                if (forwardFrom) {
+                    ++loadForwards;
+                    value = forwardFrom->storeData;
+                    latency = params_.memParams.dl1.hitLatency;
+                } else {
+                    value =
+                        threads_[inst->tid].memory->read(inst->effAddr);
+                }
+                inst->result = value;
+                --memPorts;
+                ++fuUsed[fuIdx];
+                --issueBudget;
+                inst->issued = true;
+                inst->iqSlot = -1;
+                --iqCount_;
+                scheduleCompletion(inst, now_ + 1 + latency);
+                continue;
+            }
+
+            // Non-load: execute now, complete after the FU latency.
+            executeInst(inst);
+            ++fuUsed[fuIdx];
+            --issueBudget;
+            inst->issued = true;
+            inst->iqSlot = -1;
+            --iqCount_;
+            scheduleCompletion(inst,
+                               now_ + 1 + isa::fuLatency(inst->si->fu));
+        }
+        readyList_ = std::move(remaining);
+    }
+
+    // Committed stores drain through remaining ports.
+    while (memPorts > 0 && !storeBuffer_.empty()) {
+        const StoreBufferEntry &e = storeBuffer_.front();
+        const auto access = memSys_.dataAccess(
+            mem::MemSystem::threadTag(e.tid, e.addr), true, now_);
+        if (!access.accepted)
+            break;
+        storeBuffer_.pop_front();
+        --memPorts;
+    }
+
+    // Spill/fill (or window-trap) transfers get the leftover ports
+    // ("the entry at the head of the ASTQ is issued to a free port").
+    while (memPorts > 0 &&
+           (pendingTransferValid_ || renamer_->hasTransferOp())) {
+        TransferOp op = pendingTransferValid_ ? pendingTransfer_
+                                              : renamer_->popTransferOp();
+        pendingTransferValid_ = false;
+        const auto access = memSys_.dataAccess(
+            mem::MemSystem::threadTag(op.tid, op.addr), op.isStore,
+            now_);
+        if (!access.accepted) {
+            pendingTransfer_ = op;
+            pendingTransferValid_ = true;
+            break;
+        }
+        --memPorts;
+        transferEvents_[now_ + access.latency].push_back(op);
+    }
+}
+
+bool
+OooCpu::loadReadyInLsq(DynInst *ld, DynInst **forwardFrom) const
+{
+    const ThreadState &ts = threads_.at(ld->tid);
+    DynInst *candidate = nullptr;
+    for (DynInst *st : ts.sq) {
+        if (st->seq > ld->seq)
+            break;
+        if (!st->effAddrValid)
+            return false; // conservative: wait for older store addrs
+        if (st->effAddr == ld->effAddr)
+            candidate = st; // youngest older match wins
+    }
+    *forwardFrom = candidate;
+    return true;
+}
+
+void
+OooCpu::insertIq(DynInst *inst)
+{
+    unsigned waiting = 0;
+    for (unsigned s = 0; s < inst->si->numSrcs; ++s) {
+        if (!inst->si->srcValid[s])
+            continue;
+        if (!regs_.isReady(inst->srcPhys[s])) {
+            waiters_.at(inst->srcPhys[s]).emplace_back(inst, inst->seq);
+            ++waiting;
+        }
+    }
+    inst->iqSlot = static_cast<std::int32_t>(waiting);
+    ++iqCount_;
+    if (waiting == 0)
+        readyList_.emplace_back(inst, inst->seq);
+}
+
+void
+OooCpu::renameStage()
+{
+    if (renamer_->transfersBlockRename())
+        return;
+
+    renamer_->beginCycle(now_);
+
+    // Rename bandwidth is shared: threads are visited round-robin and
+    // a thread that stalls (fill/spill resources, table conflicts)
+    // yields the remaining slots to the next thread instead of wasting
+    // the cycle -- important under SMT, where one thread's register
+    // pressure must not serialize the others.
+    const unsigned nThreads = params_.numThreads;
+    unsigned budget = params_.width;
+    bool progress = false;
+
+    for (unsigned i = 0; i < nThreads && budget > 0; ++i) {
+        const unsigned t = (renameRR_ + i) % nThreads;
+        ThreadState &ts = threads_[t];
+        if (ts.done || ts.renameBlockedUntil > now_)
+            continue;
+
+        while (budget > 0 && !ts.fetchQueue.empty() &&
+               ts.fetchQueue.front().readyAt <= now_) {
+            DynInst *inst = ts.fetchQueue.front().inst;
+
+            if (robOccupancy() >= params_.robSize) {
+                ++robFullStalls;
+                budget = 0;
+                break;
+            }
+            const bool needsIq = !inst->si->isNop &&
+                                 !inst->si->isHalt && !inst->si->isJump;
+            if (needsIq && iqCount_ >= params_.iqSize) {
+                ++iqFullStalls;
+                budget = 0;
+                break;
+            }
+            if (inst->isLoad() && ts.lq.size() >= params_.lqSize) {
+                ++lsqFullStalls;
+                break;
+            }
+            if (inst->isStore() && ts.sq.size() >= params_.sqSize) {
+                ++lsqFullStalls;
+                break;
+            }
+
+            if (!renamer_->rename(*inst, now_))
+                break; // this thread stalls; try the next thread
+
+            ts.fetchQueue.pop_front();
+            ts.rob.push_back(inst);
+            if (inst->isLoad())
+                ts.lq.push_back(inst);
+            if (inst->isStore())
+                ts.sq.push_back(inst);
+
+            if (needsIq) {
+                insertIq(inst);
+            } else {
+                // Nops, halts and direct jumps complete immediately.
+                inst->actualNpc = inst->si->isJump
+                    ? static_cast<Addr>(inst->si->imm) : inst->pc + 1;
+                inst->completed = true;
+            }
+            --budget;
+            progress = true;
+        }
+    }
+    renameRR_ = (renameRR_ + 1) % nThreads;
+    if (!progress)
+        ++renameStallCycles;
+}
+
+ThreadId
+OooCpu::pickFetchThread() const
+{
+    int best = -1;
+    unsigned bestCount = ~0u;
+    for (unsigned t = 0; t < params_.numThreads; ++t) {
+        const ThreadState &ts = threads_[t];
+        if (ts.done || ts.fetchHalted || ts.fetchReadyAt > now_)
+            continue;
+        if (ts.fetchQueue.size() >=
+            params_.width * (frontendDelay_ + 2)) {
+            continue;
+        }
+        const unsigned count = inflightCount(static_cast<ThreadId>(t));
+        if (count < bestCount) {
+            bestCount = count;
+            best = static_cast<int>(t);
+        }
+    }
+    return best < 0 ? static_cast<ThreadId>(0xff)
+                    : static_cast<ThreadId>(best);
+}
+
+void
+OooCpu::fetchStage()
+{
+    const ThreadId tid = pickFetchThread();
+    if (tid == 0xff)
+        return;
+    ThreadState &ts = threads_[tid];
+
+    // One icache access per fetch cycle; a miss stalls this thread.
+    const Addr lineAddr = layout::pcToAddr(ts.fetchPc);
+    const auto access = memSys_.instAccess(
+        mem::MemSystem::threadTag(tid, lineAddr), now_);
+    if (!access.accepted) {
+        ts.fetchReadyAt = now_ + 1;
+        return;
+    }
+    if (!access.hit) {
+        ts.fetchReadyAt = now_ + access.latency;
+        ++fetchIcacheStalls;
+        return;
+    }
+
+    const unsigned lineBytes = params_.memParams.il1.lineBytes;
+    Addr pc = ts.fetchPc;
+    for (unsigned i = 0; i < params_.width; ++i) {
+        if (layout::pcToAddr(pc) / lineBytes != lineAddr / lineBytes)
+            break; // stop at the cache-line boundary
+
+        const isa::StaticInst &si = ts.program->inst(pc);
+        DynInst *inst = pool_.acquire();
+        inst->si = &si;
+        inst->pc = pc;
+        inst->tid = tid;
+        inst->seq = nextSeq_++;
+        ++fetchedInsts;
+
+        Addr npc = pc + 1;
+        if (si.isHalt) {
+            ts.fetchHalted = true;
+        } else if (si.isJump) {
+            npc = static_cast<Addr>(si.imm);
+        } else if (si.isCall) {
+            bpred_.pushRas(tid, pc + 1, inst->bpCkpt);
+            inst->hasBpCkpt = true;
+            npc = static_cast<Addr>(si.imm);
+        } else if (si.isRet) {
+            npc = bpred_.popRas(tid, inst->bpCkpt);
+            inst->hasBpCkpt = true;
+        } else if (si.isBranch) {
+            inst->predTaken = bpred_.predict(tid, pc, inst->bpCkpt);
+            inst->hasBpCkpt = true;
+            npc = inst->predTaken ? pc + 1 + si.imm : pc + 1;
+        }
+        inst->predNpc = npc;
+        ts.fetchQueue.push_back({inst, now_ + frontendDelay_});
+
+        pc = npc;
+        if (si.isHalt)
+            break;
+        if (si.isControl() && npc != inst->pc + 1)
+            break; // taken control flow: redirect next cycle
+    }
+    ts.fetchPc = pc;
+}
+
+void
+OooCpu::tick()
+{
+    ++now_;
+    ++numCycles;
+    robOccupancyDist.sample(static_cast<double>(robOccupancy()));
+    iqOccupancyDist.sample(static_cast<double>(iqCount_));
+    processCompletions();
+    commitStage();
+    issueStage();
+    renameStage();
+    fetchStage();
+}
+
+RunResult
+OooCpu::run(InstCount maxInstsPerThread, Cycle maxCycles,
+            bool stopOnFirstThread)
+{
+    std::vector<InstCount> startCounts(params_.numThreads);
+    for (unsigned t = 0; t < params_.numThreads; ++t)
+        startCounts[t] = threads_[t].committed;
+    const Cycle startCycle = now_;
+
+    auto reached = [&](unsigned t) {
+        return threads_[t].done ||
+               threads_[t].committed - startCounts[t] >=
+                   maxInstsPerThread;
+    };
+
+    for (;;) {
+        if (maxCycles && now_ - startCycle >= maxCycles)
+            break;
+        bool allDone = true;
+        bool anyDone = false;
+        for (unsigned t = 0; t < params_.numThreads; ++t) {
+            if (reached(t))
+                anyDone = true;
+            else
+                allDone = false;
+        }
+        if (allDone || (stopOnFirstThread && anyDone))
+            break;
+        tick();
+    }
+
+    RunResult res;
+    res.cycles = now_ - startCycle;
+    res.threadInsts.resize(params_.numThreads);
+    for (unsigned t = 0; t < params_.numThreads; ++t) {
+        res.threadInsts[t] = threads_[t].committed - startCounts[t];
+        res.totalInsts += res.threadInsts[t];
+    }
+    res.dcacheAccesses = memSys_.dcache().accesses.value();
+    res.ipc = res.cycles
+        ? static_cast<double>(res.totalInsts) / res.cycles : 0.0;
+    return res;
+}
+
+} // namespace vca::cpu

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Execution-driven out-of-order superscalar CPU with SMT.
+ *
+ * The pipeline models paper Table 1: 4-wide fetch/rename/issue/commit,
+ * a 128-entry instruction queue, 192-entry reorder buffer, 8-cycle
+ * fetch-to-execute depth (9 with VCA's extra rename stage), hybrid
+ * branch prediction with a return-address stack, ICOUNT SMT fetch, a
+ * per-thread load/store queue with store-to-load forwarding and
+ * conservative memory disambiguation, and a 2-port L1 data cache shared
+ * by loads, stores, and the renamer's spill/fill traffic.
+ *
+ * Values flow through the physical register file (execute-at-execute,
+ * M5 O3 style), so wrong-path instructions really execute and pollute
+ * the caches - the misspeculation effects visible in the paper's
+ * Figure 5 - while stores update architectural memory only at commit.
+ */
+
+#ifndef VCA_CPU_OOO_CPU_HH
+#define VCA_CPU_OOO_CPU_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bpred/bpred.hh"
+#include "cpu/dyn_inst.hh"
+#include "cpu/params.hh"
+#include "cpu/phys_regfile.hh"
+#include "cpu/renamer.hh"
+#include "isa/program.hh"
+#include "mem/cache.hh"
+#include "mem/sparse_memory.hh"
+#include "stats/statistics.hh"
+
+namespace vca::cpu {
+
+/** Results of a measurement interval. */
+struct RunResult
+{
+    Cycle cycles = 0;
+    InstCount totalInsts = 0;
+    std::vector<InstCount> threadInsts;
+    double dcacheAccesses = 0;
+    double ipc = 0;
+};
+
+class OooCpu : public stats::StatGroup
+{
+  public:
+    /**
+     * Build a core running one program per hardware thread.
+     * @param programs one finalized program per thread (size sets the
+     *                 thread count; must match params.numThreads)
+     */
+    OooCpu(const CpuParams &params,
+           std::vector<const isa::Program *> programs,
+           stats::StatGroup *parent = nullptr);
+    ~OooCpu() override;
+
+    /**
+     * Run until every thread commits maxInstsPerThread (or halts), one
+     * thread commits that many (stopOnFirstThread), or maxCycles pass.
+     */
+    RunResult run(InstCount maxInstsPerThread,
+                  Cycle maxCycles = 0,
+                  bool stopOnFirstThread = false);
+
+    /** Advance one cycle (exposed for fine-grained tests). */
+    void tick();
+
+    bool threadDone(ThreadId tid) const { return threads_.at(tid).done; }
+    InstCount
+    committedInsts(ThreadId tid) const
+    {
+        return threads_.at(tid).committed;
+    }
+    Cycle currentCycle() const { return now_; }
+
+    Renamer &renamer() { return *renamer_; }
+    mem::MemSystem &memSystem() { return memSys_; }
+    bpred::BranchPredictor &branchPredictor() { return bpred_; }
+    PhysRegFile &physRegs() { return regs_; }
+    mem::SparseMemory &threadMemory(ThreadId tid);
+
+    /** Commit hook for co-simulation checks (called in commit order). */
+    void setCommitHook(std::function<void(const DynInst &)> hook)
+    {
+        commitHook_ = std::move(hook);
+    }
+
+    // Statistics (public; benches read them).
+    stats::Scalar numCycles;
+    stats::Scalar committedTotal;
+    stats::Scalar committedLoads;
+    stats::Scalar committedStores;
+    stats::Scalar fetchedInsts;
+    stats::Scalar squashedInsts;
+    stats::Scalar branchesCommitted;
+    stats::Scalar mispredicts;
+    stats::Scalar loadForwards;
+    stats::Scalar fetchIcacheStalls;
+    stats::Scalar renameStallCycles;
+    stats::Scalar robFullStalls;
+    stats::Scalar iqFullStalls;
+    stats::Scalar lsqFullStalls;
+    stats::Distribution robOccupancyDist;
+    stats::Distribution iqOccupancyDist;
+
+  private:
+    struct FetchEntry
+    {
+        DynInst *inst;
+        Cycle readyAt;
+    };
+
+    struct ThreadState
+    {
+        const isa::Program *program = nullptr;
+        std::unique_ptr<mem::SparseMemory> memory;
+        Addr fetchPc = 0;
+        Cycle fetchReadyAt = 0;
+        bool fetchHalted = false;
+        bool done = false;
+        InstCount committed = 0;
+        std::deque<FetchEntry> fetchQueue;
+        std::deque<DynInst *> rob;
+        std::deque<DynInst *> lq; ///< loads in program order
+        std::deque<DynInst *> sq; ///< stores in program order
+        Cycle renameBlockedUntil = 0;
+    };
+
+    struct StoreBufferEntry
+    {
+        Addr addr;
+        ThreadId tid;
+    };
+
+    // Pipeline stages (called in reverse order each tick).
+    void processCompletions();
+    void commitStage();
+    void issueStage();
+    void renameStage();
+    void fetchStage();
+
+    // Helpers.
+    void executeInst(DynInst *inst);
+    std::uint64_t readOperand(const DynInst *inst, unsigned s) const;
+    void resolveControl(DynInst *inst);
+    void scheduleCompletion(DynInst *inst, Cycle when);
+    void completeInst(DynInst *inst);
+    void wakeup(PhysRegIndex reg);
+    void insertIq(DynInst *inst);
+    bool loadReadyInLsq(DynInst *ld, DynInst **forwardFrom) const;
+    void squashThread(ThreadId tid, std::uint64_t afterSeq);
+    void releaseInst(DynInst *inst);
+    unsigned robOccupancy() const;
+    unsigned inflightCount(ThreadId tid) const;
+    unsigned fuLimit(isa::FuClass fu) const;
+    ThreadId pickFetchThread() const;
+
+    CpuParams params_;
+    std::vector<ThreadState> threads_;
+
+    mem::MemSystem memSys_;
+    bpred::BranchPredictor bpred_;
+    PhysRegFile regs_;
+    std::unique_ptr<Renamer> renamer_;
+    InstPool pool_;
+
+    Cycle now_ = 0;
+    std::uint64_t nextSeq_ = 1;
+    unsigned frontendDelay_ = 0; ///< decodeDelay + renamer extra stages
+
+    // Instruction queue: ready list plus per-register waiter lists.
+    // Entries carry the sequence number at insertion so records that
+    // outlive a squash (the pool recycles DynInsts) are ignored.
+    std::vector<std::pair<DynInst *, std::uint64_t>> readyList_;
+    std::vector<std::vector<std::pair<DynInst *, std::uint64_t>>>
+        waiters_;
+    unsigned iqCount_ = 0;
+
+    // Completion events: (inst, seq-at-schedule) per cycle.
+    std::map<Cycle, std::vector<std::pair<DynInst *, std::uint64_t>>>
+        events_;
+    // Transfer (spill/fill) completion events.
+    std::map<Cycle, std::vector<TransferOp>> transferEvents_;
+    bool pendingTransferValid_ = false;
+    TransferOp pendingTransfer_{}; ///< rejected by MSHRs; retry first
+
+    std::deque<StoreBufferEntry> storeBuffer_;
+
+    unsigned commitRR_ = 0; ///< commit round-robin cursor
+    unsigned renameRR_ = 0; ///< rename round-robin cursor
+
+    std::function<void(const DynInst &)> commitHook_;
+};
+
+} // namespace vca::cpu
+
+#endif // VCA_CPU_OOO_CPU_HH

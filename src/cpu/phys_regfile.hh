@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Merged physical register file: 64-bit values plus ready bits and a
+ * per-register waiter count used by the wakeup logic. The paper keeps
+ * the physical register file design unchanged across all four
+ * architectures (Section 1), so this one class serves every renamer.
+ */
+
+#ifndef VCA_CPU_PHYS_REGFILE_HH
+#define VCA_CPU_PHYS_REGFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace vca::cpu {
+
+class PhysRegFile
+{
+  public:
+    explicit PhysRegFile(unsigned numRegs)
+        : values_(numRegs, 0), ready_(numRegs, false)
+    {
+    }
+
+    unsigned numRegs() const { return values_.size(); }
+
+    std::uint64_t
+    read(PhysRegIndex reg) const
+    {
+        return values_.at(check(reg));
+    }
+
+    void
+    write(PhysRegIndex reg, std::uint64_t value)
+    {
+        values_.at(check(reg)) = value;
+    }
+
+    bool isReady(PhysRegIndex reg) const { return ready_.at(check(reg)); }
+
+    void setReady(PhysRegIndex reg, bool r = true)
+    {
+        ready_.at(check(reg)) = r;
+    }
+
+  private:
+    static size_t
+    check(PhysRegIndex reg)
+    {
+        if (reg < 0)
+            panic("physical register index %d invalid", int(reg));
+        return static_cast<size_t>(reg);
+    }
+
+    std::vector<std::uint64_t> values_;
+    std::vector<bool> ready_;
+};
+
+} // namespace vca::cpu
+
+#endif // VCA_CPU_PHYS_REGFILE_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The renamer abstraction the out-of-order core is built against.
+ *
+ * All four architectures the paper compares (baseline, conventional
+ * register windows, idealized windows, VCA) differ *only* in register
+ * management, which mirrors the paper's claim that VCA has "minimal
+ * impact outside of the rename stage" (Section 2.1). The pipeline asks
+ * the renamer to map instructions, notifies it of commits and
+ * squashes, and services its architectural-state transfer operations
+ * (VCA spills/fills, conventional-window trap saves/restores) through
+ * spare data-cache ports.
+ */
+
+#ifndef VCA_CPU_RENAMER_HH
+#define VCA_CPU_RENAMER_HH
+
+#include "cpu/dyn_inst.hh"
+#include "mem/sparse_memory.hh"
+#include "sim/types.hh"
+
+namespace vca::cpu {
+
+/** One architectural-state transfer memory operation. */
+struct TransferOp
+{
+    bool isStore = false;              ///< spill/save vs fill/restore
+    Addr addr = invalidAddr;           ///< memory address accessed
+    PhysRegIndex reg = invalidPhysReg; ///< fill target (VCA fills only)
+    ThreadId tid = 0;
+};
+
+/** What the pipeline must do after committing an instruction. */
+struct CommitAction
+{
+    bool windowTrap = false; ///< flush younger, stall, run performTrap()
+    unsigned stallCycles = 0;
+};
+
+class Renamer
+{
+  public:
+    virtual ~Renamer() = default;
+
+    /** Per-thread execution context (ABI flag for address generation). */
+    virtual void
+    setThreadContext(ThreadId tid, bool windowedAbi)
+    {
+        (void)tid;
+        (void)windowedAbi;
+    }
+
+    /** Called once at the top of each rename cycle (resets port use). */
+    virtual void beginCycle(Cycle now) { (void)now; }
+
+    /**
+     * Rename one instruction in program order. On success fills the
+     * inst's physical register fields and returns true. Returns false
+     * to stall (no free registers, table conflict, port/ASTQ limits);
+     * the caller retries the same instruction next cycle with no state
+     * to undo.
+     */
+    virtual bool rename(DynInst &inst, Cycle now) = 0;
+
+    /** In-order commit notification. */
+    virtual CommitAction commitInst(DynInst &inst) = 0;
+
+    /**
+     * Undo one squashed instruction's rename effects. Called
+     * youngest-first for every renamed instruction being flushed.
+     */
+    virtual void squashInst(DynInst &inst) = 0;
+
+    /**
+     * Execute a window trap requested by commitInst (the pipeline has
+     * already been flushed). Moves architectural values and enqueues
+     * the timing transfer ops.
+     */
+    virtual void performTrap(ThreadId tid) { (void)tid; }
+
+    /**
+     * Rename-stage stall cycles to rebuild the map after a mispredict
+     * (the P4-style commit-table walk of Section 2.1.3).
+     * @param instsBeforeBranch ROB entries between head and the branch
+     */
+    virtual unsigned
+    recoveryCycles(unsigned instsBeforeBranch) const
+    {
+        (void)instsBeforeBranch;
+        return 0;
+    }
+
+    /** Extra front-end stages (VCA's second rename stage, Figure 1). */
+    virtual unsigned extraFrontendCycles() const { return 0; }
+
+    // ---- Transfer-op service (driven by the LSU) ----
+
+    /** True if a transfer op is waiting to issue. */
+    virtual bool hasTransferOp() const { return false; }
+
+    /** Pop the head transfer op (only when hasTransferOp()). */
+    virtual TransferOp popTransferOp();
+
+    /** Notification that a popped transfer op's cache access finished. */
+    virtual void transferDone(const TransferOp &op) { (void)op; }
+
+    /**
+     * True while rename must stay blocked until transfers drain
+     * (conventional window traps serialize the pipeline; VCA transfers
+     * do not block).
+     */
+    virtual bool transfersBlockRename() const { return false; }
+
+    /** Internal-consistency check for tests (panics on violation). */
+    virtual void validate() const {}
+};
+
+} // namespace vca::cpu
+
+#endif // VCA_CPU_RENAMER_HH

@@ -1,0 +1,41 @@
+#include "cpu/tracer.hh"
+
+#include <iomanip>
+#include <memory>
+#include <sstream>
+
+namespace vca::cpu {
+
+std::string
+formatTraceLine(const OooCpu &cpu, const DynInst &inst,
+                const TraceOptions &opts)
+{
+    std::ostringstream os;
+    os << std::setw(10) << cpu.currentCycle() << ": T" << int(inst.tid)
+       << " " << std::setw(7) << inst.pc << ": "
+       << std::left << std::setw(24) << isa::disassemble(*inst.si)
+       << std::right;
+    if (opts.values && inst.si->hasDest) {
+        os << " D=0x" << std::hex << inst.result << std::dec;
+    }
+    if (opts.memAddrs && inst.si->isMem() && inst.effAddrValid) {
+        os << " A=0x" << std::hex << inst.effAddr << std::dec;
+    }
+    if (inst.mispredicted)
+        os << " [mispredicted]";
+    return os.str();
+}
+
+void
+attachCommitTracer(OooCpu &cpu, std::ostream &os, TraceOptions opts)
+{
+    auto count = std::make_shared<InstCount>(0);
+    cpu.setCommitHook([&cpu, &os, opts, count](const DynInst &inst) {
+        if (opts.maxInsts && *count >= opts.maxInsts)
+            return;
+        ++*count;
+        os << formatTraceLine(cpu, inst, opts) << '\n';
+    });
+}
+
+} // namespace vca::cpu

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Commit-stream tracing (M5's Exec trace flavour): one line per
+ * committed instruction with cycle, thread, pc, disassembly, and the
+ * produced value / effective address. Installed through the CPU's
+ * commit hook, so it composes with nothing else using that hook.
+ */
+
+#ifndef VCA_CPU_TRACER_HH
+#define VCA_CPU_TRACER_HH
+
+#include <ostream>
+
+#include "cpu/ooo_cpu.hh"
+
+namespace vca::cpu {
+
+struct TraceOptions
+{
+    InstCount maxInsts = 0; ///< stop tracing after this many (0 = all)
+    bool values = true;     ///< print destination values
+    bool memAddrs = true;   ///< print load/store effective addresses
+};
+
+/**
+ * Attach a commit tracer to the core. Replaces any existing commit
+ * hook. The stream must outlive the core.
+ */
+void attachCommitTracer(OooCpu &cpu, std::ostream &os,
+                        TraceOptions opts = {});
+
+/** Format one committed instruction as a trace line (no newline). */
+std::string formatTraceLine(const OooCpu &cpu, const DynInst &inst,
+                            const TraceOptions &opts);
+
+} // namespace vca::cpu
+
+#endif // VCA_CPU_TRACER_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Functional VRISC-64 simulator.
+ *
+ * Executes a Program architecturally (no timing) under either ABI. Used
+ * for: (1) measuring complete-program dynamic path lengths (paper
+ * Table 2 and the execution-time methodology of Section 3.1), (2) as
+ * the golden model the timing simulator's commit stream is checked
+ * against in the integration tests.
+ *
+ * Windowed-ABI register state is held at its memory-mapped logical
+ * register addresses (exactly the VCA model); a direct pointer to the
+ * current window frame is cached for speed since frames are aligned and
+ * never straddle pages.
+ */
+
+#ifndef VCA_FUNC_FUNC_SIM_HH
+#define VCA_FUNC_FUNC_SIM_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "isa/program.hh"
+#include "isa/registers.hh"
+#include "mem/sparse_memory.hh"
+#include "sim/types.hh"
+
+namespace vca::func {
+
+/** Aggregate execution statistics. */
+struct FuncSimStats
+{
+    InstCount insts = 0;
+    InstCount loads = 0;
+    InstCount stores = 0;
+    InstCount calls = 0;
+    InstCount condBranches = 0;
+    InstCount takenCondBranches = 0;
+    unsigned maxCallDepth = 0;
+};
+
+/** Record of the most recently executed instruction (for co-sim). */
+struct StepRecord
+{
+    Addr pc = 0;
+    Addr npc = 0;
+    bool hasDest = false;
+    isa::ArchReg dest{};
+    std::uint64_t destValue = 0;
+    bool isMem = false;
+    Addr effAddr = 0;
+    bool halted = false;
+};
+
+/** Load a program's data segments into a memory image. */
+void loadProgramData(const isa::Program &prog, mem::SparseMemory &memory);
+
+class FuncSim
+{
+  public:
+    /**
+     * @param prog   finalized program (determines the ABI)
+     * @param memory architectural memory (caller may pre-share/populate;
+     *               data segments are loaded by the constructor)
+     */
+    FuncSim(const isa::Program &prog, mem::SparseMemory &memory);
+
+    /** Execute one instruction; fills rec. Returns false once halted. */
+    bool step(StepRecord &rec);
+
+    /**
+     * Run until HALT or the instruction limit.
+     * @return statistics for the executed span
+     */
+    FuncSimStats run(InstCount maxInsts =
+                         std::numeric_limits<InstCount>::max());
+
+    bool halted() const { return halted_; }
+    Addr pc() const { return pc_; }
+    const FuncSimStats &stats() const { return stats_; }
+
+    /** Architectural register read (for tests). */
+    std::uint64_t readIntReg(RegIndex idx) const;
+    double readFloatReg(RegIndex idx) const;
+
+    /** Architectural register write (for tests / setup). */
+    void writeIntReg(RegIndex idx, std::uint64_t value);
+
+    /** Current window base pointer (windowed ABI only). */
+    Addr windowBase() const { return wbp_; }
+
+  private:
+    std::uint64_t readReg(isa::RegClass cls, RegIndex idx) const;
+    void writeReg(isa::RegClass cls, RegIndex idx, std::uint64_t value);
+    void refreshFrameCache();
+
+    const isa::Program &prog_;
+    mem::SparseMemory &mem_;
+    Addr pc_ = 0;
+    bool halted_ = false;
+    unsigned depth_ = 0;
+
+    // Non-windowed (and global) register state.
+    std::uint64_t intRegs_[isa::numIntRegs] = {};
+    std::uint64_t fpRegs_[isa::numFloatRegs] = {};
+
+    // Windowed state.
+    bool windowed_ = false;
+    Addr wbp_ = 0;
+
+    FuncSimStats stats_;
+};
+
+} // namespace vca::func
+
+#endif // VCA_FUNC_FUNC_SIM_HH

@@ -1,0 +1,329 @@
+#include "isa/inst.hh"
+
+#include <array>
+
+#include "sim/logging.hh"
+
+namespace vca::isa {
+
+namespace {
+
+constexpr std::uint32_t opShift = 24;
+constexpr std::uint32_t rdShift = 19;
+constexpr std::uint32_t rs1Shift = 14;
+constexpr std::uint32_t rs2Shift = 9;
+constexpr std::uint32_t regMask = 0x1f;
+constexpr std::uint32_t imm14Mask = 0x3fff;
+constexpr std::uint32_t imm24Mask = 0xffffff;
+
+std::int64_t
+signExtend14(std::uint32_t v)
+{
+    std::int64_t x = static_cast<std::int64_t>(v & imm14Mask);
+    if (x & (1 << 13))
+        x -= (1 << 14);
+    return x;
+}
+
+void
+checkReg(RegIndex r)
+{
+    if (r >= numIntRegs)
+        panic("register index %u out of range", unsigned(r));
+}
+
+void
+checkImm14(std::int32_t imm)
+{
+    if (imm < imm14Min || imm > imm14Max)
+        panic("imm14 %d out of range", imm);
+}
+
+struct OpInfo
+{
+    const char *mnemonic;
+    FuClass fu;
+};
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    static const std::array<OpInfo,
+        static_cast<size_t>(Opcode::NumOpcodes)> table = {{
+        {"nop", FuClass::None},
+        {"halt", FuClass::None},
+        {"add", FuClass::IntAlu}, {"sub", FuClass::IntAlu},
+        {"mul", FuClass::IntMul}, {"div", FuClass::IntDiv},
+        {"and", FuClass::IntAlu}, {"or", FuClass::IntAlu},
+        {"xor", FuClass::IntAlu}, {"sll", FuClass::IntAlu},
+        {"srl", FuClass::IntAlu}, {"sra", FuClass::IntAlu},
+        {"slt", FuClass::IntAlu}, {"sltu", FuClass::IntAlu},
+        {"addi", FuClass::IntAlu}, {"andi", FuClass::IntAlu},
+        {"ori", FuClass::IntAlu}, {"xori", FuClass::IntAlu},
+        {"slli", FuClass::IntAlu}, {"srli", FuClass::IntAlu},
+        {"srai", FuClass::IntAlu}, {"slti", FuClass::IntAlu},
+        {"lui", FuClass::IntAlu},
+        {"ld", FuClass::MemRead}, {"st", FuClass::MemWrite},
+        {"fld", FuClass::MemRead}, {"fst", FuClass::MemWrite},
+        {"fadd", FuClass::FpAlu}, {"fsub", FuClass::FpAlu},
+        {"fmul", FuClass::FpMul}, {"fdiv", FuClass::FpDiv},
+        {"fneg", FuClass::FpAlu}, {"fmov", FuClass::FpAlu},
+        {"fcvtif", FuClass::FpAlu}, {"fcvtfi", FuClass::FpAlu},
+        {"feq", FuClass::FpAlu}, {"flt", FuClass::FpAlu},
+        {"beq", FuClass::IntAlu}, {"bne", FuClass::IntAlu},
+        {"blt", FuClass::IntAlu}, {"bge", FuClass::IntAlu},
+        {"jmp", FuClass::None},
+        {"call", FuClass::IntAlu},
+        {"ret", FuClass::IntAlu},
+    }};
+    return table.at(static_cast<size_t>(op));
+}
+
+} // namespace
+
+std::uint32_t
+encodeR(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    checkReg(rd);
+    checkReg(rs1);
+    checkReg(rs2);
+    return (static_cast<std::uint32_t>(op) << opShift) |
+           (static_cast<std::uint32_t>(rd) << rdShift) |
+           (static_cast<std::uint32_t>(rs1) << rs1Shift) |
+           (static_cast<std::uint32_t>(rs2) << rs2Shift);
+}
+
+std::uint32_t
+encodeI(Opcode op, RegIndex rd, RegIndex rs1, std::int32_t imm14)
+{
+    checkReg(rd);
+    checkReg(rs1);
+    checkImm14(imm14);
+    return (static_cast<std::uint32_t>(op) << opShift) |
+           (static_cast<std::uint32_t>(rd) << rdShift) |
+           (static_cast<std::uint32_t>(rs1) << rs1Shift) |
+           (static_cast<std::uint32_t>(imm14) & imm14Mask);
+}
+
+std::uint32_t
+encodeB(Opcode op, RegIndex rs1, RegIndex rs2, std::int32_t imm14)
+{
+    checkReg(rs1);
+    checkReg(rs2);
+    checkImm14(imm14);
+    return (static_cast<std::uint32_t>(op) << opShift) |
+           (static_cast<std::uint32_t>(rs1) << rdShift) |
+           (static_cast<std::uint32_t>(rs2) << rs1Shift) |
+           (static_cast<std::uint32_t>(imm14) & imm14Mask);
+}
+
+std::uint32_t
+encodeJ(Opcode op, std::uint32_t target24)
+{
+    if (target24 > imm24Max)
+        panic("jump target %u out of range", target24);
+    return (static_cast<std::uint32_t>(op) << opShift) |
+           (target24 & imm24Mask);
+}
+
+StaticInst
+decode(std::uint32_t word)
+{
+    StaticInst inst;
+    auto opRaw = static_cast<std::uint8_t>(word >> opShift);
+    if (opRaw >= static_cast<std::uint8_t>(Opcode::NumOpcodes))
+        opRaw = static_cast<std::uint8_t>(Opcode::Halt);
+    const auto op = static_cast<Opcode>(opRaw);
+    inst.op = op;
+    inst.fu = opInfo(op).fu;
+
+    const auto rd = static_cast<RegIndex>((word >> rdShift) & regMask);
+    const auto rs1 = static_cast<RegIndex>((word >> rs1Shift) & regMask);
+    const auto rs2 = static_cast<RegIndex>((word >> rs2Shift) & regMask);
+
+    auto setDest = [&](RegClass cls, RegIndex idx) {
+        // Writes to the integer zero register are architectural no-ops;
+        // drop the destination so rename never allocates for them.
+        if (cls == RegClass::Int && idx == regZero)
+            return;
+        inst.dest = {cls, idx};
+        inst.hasDest = true;
+    };
+    auto addSrc = [&](RegClass cls, RegIndex idx) {
+        const unsigned slot = inst.numSrcs++;
+        inst.src[slot] = {cls, idx};
+        // Reads of integer r0 are constant zero and need no rename
+        // (f0 is a normal register).
+        inst.srcValid[slot] = !(cls == RegClass::Int && idx == regZero);
+    };
+
+    switch (op) {
+      case Opcode::Nop:
+        inst.isNop = true;
+        break;
+      case Opcode::Halt:
+        inst.isHalt = true;
+        break;
+
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::And: case Opcode::Or:
+      case Opcode::Xor: case Opcode::Sll: case Opcode::Srl:
+      case Opcode::Sra: case Opcode::Slt: case Opcode::Sltu:
+        setDest(RegClass::Int, rd);
+        addSrc(RegClass::Int, rs1);
+        addSrc(RegClass::Int, rs2);
+        break;
+
+      case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+      case Opcode::Xori: case Opcode::Slli: case Opcode::Srli:
+      case Opcode::Srai: case Opcode::Slti:
+        setDest(RegClass::Int, rd);
+        addSrc(RegClass::Int, rs1);
+        inst.imm = signExtend14(word);
+        break;
+
+      case Opcode::Lui:
+        setDest(RegClass::Int, rd);
+        inst.imm = signExtend14(word) << 18;
+        break;
+
+      case Opcode::Ld:
+        setDest(RegClass::Int, rd);
+        addSrc(RegClass::Int, rs1);
+        inst.imm = signExtend14(word);
+        inst.isLoad = true;
+        break;
+      case Opcode::Fld:
+        setDest(RegClass::Float, rd);
+        addSrc(RegClass::Int, rs1);
+        inst.imm = signExtend14(word);
+        inst.isLoad = true;
+        inst.isFloat = true;
+        break;
+
+      case Opcode::St: {
+        // B format: rs1 (base) in rd field, rs2 (data) in rs1 field.
+        const auto base = rd;
+        const auto data = rs1;
+        addSrc(RegClass::Int, base);
+        addSrc(RegClass::Int, data);
+        inst.imm = signExtend14(word);
+        inst.isStore = true;
+        break;
+      }
+      case Opcode::Fst: {
+        const auto base = rd;
+        const auto data = rs1;
+        addSrc(RegClass::Int, base);
+        addSrc(RegClass::Float, data);
+        inst.imm = signExtend14(word);
+        inst.isStore = true;
+        inst.isFloat = true;
+        break;
+      }
+
+      case Opcode::Fadd: case Opcode::Fsub: case Opcode::Fmul:
+      case Opcode::Fdiv:
+        setDest(RegClass::Float, rd);
+        addSrc(RegClass::Float, rs1);
+        addSrc(RegClass::Float, rs2);
+        inst.isFloat = true;
+        break;
+      case Opcode::Fneg: case Opcode::Fmov:
+        setDest(RegClass::Float, rd);
+        addSrc(RegClass::Float, rs1);
+        inst.isFloat = true;
+        break;
+      case Opcode::Fcvtif:
+        setDest(RegClass::Float, rd);
+        addSrc(RegClass::Int, rs1);
+        inst.isFloat = true;
+        break;
+      case Opcode::Fcvtfi:
+        setDest(RegClass::Int, rd);
+        addSrc(RegClass::Float, rs1);
+        inst.isFloat = true;
+        break;
+      case Opcode::Feq: case Opcode::Flt:
+        setDest(RegClass::Int, rd);
+        addSrc(RegClass::Float, rs1);
+        addSrc(RegClass::Float, rs2);
+        inst.isFloat = true;
+        break;
+
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge:
+        addSrc(RegClass::Int, rd);   // B format: rs1 lives in rd field
+        addSrc(RegClass::Int, rs1);
+        inst.imm = signExtend14(word);
+        inst.isBranch = true;
+        break;
+
+      case Opcode::Jmp:
+        inst.imm = static_cast<std::int64_t>(word & imm24Mask);
+        inst.isJump = true;
+        break;
+      case Opcode::Call:
+        inst.imm = static_cast<std::int64_t>(word & imm24Mask);
+        setDest(RegClass::Int, regRa);
+        inst.isCall = true;
+        break;
+      case Opcode::Ret:
+        addSrc(RegClass::Int, regRa);
+        inst.isRet = true;
+        break;
+
+      default:
+        panic("decode: unhandled opcode %u", unsigned(opRaw));
+    }
+    return inst;
+}
+
+std::string
+disassemble(const StaticInst &inst)
+{
+    std::string s = opInfo(inst.op).mnemonic;
+    auto regName = [](const ArchReg &r) {
+        return std::string(r.cls == RegClass::Int ? "r" : "f") +
+               std::to_string(r.idx);
+    };
+    if (inst.hasDest)
+        s += " " + regName(inst.dest);
+    for (unsigned i = 0; i < inst.numSrcs; ++i) {
+        s += std::string(i == 0 && !inst.hasDest ? " " : ", ");
+        s += inst.srcValid[i] ? regName(inst.src[i]) : std::string("r0");
+    }
+    if (inst.imm != 0 || inst.isJump || inst.isCall || inst.isBranch ||
+        inst.op == Opcode::Ld || inst.op == Opcode::St ||
+        inst.op == Opcode::Fld || inst.op == Opcode::Fst ||
+        inst.op == Opcode::Addi || inst.op == Opcode::Lui) {
+        s += (inst.hasDest || inst.numSrcs) ? ", " : " ";
+        s += std::to_string(inst.imm);
+    }
+    return s;
+}
+
+std::string
+disassemble(std::uint32_t word)
+{
+    return disassemble(decode(word));
+}
+
+unsigned
+fuLatency(FuClass fu)
+{
+    switch (fu) {
+      case FuClass::IntAlu:   return 1;
+      case FuClass::IntMul:   return 3;
+      case FuClass::IntDiv:   return 12;
+      case FuClass::FpAlu:    return 4;
+      case FuClass::FpMul:    return 4;
+      case FuClass::FpDiv:    return 12;
+      case FuClass::MemRead:  return 1; // address generation; cache adds more
+      case FuClass::MemWrite: return 1;
+      case FuClass::None:     return 1;
+    }
+    return 1;
+}
+
+} // namespace vca::isa

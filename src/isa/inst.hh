@@ -1,0 +1,145 @@
+/**
+ * @file
+ * VRISC-64 instruction set: opcodes, decoded-instruction record,
+ * encode/decode and disassembly.
+ *
+ * Encoding formats (32-bit words):
+ *   R:  op[31:24] rd[23:19] rs1[18:14] rs2[13:9]  unused[8:0]
+ *   I:  op[31:24] rd[23:19] rs1[18:14] imm14[13:0] (sign extended)
+ *   B:  op[31:24] rs1[23:19] rs2[18:14] imm14[13:0] (instruction offset)
+ *   J:  op[31:24] imm24[23:0] (absolute instruction index)
+ *
+ * PCs count instructions (a PC of n refers to code word n); byte
+ * addresses for the I-cache are pc * 4 within the code segment.
+ */
+
+#ifndef VCA_ISA_INST_HH
+#define VCA_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/registers.hh"
+#include "sim/types.hh"
+
+namespace vca::isa {
+
+/** Every VRISC-64 operation. */
+enum class Opcode : std::uint8_t
+{
+    Nop = 0,
+    Halt,
+
+    // Integer register-register.
+    Add, Sub, Mul, Div, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu,
+
+    // Integer immediate.
+    Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti,
+    Lui, ///< rd = imm14 << 18 (build large constants with Lui+Ori chains)
+
+    // Memory (8-byte).
+    Ld,  ///< rd  = mem[rs1 + imm]
+    St,  ///< mem[rs1 + imm] = rs2  (encoded in B format: rs1 base, rs2 data)
+    Fld, ///< fd  = mem[rs1 + imm]
+    Fst, ///< mem[rs1 + imm] = fs2
+
+    // Floating point (operate on f registers, IEEE double).
+    Fadd, Fsub, Fmul, Fdiv,
+    Fneg,        ///< fd = -fs1
+    Fmov,        ///< fd = fs1
+    Fcvtif,      ///< fd = double(int rs1)
+    Fcvtfi,      ///< rd = int64(fs1)
+    Feq, Flt,    ///< int rd = compare(fs1, fs2)
+
+    // Control.
+    Beq, Bne, Blt, Bge, ///< compare rs1, rs2; target = pc + 1 + imm14
+    Jmp,   ///< unconditional, J format, absolute target
+    Call,  ///< J format: ra = pc + 1 (into the new window when windowed),
+           ///< jump to target; windowed ABI shifts the register window
+    Ret,   ///< jump to ra; windowed ABI shifts the window back
+
+    NumOpcodes
+};
+
+/** Functional-unit class an instruction executes on. */
+enum class FuClass : std::uint8_t
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAlu,
+    FpMul,
+    FpDiv,
+    MemRead,
+    MemWrite,
+    None, ///< Nop / Halt / direct jumps resolved at decode
+};
+
+/** A fully decoded instruction (the static part; no dynamic state). */
+struct StaticInst
+{
+    Opcode op = Opcode::Nop;
+
+    /** Destination (valid iff hasDest). */
+    ArchReg dest{};
+    bool hasDest = false;
+
+    /**
+     * Positional sources. numSrcs is fixed by the opcode; srcValid[i]
+     * is false when the operand is the integer zero register (reads as
+     * constant 0 and needs no rename).
+     */
+    ArchReg src[2]{};
+    bool srcValid[2] = {false, false};
+    unsigned numSrcs = 0;
+
+    std::int64_t imm = 0;
+
+    // Classification flags.
+    bool isLoad = false;
+    bool isStore = false;
+    bool isBranch = false;    ///< conditional branch
+    bool isJump = false;      ///< unconditional direct jump
+    bool isCall = false;
+    bool isRet = false;
+    bool isHalt = false;
+    bool isNop = false;
+    bool isFloat = false;     ///< executes on an FP unit
+
+    FuClass fu = FuClass::None;
+
+    /** True for any instruction that can redirect the PC. */
+    bool isControl() const { return isBranch || isJump || isCall || isRet; }
+    bool isMem() const { return isLoad || isStore; }
+};
+
+/** Encode helpers (used by the assembler / workload generator). */
+std::uint32_t encodeR(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2);
+std::uint32_t encodeI(Opcode op, RegIndex rd, RegIndex rs1,
+                      std::int32_t imm14);
+std::uint32_t encodeB(Opcode op, RegIndex rs1, RegIndex rs2,
+                      std::int32_t imm14);
+std::uint32_t encodeJ(Opcode op, std::uint32_t target24);
+
+/**
+ * Decode one 32-bit code word.
+ * Unknown opcodes decode to Halt (defensive: running off the end of a
+ * program stops it rather than executing garbage).
+ */
+StaticInst decode(std::uint32_t word);
+
+/** Human-readable disassembly (for tests and debug traces). */
+std::string disassemble(const StaticInst &inst);
+std::string disassemble(std::uint32_t word);
+
+/** Execution latency (cycles in a functional unit) for an opcode class. */
+unsigned fuLatency(FuClass fu);
+
+/** Immediate field limits. */
+constexpr std::int32_t imm14Min = -(1 << 13);
+constexpr std::int32_t imm14Max = (1 << 13) - 1;
+constexpr std::uint32_t imm24Max = (1u << 24) - 1;
+
+} // namespace vca::isa
+
+#endif // VCA_ISA_INST_HH

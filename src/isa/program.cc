@@ -1,0 +1,29 @@
+#include "isa/program.hh"
+
+#include "sim/logging.hh"
+
+namespace vca::isa {
+
+void
+Program::finalize()
+{
+    decoded_.clear();
+    decoded_.reserve(code.size());
+    for (std::uint32_t word : code)
+        decoded_.push_back(decode(word));
+    haltInst_ = decode(encodeJ(Opcode::Halt, 0));
+    if (entry >= code.size() && !code.empty())
+        panic("program '%s': entry %llu outside code (%zu words)",
+              name.c_str(), static_cast<unsigned long long>(entry),
+              code.size());
+}
+
+const StaticInst &
+Program::inst(Addr pc) const
+{
+    if (pc < decoded_.size())
+        return decoded_[pc];
+    return haltInst_;
+}
+
+} // namespace vca::isa

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * An executable VRISC-64 program image plus the simulated address-space
+ * layout shared by the functional and timing simulators.
+ */
+
+#ifndef VCA_ISA_PROGRAM_HH
+#define VCA_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "isa/registers.hh"
+#include "sim/types.hh"
+
+namespace vca::isa {
+
+/**
+ * Simulated virtual address-space layout (per thread).
+ *
+ * The VCA register backing store lives in a dedicated region far from
+ * code/data/stack; the windowed base pointer starts high in that region
+ * and moves down one frame per call, exactly like a register stack.
+ */
+namespace layout {
+
+constexpr Addr codeBase = 0x0001'0000;
+constexpr Addr dataBase = 0x1000'0000;
+constexpr Addr stackTop = 0x7fff'ff00;
+
+/** Base of the memory-mapped logical-register space. */
+constexpr Addr regSpaceBase = 0x6000'0000'0000ULL;
+
+/** Bytes per logical register slot. */
+constexpr Addr regSlotBytes = 8;
+
+/**
+ * Bytes per window frame in the register space: exactly the 47
+ * architecturally windowed slots, densely packed. Dense packing
+ * matters: the VCA rename table is indexed by the low address bits
+ * (paper Figure 3), and since gcd(47, 64) == 1 consecutive window
+ * frames spread across all 64 sets instead of colliding set-for-set
+ * (which a power-of-two frame stride would cause).
+ */
+constexpr Addr windowFrameBytes = windowSlots * regSlotBytes;
+
+/** Global (non-windowed) register frame for a thread. */
+constexpr Addr globalFrameBytes = 256;
+
+/** Initial windowed base pointer: frames grow downward from here. */
+constexpr Addr windowStackTop = regSpaceBase + 0x0100'0000;
+
+/**
+ * Spacing between the register spaces of different hardware threads.
+ * Distinct per-thread base pointers give every logical register a
+ * globally unique memory address, which is what lets a single VCA
+ * rename table serve all threads (paper Section 2.1.4).
+ */
+constexpr Addr threadRegionBytes = 0x0200'0000;
+
+/** Byte address of the code word at instruction index pc. */
+constexpr Addr pcToAddr(Addr pc) { return codeBase + pc * 4; }
+
+/** Global base pointer for a thread's non-windowed registers. */
+constexpr Addr
+globalBasePointer(unsigned tid = 0)
+{
+    return regSpaceBase + Addr(tid) * threadRegionBytes;
+}
+
+/** Initial windowed base pointer for a thread. */
+constexpr Addr
+initialWindowPointer(unsigned tid = 0)
+{
+    return regSpaceBase + Addr(tid) * threadRegionBytes + 0x0100'0000 -
+           windowFrameBytes;
+}
+
+/** Thread id owning a logical-register address. */
+constexpr unsigned
+regSpaceThread(Addr addr)
+{
+    return static_cast<unsigned>((addr - regSpaceBase) /
+                                 threadRegionBytes);
+}
+
+} // namespace layout
+
+/** One initialized data region in the program image. */
+struct DataSegment
+{
+    Addr base = 0;
+    std::vector<std::uint64_t> words;
+};
+
+/**
+ * A complete program: code, initial data, entry point and ABI metadata.
+ */
+class Program
+{
+  public:
+    std::string name;
+    bool windowedAbi = false;
+    Addr entry = 0; ///< instruction index of the first instruction
+    std::vector<std::uint32_t> code;
+    std::vector<DataSegment> data;
+
+    /** Decode the code image; must be called after code is final. */
+    void finalize();
+
+    bool finalized() const { return decoded_.size() == code.size(); }
+
+    /** Decoded instruction at pc (Halt outside the image). */
+    const StaticInst &inst(Addr pc) const;
+
+    size_t size() const { return code.size(); }
+
+  private:
+    std::vector<StaticInst> decoded_;
+    StaticInst haltInst_;
+};
+
+} // namespace vca::isa
+
+#endif // VCA_ISA_PROGRAM_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * VRISC-64 architectural register definitions and ABI partition.
+ *
+ * VRISC-64 is the Alpha-like ISA this reproduction uses in place of the
+ * paper's Alpha variant. It has 32 integer and 32 floating-point
+ * registers. Following Section 3.1 of the paper, registers that
+ * communicate values across a function call (stack pointer, argument and
+ * return-value registers, the zero register) are *non-windowed*
+ * ("global"); all others are *windowed* and change identity on
+ * call/return when the program uses the windowed ABI.
+ *
+ * Integer ABI:
+ *   r0        zero            global
+ *   r1        ra              windowed (written into the callee's window)
+ *   r2        sp              global
+ *   r3        gp              global
+ *   r4..r9    a0..a5 / rv=a0  global
+ *   r10..r31  t/s registers   windowed
+ * FP ABI:
+ *   f0..f7    fa0..fa7        global
+ *   f8..f31   ft/fs registers windowed
+ */
+
+#ifndef VCA_ISA_REGISTERS_HH
+#define VCA_ISA_REGISTERS_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace vca::isa {
+
+/** Register class: integer or floating point. */
+enum class RegClass : std::uint8_t { Int = 0, Float = 1 };
+
+/** Number of architectural registers per class. */
+constexpr unsigned numIntRegs = 32;
+constexpr unsigned numFloatRegs = 32;
+constexpr unsigned numArchRegs = numIntRegs + numFloatRegs;
+
+/** Well-known integer registers. */
+constexpr RegIndex regZero = 0;
+constexpr RegIndex regRa = 1;
+constexpr RegIndex regSp = 2;
+constexpr RegIndex regGp = 3;
+constexpr RegIndex regArg0 = 4;
+constexpr RegIndex regArg5 = 9;
+constexpr RegIndex regRv = 4;
+constexpr RegIndex firstIntTemp = 10;
+
+/** A (class, index) pair naming one architectural register. */
+struct ArchReg
+{
+    RegClass cls = RegClass::Int;
+    RegIndex idx = 0;
+
+    bool operator==(const ArchReg &) const = default;
+};
+
+/** True if the register is windowed under the windowed ABI. */
+constexpr bool
+isWindowed(RegClass cls, RegIndex idx)
+{
+    if (cls == RegClass::Int)
+        return idx == regRa || idx >= firstIntTemp;
+    return idx >= 8;
+}
+
+/** Number of windowed registers in one window frame. */
+constexpr unsigned numWindowedInt = 1 + (numIntRegs - firstIntTemp); // 23
+constexpr unsigned numWindowedFloat = numFloatRegs - 8;              // 24
+constexpr unsigned windowSlots = numWindowedInt + numWindowedFloat;  // 47
+
+/** Number of global (non-windowed) registers. */
+constexpr unsigned numGlobalInt = numIntRegs - numWindowedInt;   // 9
+constexpr unsigned numGlobalFloat = numFloatRegs - numWindowedFloat; // 8
+constexpr unsigned globalSlots = numGlobalInt + numGlobalFloat;  // 17
+
+/**
+ * Dense slot index of a register within its partition.
+ *
+ * Windowed registers get offsets 0..windowSlots-1 within a window frame;
+ * global registers get offsets 0..globalSlots-1 within the global frame.
+ * The mapping is a compile-time bijection used both by the VCA address
+ * generation and by the conventional-window logical register file.
+ */
+constexpr unsigned
+windowSlot(RegClass cls, RegIndex idx)
+{
+    if (cls == RegClass::Int)
+        return idx == regRa ? 0u : 1u + (idx - firstIntTemp);
+    return numWindowedInt + (idx - 8);
+}
+
+constexpr unsigned
+globalSlot(RegClass cls, RegIndex idx)
+{
+    // Int globals are r0 and r2..r9 (r1 is windowed), packed densely.
+    if (cls == RegClass::Int)
+        return idx == 0 ? 0u : idx - 1;
+    return numGlobalInt + idx; // f0..f7
+}
+
+/** Flat architectural index in [0, numArchRegs): ints then floats. */
+constexpr unsigned
+flatIndex(RegClass cls, RegIndex idx)
+{
+    return (cls == RegClass::Int ? 0u : numIntRegs) + idx;
+}
+
+constexpr ArchReg
+fromFlatIndex(unsigned flat)
+{
+    if (flat < numIntRegs)
+        return {RegClass::Int, static_cast<RegIndex>(flat)};
+    return {RegClass::Float, static_cast<RegIndex>(flat - numIntRegs)};
+}
+
+} // namespace vca::isa
+
+#endif // VCA_ISA_REGISTERS_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Set-associative cache timing model.
+ *
+ * The caches model tags, LRU replacement, writebacks, and outstanding
+ * misses (MSHR-style merging of accesses to an in-flight line). They do
+ * not hold data: architectural data lives in SparseMemory, which is what
+ * an execution-driven timing CPU reads/writes; the cache answers "how
+ * long does this access take" and keeps the access statistics the
+ * paper's Figures 5 and 6 are built from.
+ */
+
+#ifndef VCA_MEM_CACHE_HH
+#define VCA_MEM_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+#include "stats/statistics.hh"
+
+namespace vca::mem {
+
+/** Configuration for one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * 1024;
+    unsigned assoc = 4;
+    unsigned lineBytes = 64;
+    unsigned hitLatency = 3;
+    unsigned mshrs = 16; ///< max distinct lines in flight
+};
+
+/** Result of a timing access. */
+struct AccessResult
+{
+    bool accepted = true;  ///< false => out of MSHRs, retry next cycle
+    bool hit = true;
+    Cycle latency = 0;     ///< total cycles until data available
+};
+
+/**
+ * One cache level. Levels are chained via the next pointer; the last
+ * level's misses cost memLatency.
+ */
+class Cache : public stats::StatGroup
+{
+  public:
+    Cache(const CacheParams &params, Cache *next, unsigned memLatency,
+          stats::StatGroup *parent);
+
+    /**
+     * Perform a timing access.
+     * @param addr   byte address (already thread-tagged for SMT)
+     * @param write  true for stores / spills
+     * @param now    current cycle
+     */
+    AccessResult access(Addr addr, bool write, Cycle now);
+
+    /** Invalidate all tags (used between warm-up configurations). */
+    void invalidateAll();
+
+    const CacheParams &params() const { return params_; }
+
+    // Statistics (public so formulas/benches can read them).
+    stats::Scalar accesses;
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar writebacks;
+    stats::Scalar mshrRejects;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        Cycle lruStamp = 0;
+    };
+
+    Addr lineAddr(Addr addr) const { return addr / params_.lineBytes; }
+    size_t setIndex(Addr line) const { return line % numSets_; }
+
+    /** Latency for fetching a line from the next level downward. */
+    Cycle fillLatency(Addr addr, bool write, Cycle now);
+
+    CacheParams params_;
+    Cache *next_;
+    unsigned memLatency_;
+    size_t numSets_;
+    std::vector<Line> lines_; ///< numSets x assoc
+    Cycle stamp_ = 0;
+
+    /** In-flight misses: line address -> cycle the fill completes. */
+    std::unordered_map<Addr, Cycle> inflight_;
+};
+
+/** Parameters for the whole hierarchy (paper Table 1 defaults). */
+struct MemSystemParams
+{
+    CacheParams il1{"icache", 64 * 1024, 4, 64, 1, 16};
+    CacheParams dl1{"dcache", 64 * 1024, 4, 64, 3, 16};
+    CacheParams l2{"l2", 1024 * 1024, 4, 64, 15, 32};
+    unsigned memLatency = 250;
+};
+
+/**
+ * The L1I/L1D/shared-L2/memory hierarchy.
+ *
+ * Port arbitration is the CPU's job (the LSU issues at most dcachePorts
+ * operations per cycle); the hierarchy provides latencies and counts.
+ */
+class MemSystem : public stats::StatGroup
+{
+  public:
+    explicit MemSystem(const MemSystemParams &params,
+                       stats::StatGroup *parent = nullptr);
+
+    AccessResult instAccess(Addr addr, Cycle now);
+    AccessResult dataAccess(Addr addr, bool write, Cycle now);
+
+    void invalidateAll();
+
+    Cache &icache() { return il1_; }
+    Cache &dcache() { return dl1_; }
+    Cache &l2() { return l2_; }
+
+    /** Tag an address with a thread id to model distinct address spaces. */
+    static Addr
+    threadTag(ThreadId tid, Addr addr)
+    {
+        return (Addr(tid) << 48) | addr;
+    }
+
+  private:
+    Cache l2_;
+    Cache il1_;
+    Cache dl1_;
+};
+
+} // namespace vca::mem
+
+#endif // VCA_MEM_CACHE_HH

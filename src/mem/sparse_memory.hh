@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Sparse paged functional memory.
+ *
+ * Holds the architectural memory contents of one simulated address
+ * space. Pages are allocated on first touch and zero-filled, so reads of
+ * untouched memory (e.g. down a mispredicted path) return 0 instead of
+ * faulting.
+ */
+
+#ifndef VCA_MEM_SPARSE_MEMORY_HH
+#define VCA_MEM_SPARSE_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace vca::mem {
+
+class SparseMemory
+{
+  public:
+    static constexpr unsigned pageShift = 12;
+    static constexpr Addr pageBytes = Addr(1) << pageShift;
+    static constexpr unsigned wordsPerPage = pageBytes / 8;
+
+    /** Read an aligned 64-bit word (unaligned addresses are rounded). */
+    std::uint64_t
+    read(Addr addr) const
+    {
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        return (*page)[wordIndex(addr)];
+    }
+
+    /** Write an aligned 64-bit word. */
+    void
+    write(Addr addr, std::uint64_t value)
+    {
+        Page &page = getPage(addr);
+        page[wordIndex(addr)] = value;
+    }
+
+    /** Read as IEEE double (bit pattern reinterpretation). */
+    double
+    readDouble(Addr addr) const
+    {
+        std::uint64_t bits = read(addr);
+        double d;
+        static_assert(sizeof(d) == sizeof(bits));
+        __builtin_memcpy(&d, &bits, sizeof(d));
+        return d;
+    }
+
+    void
+    writeDouble(Addr addr, double value)
+    {
+        std::uint64_t bits;
+        __builtin_memcpy(&bits, &value, sizeof(bits));
+        write(addr, bits);
+    }
+
+    /** Number of pages currently allocated (for tests / footprint). */
+    size_t allocatedPages() const { return pages_.size(); }
+
+    /** Drop all contents. */
+    void clear() { pages_.clear(); }
+
+  private:
+    using Page = std::vector<std::uint64_t>;
+
+    static Addr pageNumber(Addr addr) { return addr >> pageShift; }
+
+    static unsigned
+    wordIndex(Addr addr)
+    {
+        return static_cast<unsigned>((addr & (pageBytes - 1)) >> 3);
+    }
+
+    const Page *
+    findPage(Addr addr) const
+    {
+        auto it = pages_.find(pageNumber(addr));
+        return it == pages_.end() ? nullptr : &it->second;
+    }
+
+    Page &
+    getPage(Addr addr)
+    {
+        auto [it, inserted] = pages_.try_emplace(pageNumber(addr));
+        if (inserted)
+            it->second.assign(wordsPerPage, 0);
+        return it->second;
+    }
+
+    std::unordered_map<Addr, Page> pages_;
+};
+
+} // namespace vca::mem
+
+#endif // VCA_MEM_SPARSE_MEMORY_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal command-line option parsing for the simulator tools.
+ *
+ * Accepts --key=value and --key value forms plus boolean flags
+ * (--flag / --no-flag). Unknown options are errors; a usage table is
+ * generated from the registered options.
+ */
+
+#ifndef VCA_SIM_OPTIONS_HH
+#define VCA_SIM_OPTIONS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vca {
+
+class Options
+{
+  public:
+    /** Register an option with a default value and help text. */
+    void add(const std::string &name, const std::string &defaultValue,
+             const std::string &help);
+
+    /**
+     * Parse argv. Returns false (and fills error()) on unknown options
+     * or missing values. Non-option arguments land in positional().
+     */
+    bool parse(int argc, const char *const *argv);
+
+    std::string get(const std::string &name) const;
+    std::uint64_t getU64(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+    const std::string &error() const { return error_; }
+
+    /** Formatted usage listing of all registered options. */
+    std::string usage(const std::string &program) const;
+
+  private:
+    struct Opt
+    {
+        std::string value;
+        std::string defaultValue;
+        std::string help;
+    };
+
+    std::map<std::string, Opt> opts_;
+    std::vector<std::string> positional_;
+    std::string error_;
+};
+
+} // namespace vca
+
+#endif // VCA_SIM_OPTIONS_HH

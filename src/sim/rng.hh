@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every stochastic element of the simulator (workload generation, tie
+ * breaking) draws from an explicitly seeded Rng so that runs are exactly
+ * reproducible across platforms; std::mt19937 distributions are not
+ * guaranteed identical across standard libraries, so we implement our own
+ * generator and derived draws.
+ */
+
+#ifndef VCA_SIM_RNG_HH
+#define VCA_SIM_RNG_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace vca {
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 expansion of the seed into 4 state words.
+        for (auto &word : state_) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            panic("Rng::below called with bound 0");
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        if (hi < lo)
+            panic("Rng::range called with hi < lo");
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric-ish draw: number of successes before failure, capped.
+     * Used for call-depth and run-length distributions.
+     */
+    unsigned
+    geometric(double p_continue, unsigned cap)
+    {
+        unsigned n = 0;
+        while (n < cap && chance(p_continue))
+            ++n;
+        return n;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace vca
+
+#endif // VCA_SIM_RNG_HH

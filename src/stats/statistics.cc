@@ -1,0 +1,207 @@
+#include "stats/statistics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace vca::stats {
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    if (!parent)
+        panic("stat '%s' created without a parent group", name_.c_str());
+    parent->addStat(this);
+}
+
+namespace {
+
+void
+printLine(std::ostream &os, const std::string &name, double value,
+          const std::string &desc)
+{
+    os << std::left << std::setw(40) << name << " "
+       << std::right << std::setw(16) << std::setprecision(6) << value
+       << "  # " << desc << "\n";
+}
+
+} // namespace
+
+void
+Scalar::print(std::ostream &os) const
+{
+    printLine(os, name(), value_, desc());
+}
+
+void
+Average::print(std::ostream &os) const
+{
+    printLine(os, name() + ".mean", mean(), desc());
+    printLine(os, name() + ".count", static_cast<double>(count_), desc());
+}
+
+Distribution::Distribution(StatGroup *parent, std::string name,
+                           std::string desc, double min, double max,
+                           unsigned buckets)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      min_(min), max_(max)
+{
+    if (max <= min)
+        panic("Distribution '%s': max <= min", this->name().c_str());
+    if (buckets == 0)
+        panic("Distribution '%s': zero buckets", this->name().c_str());
+    bucketSize_ = (max - min) / buckets;
+    counts_.assign(buckets, 0);
+}
+
+void
+Distribution::sample(double v, std::uint64_t n)
+{
+    if (samples_ == 0) {
+        minSampled_ = v;
+        maxSampled_ = v;
+    } else {
+        minSampled_ = std::min(minSampled_, v);
+        maxSampled_ = std::max(maxSampled_, v);
+    }
+    samples_ += n;
+    sum_ += v * n;
+
+    if (v < min_) {
+        underflow_ += n;
+    } else if (v >= max_) {
+        overflow_ += n;
+    } else {
+        auto idx = static_cast<size_t>((v - min_) / bucketSize_);
+        idx = std::min(idx, counts_.size() - 1);
+        counts_[idx] += n;
+    }
+}
+
+void
+Distribution::print(std::ostream &os) const
+{
+    printLine(os, name() + ".samples", static_cast<double>(samples_), desc());
+    printLine(os, name() + ".mean", mean(), desc());
+    printLine(os, name() + ".min", minSampled_, desc());
+    printLine(os, name() + ".max", maxSampled_, desc());
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        double lo = min_ + bucketSize_ * static_cast<double>(i);
+        os << std::left << std::setw(40)
+           << (name() + "[" + std::to_string(lo) + "]") << " "
+           << std::right << std::setw(16) << counts_[i] << "\n";
+    }
+}
+
+void
+Distribution::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    samples_ = 0;
+    sum_ = 0;
+    minSampled_ = 0;
+    maxSampled_ = 0;
+}
+
+void
+Formula::print(std::ostream &os) const
+{
+    printLine(os, name(), value(), desc());
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->addChild(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_)
+        parent_->removeChild(this);
+}
+
+std::string
+StatGroup::path() const
+{
+    if (!parent_ || parent_->name_.empty())
+        return name_;
+    return parent_->path() + "." + name_;
+}
+
+void
+StatGroup::addStat(StatBase *stat)
+{
+    stats_.push_back(stat);
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+void
+StatGroup::removeChild(StatGroup *child)
+{
+    auto it = std::find(children_.begin(), children_.end(), child);
+    if (it != children_.end())
+        children_.erase(it);
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    std::vector<StatBase *> sorted = stats_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const StatBase *a, const StatBase *b) {
+                  return a->name() < b->name();
+              });
+    std::string prefix = path();
+    for (const StatBase *s : sorted) {
+        // Temporarily prepend the group path when printing.
+        std::ostringstream line;
+        s->print(line);
+        std::string text = line.str();
+        // Prefix every line with the group path.
+        size_t pos = 0;
+        while (pos < text.size()) {
+            size_t end = text.find('\n', pos);
+            if (end == std::string::npos)
+                end = text.size();
+            if (!prefix.empty())
+                os << prefix << ".";
+            os << text.substr(pos, end - pos) << "\n";
+            pos = end + 1;
+        }
+    }
+    for (const StatGroup *child : children_)
+        child->dump(os);
+}
+
+void
+StatGroup::resetStats()
+{
+    for (StatBase *s : stats_)
+        s->reset();
+    for (StatGroup *child : children_)
+        child->resetStats();
+}
+
+const StatBase *
+StatGroup::find(const std::string &name) const
+{
+    for (const StatBase *s : stats_) {
+        if (s->name() == name)
+            return s;
+    }
+    return nullptr;
+}
+
+} // namespace vca::stats

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Statistics are registered with a StatGroup by name and description and
+ * can be dumped as formatted text. Supported kinds:
+ *  - Scalar: a monotonically updated counter / value.
+ *  - Average: running mean of samples.
+ *  - Distribution: bucketed histogram with min/max/mean.
+ *  - Formula: a derived value computed from other stats at dump time.
+ */
+
+#ifndef VCA_STATS_STATISTICS_HH
+#define VCA_STATS_STATISTICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vca::stats {
+
+class StatGroup;
+
+/** Base class for all statistics. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Write one or more formatted lines describing this stat. */
+    virtual void print(std::ostream &os) const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A plain accumulating counter. */
+class Scalar : public StatBase
+{
+  public:
+    Scalar(StatGroup *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc)) {}
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator=(double v) { value_ = v; return *this; }
+
+    double value() const { return value_; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    double value_ = 0;
+};
+
+/** Running mean over explicit samples. */
+class Average : public StatBase
+{
+  public:
+    Average(StatGroup *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc)) {}
+
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+
+    void print(std::ostream &os) const override;
+
+    void
+    reset() override
+    {
+        sum_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram over [min, max). */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(StatGroup *parent, std::string name, std::string desc,
+                 double min, double max, unsigned buckets);
+
+    void sample(double v, std::uint64_t n = 1);
+
+    std::uint64_t totalSamples() const { return samples_; }
+    double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
+    double minSampled() const { return minSampled_; }
+    double maxSampled() const { return maxSampled_; }
+    std::uint64_t bucketCount(unsigned i) const { return counts_.at(i); }
+    std::uint64_t underflows() const { return underflow_; }
+    std::uint64_t overflows() const { return overflow_; }
+
+    void print(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    double min_;
+    double max_;
+    double bucketSize_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0;
+    double minSampled_ = 0;
+    double maxSampled_ = 0;
+};
+
+/** A value computed on demand from other statistics. */
+class Formula : public StatBase
+{
+  public:
+    using Func = std::function<double()>;
+
+    Formula(StatGroup *parent, std::string name, std::string desc, Func f)
+        : StatBase(parent, std::move(name), std::move(desc)),
+          func_(std::move(f)) {}
+
+    double value() const { return func_ ? func_() : 0.0; }
+
+    void print(std::ostream &os) const override;
+    void reset() override {}
+
+  private:
+    Func func_;
+};
+
+/**
+ * A named collection of statistics. Groups may nest; names are dotted
+ * paths at dump time (e.g. "cpu.dcache.accesses").
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    virtual ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &groupName() const { return name_; }
+
+    /** Dotted path from the root group. */
+    std::string path() const;
+
+    /** Print all stats in this group and children, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Reset all stats in this group and children. */
+    void resetStats();
+
+    /** Find a stat by name within this group only (nullptr if absent). */
+    const StatBase *find(const std::string &name) const;
+
+  private:
+    friend class StatBase;
+    void addStat(StatBase *stat);
+    void addChild(StatGroup *child);
+    void removeChild(StatGroup *child);
+
+    std::string name_;
+    StatGroup *parent_;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace vca::stats
+
+#endif // VCA_STATS_STATISTICS_HH

@@ -1,0 +1,171 @@
+#include "wload/asm_builder.hh"
+
+#include "sim/logging.hh"
+
+namespace vca::wload {
+
+using isa::Opcode;
+
+AsmBuilder::Label
+AsmBuilder::newLabel()
+{
+    labelPos_.push_back(-1);
+    return static_cast<Label>(labelPos_.size() - 1);
+}
+
+void
+AsmBuilder::bind(Label label)
+{
+    if (labelPos_.at(label) != -1)
+        panic("label %d bound twice", label);
+    labelPos_[label] = static_cast<std::int64_t>(code_.size());
+}
+
+void
+AsmBuilder::emitR(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    code_.push_back(isa::encodeR(op, rd, rs1, rs2));
+}
+
+void
+AsmBuilder::emitI(Opcode op, RegIndex rd, RegIndex rs1, std::int32_t imm)
+{
+    code_.push_back(isa::encodeI(op, rd, rs1, imm));
+}
+
+void
+AsmBuilder::emitWord(std::uint32_t word)
+{
+    code_.push_back(word);
+}
+
+void
+AsmBuilder::nop()
+{
+    code_.push_back(isa::encodeJ(Opcode::Nop, 0));
+}
+
+void
+AsmBuilder::halt()
+{
+    code_.push_back(isa::encodeJ(Opcode::Halt, 0));
+}
+
+void
+AsmBuilder::addi(RegIndex rd, RegIndex rs1, std::int32_t imm)
+{
+    emitI(Opcode::Addi, rd, rs1, imm);
+}
+
+void
+AsmBuilder::mov(RegIndex rd, RegIndex rs1)
+{
+    emitR(Opcode::Add, rd, rs1, isa::regZero);
+}
+
+void
+AsmBuilder::li(RegIndex rd, std::uint64_t value)
+{
+    // Build the constant 13 bits at a time (ori immediates are signed
+    // 14-bit, so we use 13-bit positive chunks).
+    const auto sval = static_cast<std::int64_t>(value);
+    if (sval >= isa::imm14Min && sval <= isa::imm14Max) {
+        addi(rd, isa::regZero, static_cast<std::int32_t>(sval));
+        return;
+    }
+    // Find the highest 13-bit chunk.
+    int chunks = 1;
+    while (chunks * 13 < 64 && (value >> (chunks * 13)) != 0)
+        ++chunks;
+    // Emit from the top chunk down.
+    const int top = chunks - 1;
+    addi(rd, isa::regZero,
+         static_cast<std::int32_t>((value >> (top * 13)) & 0x1fff));
+    for (int c = top - 1; c >= 0; --c) {
+        emitI(Opcode::Slli, rd, rd, 13);
+        const auto chunk =
+            static_cast<std::int32_t>((value >> (c * 13)) & 0x1fff);
+        if (chunk != 0)
+            emitI(Opcode::Ori, rd, rd, chunk);
+    }
+}
+
+void
+AsmBuilder::ld(RegIndex rd, RegIndex base, std::int32_t off)
+{
+    emitI(Opcode::Ld, rd, base, off);
+}
+
+void
+AsmBuilder::st(RegIndex base, RegIndex data, std::int32_t off)
+{
+    code_.push_back(isa::encodeB(Opcode::St, base, data, off));
+}
+
+void
+AsmBuilder::fld(RegIndex fd, RegIndex base, std::int32_t off)
+{
+    emitI(Opcode::Fld, fd, base, off);
+}
+
+void
+AsmBuilder::fst(RegIndex base, RegIndex fdata, std::int32_t off)
+{
+    code_.push_back(isa::encodeB(Opcode::Fst, base, fdata, off));
+}
+
+void
+AsmBuilder::branch(Opcode op, RegIndex rs1, RegIndex rs2, Label target)
+{
+    fixups_.push_back({here(), target, true});
+    code_.push_back(isa::encodeB(op, rs1, rs2, 0));
+}
+
+void
+AsmBuilder::jmp(Label target)
+{
+    fixups_.push_back({here(), target, false});
+    code_.push_back(isa::encodeJ(Opcode::Jmp, 0));
+}
+
+void
+AsmBuilder::call(Label function)
+{
+    fixups_.push_back({here(), function, false});
+    code_.push_back(isa::encodeJ(Opcode::Call, 0));
+}
+
+void
+AsmBuilder::ret()
+{
+    code_.push_back(isa::encodeJ(Opcode::Ret, 0));
+}
+
+std::vector<std::uint32_t>
+AsmBuilder::seal()
+{
+    for (const Fixup &f : fixups_) {
+        const std::int64_t pos = labelPos_.at(f.label);
+        if (pos < 0)
+            panic("unbound label %d referenced at %u", f.label, f.index);
+        std::uint32_t &word = code_.at(f.index);
+        if (f.relative) {
+            const std::int64_t off =
+                pos - (static_cast<std::int64_t>(f.index) + 1);
+            if (off < isa::imm14Min || off > isa::imm14Max)
+                panic("branch offset %lld out of range",
+                      static_cast<long long>(off));
+            word = (word & ~0x3fffu) |
+                   (static_cast<std::uint32_t>(off) & 0x3fffu);
+        } else {
+            if (pos > isa::imm24Max)
+                panic("jump target %lld out of range",
+                      static_cast<long long>(pos));
+            word = (word & ~0xffffffu) | static_cast<std::uint32_t>(pos);
+        }
+    }
+    fixups_.clear();
+    return code_;
+}
+
+} // namespace vca::wload

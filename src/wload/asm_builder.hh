@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A tiny assembler for VRISC-64: emits encoded words into a code vector
+ * and resolves forward label references (branch offsets and call/jump
+ * targets) at seal() time.
+ */
+
+#ifndef VCA_WLOAD_ASM_BUILDER_HH
+#define VCA_WLOAD_ASM_BUILDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "isa/registers.hh"
+
+namespace vca::wload {
+
+class AsmBuilder
+{
+  public:
+    using Label = int;
+
+    /** Create a new, unbound label. */
+    Label newLabel();
+
+    /** Bind a label to the current position. */
+    void bind(Label label);
+
+    /** Current instruction index. */
+    std::uint32_t here() const
+    {
+        return static_cast<std::uint32_t>(code_.size());
+    }
+
+    // Raw emitters.
+    void emitR(isa::Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void emitI(isa::Opcode op, RegIndex rd, RegIndex rs1, std::int32_t imm);
+    void emitWord(std::uint32_t word);
+
+    // Convenience pseudo-ops.
+    void nop();
+    void halt();
+    void addi(RegIndex rd, RegIndex rs1, std::int32_t imm);
+    void mov(RegIndex rd, RegIndex rs1);
+
+    /** Load an arbitrary 64-bit constant (emits 1..10 instructions). */
+    void li(RegIndex rd, std::uint64_t value);
+
+    void ld(RegIndex rd, RegIndex base, std::int32_t off);
+    void st(RegIndex base, RegIndex data, std::int32_t off);
+    void fld(RegIndex fd, RegIndex base, std::int32_t off);
+    void fst(RegIndex base, RegIndex fdata, std::int32_t off);
+
+    /** Conditional branch to a label (forward or backward). */
+    void branch(isa::Opcode op, RegIndex rs1, RegIndex rs2, Label target);
+
+    void jmp(Label target);
+    void call(Label function);
+    void ret();
+
+    /** Resolve all fixups; panics on unbound labels. */
+    std::vector<std::uint32_t> seal();
+
+    size_t size() const { return code_.size(); }
+
+  private:
+    struct Fixup
+    {
+        std::uint32_t index; ///< code word needing patching
+        Label label;
+        bool relative;       ///< branch (imm14 offset) vs absolute (imm24)
+    };
+
+    std::vector<std::uint32_t> code_;
+    std::vector<std::int64_t> labelPos_; ///< -1 while unbound
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace vca::wload
+
+#endif // VCA_WLOAD_ASM_BUILDER_HH

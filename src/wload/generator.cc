@@ -1,0 +1,810 @@
+#include "wload/generator.hh"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "wload/asm_builder.hh"
+
+namespace vca::wload {
+
+using isa::Opcode;
+using isa::RegClass;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Register roster (windowed names; identical in both ABIs).
+// ---------------------------------------------------------------------
+constexpr RegIndex rSp = isa::regSp;
+constexpr RegIndex rGp = isa::regGp;
+constexpr RegIndex rA0 = isa::regArg0;
+constexpr RegIndex rRng = isa::regArg5; // global xorshift state (r9)
+
+constexpr RegIndex rBase = 10; // array base pointer
+constexpr RegIndex rMask = 11; // footprint mask
+constexpr RegIndex rPtr = 12;  // pointer-chase cursor
+constexpr RegIndex rIdx = 13;  // loop induction variable
+constexpr RegIndex rTmp = 14;  // scratch
+constexpr RegIndex firstAccum = 15;
+constexpr RegIndex maxAccums = 32 - firstAccum; // 17
+
+constexpr RegIndex firstFpAccum = 8;
+
+// ---------------------------------------------------------------------
+// Plan representation
+// ---------------------------------------------------------------------
+
+enum class MKind : std::uint8_t
+{
+    IntOp,    ///< acc[d] = acc[a] op acc[b]
+    IntImm,   ///< acc[d] = acc[a] op imm
+    FpOp,     ///< facc[d] = facc[a] op facc[b]
+    LoadSeq, LoadRand, LoadChase,
+    StoreSeq, StoreRand,
+    FLoadSeq, FLoadRand,
+    FStoreSeq,
+    RngStep,  ///< advance the global xorshift register
+};
+
+struct MicroOp
+{
+    MKind kind;
+    Opcode opc = Opcode::Add;
+    std::uint8_t d = 0, a = 0, b = 0;
+    std::uint8_t shift = 0;   ///< r9 bit-extract shift for *Rand
+    std::int32_t off = 0;     ///< small load/store displacement
+    std::int32_t imm = 0;
+};
+
+struct Segment
+{
+    enum Kind { Ops, Diamond, Loop, CallSite } kind = Ops;
+    std::vector<MicroOp> ops;     // Ops body / loop body / diamond then
+    std::vector<MicroOp> elseOps; // diamond else
+    bool hardCond = false;
+    unsigned trip = 0;
+    unsigned callee = 0;
+};
+
+struct FuncPlan
+{
+    unsigned id = 0;
+    bool leaf = true;
+    unsigned accums = 1;
+    unsigned fpAccums = 0;
+    bool usesChase = false;
+    std::uint64_t arrayBase = 0;
+    std::uint64_t mask = 0;
+    std::uint64_t chaseCursorCell = 0;
+    std::vector<Segment> body;
+    double dynCost = 0; ///< per-invocation dynamic instructions (approx)
+};
+
+struct ProgramPlan
+{
+    std::vector<FuncPlan> funcs;
+    std::vector<isa::DataSegment> data;
+    unsigned mainIterations = 1;
+    std::uint64_t rngSeed = 1;
+};
+
+// Cost of one micro-op in emitted dynamic instructions.
+double
+opCost(const MicroOp &op)
+{
+    switch (op.kind) {
+      case MKind::IntOp: case MKind::IntImm: case MKind::FpOp:
+        return 1;
+      case MKind::LoadChase:
+        return 2;
+      case MKind::RngStep:
+        return 6;
+      default:
+        return 4; // shift/and/add + memory op
+    }
+}
+
+double
+segmentCost(const Segment &seg, const std::vector<FuncPlan> &funcs)
+{
+    double ops = 0;
+    for (const MicroOp &op : seg.ops)
+        ops += opCost(op);
+    switch (seg.kind) {
+      case Segment::Ops:
+        return ops;
+      case Segment::Diamond: {
+        double elseCost = 0;
+        for (const MicroOp &op : seg.elseOps)
+            elseCost += opCost(op);
+        const double cond = seg.hardCond ? 9 : 3;
+        return cond + (ops + elseCost) / 2 + 1;
+      }
+      case Segment::Loop:
+        return 1 + seg.trip * (ops + 2);
+      case Segment::CallSite:
+        return 4 + funcs.at(seg.callee).dynCost;
+    }
+    return ops;
+}
+
+// ---------------------------------------------------------------------
+// Planning
+// ---------------------------------------------------------------------
+
+class Planner
+{
+  public:
+    Planner(const BenchProfile &profile)
+        : profile_(profile), rng_(profile.seed * 0x9e3779b97f4a7c15ULL + 1)
+    {
+    }
+
+    ProgramPlan
+    plan()
+    {
+        ProgramPlan pp;
+        pp.rngSeed = profile_.seed | 1;
+
+        footprint_ = roundDownPow2(
+            std::max<std::uint64_t>(profile_.footprintBytes, 4096));
+        pp.funcs.resize(profile_.numFuncs);
+
+        // Data layout: cursor cells in the first page, then the
+        // pointer-chase chain, then the (footprint-aligned) array
+        // region. Keeping the chain outside the array region means
+        // random stores can never corrupt chain pointers, so the chase
+        // access pattern is identical under both ABIs.
+        cursorArea_ = 0; // byte offset from dataBase for cursor cells
+        chaseBytes_ = profile_.pointerChaseFrac > 0
+            ? std::min<std::uint64_t>(footprint_, 2 * 1024 * 1024) : 0;
+        chaseBase_ = isa::layout::dataBase + 4096;
+        const std::uint64_t arraysAt = chaseBase_ + chaseBytes_;
+        arrayBase_ = (arraysAt + footprint_ - 1) & ~(footprint_ - 1);
+
+        // Plan from the highest id down so subtree costs are known when
+        // lower functions choose their children.
+        for (int id = static_cast<int>(profile_.numFuncs) - 1; id >= 0;
+             --id) {
+            pp.funcs[id] = planFunction(static_cast<unsigned>(id),
+                                        pp.funcs);
+        }
+
+        // Size the outer loop from the (approximate) per-iteration cost
+        // so every benchmark reaches its target dynamic length.
+        const double iterCost = std::max(1.0, pp.funcs[0].dynCost);
+        pp.mainIterations = static_cast<unsigned>(std::clamp(
+            static_cast<double>(profile_.targetDynInsts) / iterCost,
+            8.0, 8000.0));
+
+        buildDataSegments(pp);
+        return pp;
+    }
+
+  private:
+    static std::uint64_t
+    roundDownPow2(std::uint64_t v)
+    {
+        std::uint64_t p = 1;
+        while (p * 2 <= v)
+            p *= 2;
+        return p;
+    }
+
+    /** Per-iteration dynamic budget for the subtree rooted at id. */
+    double
+    budget(unsigned id) const
+    {
+        const double iterBudget =
+            profile_.callHeavy ? 18000.0 : 30000.0;
+        return iterBudget / (1.0 + 0.9 * id);
+    }
+
+    /**
+     * Pick an accumulator index with a quadratic bias toward low
+     * indices: real code concentrates most accesses on a few hot
+     * registers, and the register working set size drives VCA's
+     * spill/fill traffic.
+     */
+    std::uint8_t
+    pickAccum(unsigned count)
+    {
+        const double r = rng_.uniform();
+        return static_cast<std::uint8_t>(
+            std::min<unsigned>(count - 1,
+                               static_cast<unsigned>(r * r * count)));
+    }
+
+    MicroOp
+    randomComputeOp(FuncPlan &f, bool allowFp)
+    {
+        MicroOp op;
+        const bool fp = allowFp && profile_.fpFrac > 0 &&
+                        rng_.chance(profile_.fpFrac);
+        if (fp) {
+            op.kind = MKind::FpOp;
+            static const Opcode fpOps[] = {Opcode::Fadd, Opcode::Fsub,
+                                           Opcode::Fmul, Opcode::Fadd,
+                                           Opcode::Fmul, Opcode::Fdiv};
+            op.opc = fpOps[rng_.below(6)];
+            // Avoid frequent divides (realistic mix).
+            if (op.opc == Opcode::Fdiv && !rng_.chance(0.15))
+                op.opc = Opcode::Fmul;
+            op.d = pickAccum(f.fpAccums);
+            op.a = pickAccum(f.fpAccums);
+            op.b = pickAccum(f.fpAccums);
+            return op;
+        }
+        if (rng_.chance(0.3)) {
+            op.kind = MKind::IntImm;
+            static const Opcode immOps[] = {Opcode::Addi, Opcode::Xori,
+                                            Opcode::Ori, Opcode::Andi};
+            op.opc = immOps[rng_.below(4)];
+            op.imm = static_cast<std::int32_t>(rng_.range(1, 255));
+        } else {
+            op.kind = MKind::IntOp;
+            static const Opcode aluOps[] = {Opcode::Add, Opcode::Sub,
+                                            Opcode::Xor, Opcode::Or,
+                                            Opcode::And, Opcode::Add,
+                                            Opcode::Mul};
+            op.opc = aluOps[rng_.below(7)];
+        }
+        op.d = pickAccum(f.accums);
+        op.a = pickAccum(f.accums);
+        op.b = pickAccum(f.accums);
+        return op;
+    }
+
+    MicroOp
+    randomMemOp(FuncPlan &f)
+    {
+        MicroOp op;
+        const bool isStore = rng_.chance(0.35);
+        const bool isRand = rng_.chance(0.4);
+        const bool isFp = profile_.fpFrac > 0 && f.fpAccums > 0 &&
+                          rng_.chance(profile_.fpFrac * 0.8);
+        if (!isStore && f.usesChase &&
+            rng_.chance(profile_.pointerChaseFrac)) {
+            op.kind = MKind::LoadChase;
+            op.d = pickAccum(f.accums);
+            return op;
+        }
+        if (isStore) {
+            op.kind = isFp ? MKind::FStoreSeq
+                           : (isRand ? MKind::StoreRand : MKind::StoreSeq);
+        } else {
+            if (isFp)
+                op.kind = isRand ? MKind::FLoadRand : MKind::FLoadSeq;
+            else
+                op.kind = isRand ? MKind::LoadRand : MKind::LoadSeq;
+        }
+        op.d = pickAccum(isFp ? f.fpAccums : f.accums);
+        op.a = op.d;
+        op.shift = static_cast<std::uint8_t>(rng_.range(3, 34));
+        op.off = static_cast<std::int32_t>(rng_.below(8)) * 8;
+        return op;
+    }
+
+    std::vector<MicroOp>
+    planOpRun(FuncPlan &f, unsigned n, bool allowFp)
+    {
+        std::vector<MicroOp> ops;
+        ops.reserve(n);
+        for (unsigned i = 0; i < n; ++i) {
+            if (rng_.chance(profile_.memOpFrac))
+                ops.push_back(randomMemOp(f));
+            else
+                ops.push_back(randomComputeOp(f, allowFp));
+        }
+        return ops;
+    }
+
+    FuncPlan
+    planFunction(unsigned id, const std::vector<FuncPlan> &funcs)
+    {
+        FuncPlan f;
+        f.id = id;
+        f.accums = static_cast<unsigned>(std::clamp<std::int64_t>(
+            static_cast<std::int64_t>(profile_.avgLocals) - 3 +
+                rng_.range(-1, 1),
+            1, maxAccums));
+        f.fpAccums = profile_.fpFrac > 0
+            ? static_cast<unsigned>(rng_.range(3, 6)) : 0;
+        f.usesChase = profile_.pointerChaseFrac > 0;
+        f.arrayBase = arrayBase_;
+        f.mask = footprint_ - 1;
+        if (f.usesChase) {
+            f.chaseCursorCell = isa::layout::dataBase + cursorArea_;
+            cursorArea_ += 8;
+        }
+
+        const bool isMain = (id == 0);
+        // Functions in the lower third of the DAG are always interior:
+        // this guarantees call chains with real depth regardless of the
+        // leaf-fraction rolls (leaves cluster at high ids, as in real
+        // call graphs where utility routines are leaves).
+        const bool forcedInterior = id < profile_.numFuncs / 3 &&
+                                    id + 1 < profile_.numFuncs;
+        const bool mayHaveChildren = isMain
+            ? (profile_.numFuncs > 1)
+            : (id + 1 < profile_.numFuncs &&
+               (forcedInterior || !rng_.chance(profile_.leafFrac)));
+        f.leaf = !mayHaveChildren;
+
+        // Choose children (greedy, budget-capped).
+        std::vector<unsigned> children;
+        if (mayHaveChildren) {
+            double spent = 0;
+            const double cap = budget(id);
+            const unsigned fanout = isMain
+                ? std::max(3u, profile_.callFanout)
+                : profile_.callFanout;
+            for (unsigned k = 0; k < fanout; ++k) {
+                const unsigned lo = id + 1;
+                const unsigned hi = std::min<unsigned>(
+                    id + profile_.callSpan,
+                    profile_.numFuncs - 1);
+                if (lo > hi)
+                    break;
+                const auto child = static_cast<unsigned>(
+                    rng_.range(lo, hi));
+                if (spent + funcs.at(child).dynCost > cap && k > 0)
+                    continue;
+                children.push_back(child);
+                spent += funcs.at(child).dynCost;
+            }
+            f.leaf = children.empty();
+        }
+
+        // Body structure: interleave compute/diamond/loop segments with
+        // the call sites.
+        const unsigned nSegments =
+            std::max<unsigned>(2, profile_.bodyOps / 16);
+        const unsigned opsPerSeg =
+            std::max<unsigned>(2, profile_.bodyOps / nSegments);
+        std::vector<Segment> body;
+        for (unsigned s = 0; s < nSegments; ++s) {
+            const double roll = rng_.uniform();
+            Segment seg;
+            if (!isMain && roll < 0.25) {
+                seg.kind = Segment::Loop;
+                seg.trip = std::max<unsigned>(1, static_cast<unsigned>(
+                    rng_.range(static_cast<std::int64_t>(
+                                   profile_.loopTripMean / 2) + 1,
+                               static_cast<std::int64_t>(
+                                   profile_.loopTripMean * 3 / 2) + 1)));
+                seg.ops = planOpRun(f, opsPerSeg, true);
+            } else if (!isMain && roll < 0.55) {
+                seg.kind = Segment::Diamond;
+                seg.hardCond = rng_.chance(profile_.randomBranchFrac);
+                seg.ops = planOpRun(f, opsPerSeg / 2 + 1, true);
+                seg.elseOps = planOpRun(f, opsPerSeg / 2 + 1, true);
+            } else {
+                seg.kind = Segment::Ops;
+                seg.ops = planOpRun(f, opsPerSeg, true);
+            }
+            body.push_back(std::move(seg));
+        }
+
+        // Insert call sites at random top-level positions.
+        for (unsigned child : children) {
+            Segment call;
+            call.kind = Segment::CallSite;
+            call.callee = child;
+            const auto pos = static_cast<size_t>(
+                rng_.below(body.size() + 1));
+            body.insert(body.begin() + pos, std::move(call));
+        }
+        f.body = std::move(body);
+
+        // Cost accounting (per invocation).
+        double cost = 8; // prologue-ish setup
+        for (const Segment &seg : f.body)
+            cost += segmentCost(seg, funcs);
+        f.dynCost = cost;
+        return f;
+    }
+
+    void
+    buildDataSegments(ProgramPlan &pp)
+    {
+        // Pointer-chase chain: a shuffled cycle of 64-byte-spaced nodes
+        // covering min(footprint, 2 MiB), shared by all chasing
+        // functions. Node i holds the address of its successor.
+        if (chaseBytes_ > 0) {
+            const size_t nodes = chaseBytes_ / 64;
+            std::vector<std::uint32_t> order(nodes);
+            for (size_t i = 0; i < nodes; ++i)
+                order[i] = static_cast<std::uint32_t>(i);
+            for (size_t i = nodes - 1; i > 0; --i) {
+                const size_t j = rng_.below(i + 1);
+                std::swap(order[i], order[j]);
+            }
+            const Addr chaseBase = chaseBase_;
+            isa::DataSegment seg;
+            seg.base = chaseBase;
+            seg.words.assign(chaseBytes_ / 8, 0);
+            for (size_t i = 0; i < nodes; ++i) {
+                const std::uint32_t cur = order[i];
+                const std::uint32_t nxt = order[(i + 1) % nodes];
+                seg.words[cur * 8] = chaseBase + Addr(nxt) * 64;
+            }
+            pp.data.push_back(std::move(seg));
+
+            // Cursor cells: every chasing function starts somewhere on
+            // the cycle.
+            isa::DataSegment cursors;
+            cursors.base = isa::layout::dataBase;
+            cursors.words.assign(std::max<std::uint64_t>(cursorArea_ / 8,
+                                                         1), 0);
+            for (FuncPlan &f : pp.funcs) {
+                if (!f.usesChase)
+                    continue;
+                const size_t cell =
+                    (f.chaseCursorCell - isa::layout::dataBase) / 8;
+                const std::uint32_t start = order[rng_.below(nodes)];
+                cursors.words[cell] = chaseBase + Addr(start) * 64;
+            }
+            pp.data.push_back(std::move(cursors));
+        }
+
+        // Seed a slice of the array region with nonzero values so loads
+        // feed interesting data into the accumulators.
+        isa::DataSegment vals;
+        vals.base = arrayBase_;
+        const size_t seedWords =
+            static_cast<size_t>(std::min<std::uint64_t>(footprint_ / 8,
+                                                        8192));
+        vals.words.resize(seedWords);
+        for (size_t i = 0; i < seedWords; ++i)
+            vals.words[i] = rng_.next() | 1;
+        pp.data.push_back(std::move(vals));
+    }
+
+    const BenchProfile &profile_;
+    Rng rng_;
+    std::uint64_t footprint_ = 0;
+    std::uint64_t cursorArea_ = 0;
+    std::uint64_t chaseBytes_ = 0;
+    std::uint64_t chaseBase_ = 0;
+    std::uint64_t arrayBase_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------
+
+class Emitter
+{
+  public:
+    Emitter(const ProgramPlan &pp, bool windowed)
+        : pp_(pp), windowed_(windowed)
+    {
+    }
+
+    isa::Program
+    emit(const std::string &name)
+    {
+        for (size_t i = 0; i < pp_.funcs.size(); ++i)
+            funcLabels_.push_back(asmb_.newLabel());
+
+        for (const FuncPlan &f : pp_.funcs)
+            emitFunction(f);
+
+        isa::Program prog;
+        prog.name = name;
+        prog.windowedAbi = windowed_;
+        prog.entry = 0;
+        prog.code = asmb_.seal();
+        prog.data = pp_.data;
+        prog.finalize();
+        return prog;
+    }
+
+  private:
+    /** Windowed integer registers this function writes (for saving). */
+    std::vector<RegIndex>
+    savedIntRegs(const FuncPlan &f) const
+    {
+        std::vector<RegIndex> regs = {rBase, rMask, rIdx, rTmp};
+        if (f.usesChase)
+            regs.push_back(rPtr);
+        for (unsigned a = 0; a < f.accums; ++a)
+            regs.push_back(static_cast<RegIndex>(firstAccum + a));
+        if (!f.leaf)
+            regs.push_back(isa::regRa);
+        return regs;
+    }
+
+    std::vector<RegIndex>
+    savedFpRegs(const FuncPlan &f) const
+    {
+        std::vector<RegIndex> regs;
+        for (unsigned a = 0; a < f.fpAccums; ++a)
+            regs.push_back(static_cast<RegIndex>(firstFpAccum + a));
+        return regs;
+    }
+
+    void
+    emitFunction(const FuncPlan &f)
+    {
+        asmb_.bind(funcLabels_.at(f.id));
+        const bool isMain = (f.id == 0);
+
+        const std::vector<RegIndex> ints = savedIntRegs(f);
+        const std::vector<RegIndex> fps = savedFpRegs(f);
+        const auto frame =
+            static_cast<std::int32_t>(8 * (ints.size() + fps.size()));
+
+        if (isMain) {
+            // Runtime setup: stack, global pointer, RNG register.
+            asmb_.li(rSp, isa::layout::stackTop);
+            asmb_.li(rGp, isa::layout::dataBase);
+            asmb_.li(rRng, pp_.rngSeed);
+        } else if (!windowed_) {
+            // Callee-save prologue.
+            asmb_.addi(rSp, rSp, -frame);
+            std::int32_t off = 0;
+            for (RegIndex r : ints) {
+                asmb_.st(rSp, r, off);
+                off += 8;
+            }
+            for (RegIndex r : fps) {
+                asmb_.fst(rSp, r, off);
+                off += 8;
+            }
+        }
+
+        emitSetup(f);
+
+        if (isMain) {
+            // Outer loop: rIdx counts down mainIterations.
+            asmb_.addi(rIdx, isa::regZero,
+                       static_cast<std::int32_t>(
+                           std::min<unsigned>(pp_.mainIterations, 8000)));
+            const auto top = asmb_.newLabel();
+            asmb_.bind(top);
+            for (const Segment &seg : f.body)
+                emitSegment(f, seg, /*inMainLoop=*/true);
+            asmb_.addi(rIdx, rIdx, -1);
+            asmb_.branch(Opcode::Bne, rIdx, isa::regZero, top);
+            asmb_.halt();
+            return;
+        }
+
+        // Seed the first accumulator from the argument register.
+        asmb_.mov(static_cast<RegIndex>(firstAccum), rA0);
+
+        for (const Segment &seg : f.body)
+            emitSegment(f, seg, false);
+
+        // Chase cursor write-back.
+        if (f.usesChase) {
+            asmb_.li(rTmp, f.chaseCursorCell);
+            asmb_.st(rTmp, rPtr, 0);
+        }
+
+        // Return value.
+        asmb_.mov(rA0, static_cast<RegIndex>(firstAccum));
+
+        if (!windowed_) {
+            std::int32_t off = 0;
+            for (RegIndex r : ints) {
+                asmb_.ld(r, rSp, off);
+                off += 8;
+            }
+            for (RegIndex r : fps) {
+                asmb_.fld(r, rSp, off);
+                off += 8;
+            }
+            asmb_.addi(rSp, rSp, frame);
+        }
+        asmb_.ret();
+    }
+
+    void
+    emitSetup(const FuncPlan &f)
+    {
+        asmb_.li(rBase, f.arrayBase);
+        asmb_.li(rMask, f.mask & ~Addr(7));
+        if (f.usesChase) {
+            asmb_.li(rTmp, f.chaseCursorCell);
+            asmb_.ld(rPtr, rTmp, 0);
+        }
+        // Initialize every register the body may read before writing it;
+        // otherwise the two ABIs would observe different leftover values
+        // (caller's registers vs. stale window contents) and could take
+        // different dynamic paths.
+        asmb_.addi(rIdx, isa::regZero,
+                   static_cast<std::int32_t>(f.id + 1));
+        for (unsigned a = 0; a < f.accums; ++a)
+            asmb_.addi(static_cast<RegIndex>(firstAccum + a),
+                       isa::regZero,
+                       static_cast<std::int32_t>(17 * (a + f.id) + 3));
+        for (unsigned a = 0; a < f.fpAccums; ++a)
+            asmb_.emitR(isa::Opcode::Fcvtif,
+                        static_cast<RegIndex>(firstFpAccum + a),
+                        static_cast<RegIndex>(
+                            firstAccum + (a % f.accums)),
+                        isa::regZero);
+    }
+
+    void
+    emitSegment(const FuncPlan &f, const Segment &seg, bool inMainLoop)
+    {
+        switch (seg.kind) {
+          case Segment::Ops:
+            for (const MicroOp &op : seg.ops)
+                emitOp(f, op);
+            break;
+
+          case Segment::Diamond: {
+            const auto elseL = asmb_.newLabel();
+            const auto done = asmb_.newLabel();
+            if (seg.hardCond) {
+                emitRngStep();
+                asmb_.emitI(Opcode::Srli, rTmp, rRng, 13);
+                asmb_.emitI(Opcode::Andi, rTmp, rTmp, 1);
+            } else {
+                asmb_.emitI(Opcode::Andi, rTmp, rIdx, 1);
+            }
+            asmb_.branch(Opcode::Beq, rTmp, isa::regZero, elseL);
+            for (const MicroOp &op : seg.ops)
+                emitOp(f, op);
+            asmb_.jmp(done);
+            asmb_.bind(elseL);
+            for (const MicroOp &op : seg.elseOps)
+                emitOp(f, op);
+            asmb_.bind(done);
+            break;
+          }
+
+          case Segment::Loop: {
+            // Nested loops would clobber rIdx in main; planner never
+            // emits Loop segments in main.
+            asmb_.addi(rTmp, isa::regZero,
+                       static_cast<std::int32_t>(seg.trip));
+            asmb_.mov(rIdx, rTmp);
+            const auto top = asmb_.newLabel();
+            asmb_.bind(top);
+            for (const MicroOp &op : seg.ops)
+                emitOp(f, op);
+            asmb_.addi(rIdx, rIdx, -1);
+            asmb_.branch(Opcode::Bne, rIdx, isa::regZero, top);
+            break;
+          }
+
+          case Segment::CallSite: {
+            (void)inMainLoop;
+            asmb_.mov(rA0, static_cast<RegIndex>(firstAccum));
+            asmb_.call(funcLabels_.at(seg.callee));
+            asmb_.emitR(Opcode::Add, static_cast<RegIndex>(firstAccum),
+                        static_cast<RegIndex>(firstAccum), rA0);
+            break;
+          }
+        }
+    }
+
+    void
+    emitRngStep()
+    {
+        // xorshift64: x ^= x<<13; x ^= x>>7; x ^= x<<17
+        asmb_.emitI(Opcode::Slli, rTmp, rRng, 13);
+        asmb_.emitR(Opcode::Xor, rRng, rRng, rTmp);
+        asmb_.emitI(Opcode::Srli, rTmp, rRng, 7);
+        asmb_.emitR(Opcode::Xor, rRng, rRng, rTmp);
+        asmb_.emitI(Opcode::Slli, rTmp, rRng, 17);
+        asmb_.emitR(Opcode::Xor, rRng, rRng, rTmp);
+    }
+
+    void
+    emitAddress(const MicroOp &op, bool sequential)
+    {
+        if (sequential) {
+            asmb_.emitI(Opcode::Slli, rTmp, rIdx, 6);
+        } else {
+            asmb_.emitI(Opcode::Srli, rTmp, rRng,
+                        static_cast<std::int32_t>(op.shift));
+            asmb_.emitI(Opcode::Slli, rTmp, rTmp, 3);
+        }
+        asmb_.emitR(Opcode::And, rTmp, rTmp, rMask);
+        asmb_.emitR(Opcode::Add, rTmp, rTmp, rBase);
+    }
+
+    void
+    emitOp(const FuncPlan &f, const MicroOp &op)
+    {
+        (void)f;
+        const auto acc = [&](std::uint8_t i) {
+            return static_cast<RegIndex>(firstAccum + i);
+        };
+        const auto facc = [&](std::uint8_t i) {
+            return static_cast<RegIndex>(firstFpAccum + i);
+        };
+        switch (op.kind) {
+          case MKind::IntOp:
+            asmb_.emitR(op.opc, acc(op.d), acc(op.a), acc(op.b));
+            break;
+          case MKind::IntImm:
+            asmb_.emitI(op.opc, acc(op.d), acc(op.a), op.imm);
+            break;
+          case MKind::FpOp:
+            asmb_.emitR(op.opc, facc(op.d), facc(op.a), facc(op.b));
+            break;
+          case MKind::LoadSeq:
+            emitAddress(op, true);
+            asmb_.ld(acc(op.d), rTmp, op.off);
+            break;
+          case MKind::LoadRand:
+            emitAddress(op, false);
+            asmb_.ld(acc(op.d), rTmp, op.off);
+            break;
+          case MKind::LoadChase:
+            asmb_.ld(rPtr, rPtr, 0);
+            asmb_.emitR(Opcode::Add, acc(op.d), acc(op.d), rPtr);
+            break;
+          case MKind::StoreSeq:
+            emitAddress(op, true);
+            asmb_.st(rTmp, acc(op.a), op.off);
+            break;
+          case MKind::StoreRand:
+            emitAddress(op, false);
+            asmb_.st(rTmp, acc(op.a), op.off);
+            break;
+          case MKind::FLoadSeq:
+            emitAddress(op, true);
+            asmb_.fld(facc(op.d), rTmp, op.off);
+            break;
+          case MKind::FLoadRand:
+            emitAddress(op, false);
+            asmb_.fld(facc(op.d), rTmp, op.off);
+            break;
+          case MKind::FStoreSeq:
+            emitAddress(op, true);
+            asmb_.fst(rTmp, facc(op.a), op.off);
+            break;
+          case MKind::RngStep:
+            emitRngStep();
+            break;
+        }
+    }
+
+    const ProgramPlan &pp_;
+    bool windowed_;
+    AsmBuilder asmb_;
+    std::vector<AsmBuilder::Label> funcLabels_;
+};
+
+} // namespace
+
+isa::Program
+generateProgram(const BenchProfile &profile, bool windowedAbi)
+{
+    Planner planner(profile);
+    const ProgramPlan pp = planner.plan();
+    Emitter emitter(pp, windowedAbi);
+    return emitter.emit(profile.name);
+}
+
+const isa::Program *
+cachedProgram(const BenchProfile &profile, bool windowedAbi)
+{
+    static std::mutex mutex;
+    static std::map<std::pair<std::string, bool>,
+                    std::unique_ptr<isa::Program>> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto key = std::make_pair(profile.name, windowedAbi);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        auto prog = std::make_unique<isa::Program>(
+            generateProgram(profile, windowedAbi));
+        it = cache.emplace(key, std::move(prog)).first;
+    }
+    return it->second.get();
+}
+
+} // namespace vca::wload

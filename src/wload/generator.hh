@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Synthetic benchmark program generation.
+ *
+ * A BenchProfile is first *planned* into a deterministic call-DAG of
+ * functions whose bodies are sequences of plan segments (compute runs,
+ * branch diamonds, counted loops, call sites, memory streams and pointer
+ * chases). The plan fixes every structural and random choice. The plan
+ * is then *emitted* under either ABI:
+ *
+ *  - non-windowed: classic callee-save convention; every function saves
+ *    and restores each windowed register it writes (plus the return
+ *    address if it makes calls) with explicit stores/loads, adjusting
+ *    the stack pointer;
+ *  - windowed: calls and returns shift the register window, so the
+ *    save/restore code vanishes.
+ *
+ * Because both emissions come from the same plan, the two binaries
+ * execute the same dynamic work and differ exactly by the spill/fill
+ * instructions -- which is how the paper's Table 2 path-length ratios
+ * arise from recompilation.
+ */
+
+#ifndef VCA_WLOAD_GENERATOR_HH
+#define VCA_WLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/program.hh"
+#include "wload/profile.hh"
+
+namespace vca::wload {
+
+/** Generate the program for a profile under the given ABI. */
+isa::Program generateProgram(const BenchProfile &profile, bool windowedAbi);
+
+/**
+ * Process-wide cache of generated programs (generation is deterministic,
+ * so sharing is safe). Returns a stable pointer.
+ */
+const isa::Program *cachedProgram(const BenchProfile &profile,
+                                  bool windowedAbi);
+
+} // namespace vca::wload
+
+#endif // VCA_WLOAD_GENERATOR_HH

@@ -1,0 +1,217 @@
+#include "wload/profile.hh"
+
+#include "sim/logging.hh"
+
+namespace vca::wload {
+
+namespace {
+
+/**
+ * Build the profile table.
+ *
+ * Calibration intuition: in the non-windowed ABI every function
+ * entry/exit adds roughly 2*avgLocals + 2 instructions (save+restore of
+ * each written callee-saved register plus stack-pointer adjustment), so
+ * the Table-2 path-length ratio is approximately
+ *     bodyWork / (bodyWork + 2*avgLocals + 2)
+ * per call. Call-heavy profiles use small bodies and many saved
+ * registers (vortex, perlbmk); call-light ones use large bodies (twolf,
+ * ammp). Footprints are scaled so "small" fits L1 (64K), "medium"
+ * stresses L2 (1M) and "large" misses to memory.
+ */
+std::vector<BenchProfile>
+makeProfiles()
+{
+    std::vector<BenchProfile> v;
+    auto add = [&](BenchProfile p) { v.push_back(std::move(p)); };
+
+    // ---- SPECint-like ----
+    add({.name = "gzip_graphic", .isFloat = false, .numFuncs = 18,
+         .callFanout = 2, .callSpan = 3, .bodyOps = 44, .avgLocals = 6,
+         .leafFrac = 0.3, .loopTripMean = 10, .randomBranchFrac = 0.15,
+         .footprintBytes = 192 * 1024, .memOpFrac = 0.30,
+         .pointerChaseFrac = 0.0, .fpFrac = 0.0,
+         .seed = 101, .callHeavy = true});
+
+    add({.name = "vpr_route", .isFloat = false, .numFuncs = 22,
+         .callFanout = 2, .callSpan = 4, .bodyOps = 64, .avgLocals = 8,
+         .leafFrac = 0.3, .loopTripMean = 6, .randomBranchFrac = 0.25,
+         .footprintBytes = 384 * 1024, .memOpFrac = 0.30,
+         .pointerChaseFrac = 0.05, .fpFrac = 0.10,
+         .seed = 102, .callHeavy = true});
+
+    add({.name = "gcc_expr", .isFloat = false, .numFuncs = 40,
+         .callFanout = 2, .callSpan = 6, .bodyOps = 52, .avgLocals = 6,
+         .leafFrac = 0.25, .loopTripMean = 4, .randomBranchFrac = 0.30,
+         .footprintBytes = 512 * 1024, .memOpFrac = 0.32,
+         .pointerChaseFrac = 0.05, .fpFrac = 0.0,
+         .seed = 103, .callHeavy = true});
+
+    add({.name = "mcf", .isFloat = false, .numFuncs = 10,
+         .callFanout = 1, .callSpan = 2, .bodyOps = 120, .avgLocals = 4,
+         .leafFrac = 0.5, .loopTripMean = 16, .randomBranchFrac = 0.25,
+         .footprintBytes = 12 * 1024 * 1024, .memOpFrac = 0.38,
+         .pointerChaseFrac = 0.45, .fpFrac = 0.0,
+         .seed = 104, .callHeavy = false});
+
+    add({.name = "crafty", .isFloat = false, .numFuncs = 26,
+         .callFanout = 2, .callSpan = 4, .bodyOps = 62, .avgLocals = 6,
+         .leafFrac = 0.3, .loopTripMean = 5, .randomBranchFrac = 0.22,
+         .footprintBytes = 96 * 1024, .memOpFrac = 0.24,
+         .pointerChaseFrac = 0.0, .fpFrac = 0.0,
+         .seed = 105, .callHeavy = true});
+
+    add({.name = "parser", .isFloat = false, .numFuncs = 30,
+         .callFanout = 2, .callSpan = 5, .bodyOps = 58, .avgLocals = 6,
+         .leafFrac = 0.4, .loopTripMean = 5, .randomBranchFrac = 0.28,
+         .footprintBytes = 768 * 1024, .memOpFrac = 0.30,
+         .pointerChaseFrac = 0.20, .fpFrac = 0.0,
+         .seed = 106, .callHeavy = true});
+
+    add({.name = "eon_rushmeier", .isFloat = false, .numFuncs = 28,
+         .callFanout = 3, .callSpan = 5, .bodyOps = 74, .avgLocals = 7,
+         .leafFrac = 0.4, .loopTripMean = 6, .randomBranchFrac = 0.12,
+         .footprintBytes = 48 * 1024, .memOpFrac = 0.26,
+         .pointerChaseFrac = 0.0, .fpFrac = 0.30,
+         .seed = 107, .callHeavy = true});
+
+    add({.name = "perlbmk_535", .isFloat = false, .numFuncs = 36,
+         .callFanout = 3, .callSpan = 6, .bodyOps = 34, .avgLocals = 8,
+         .leafFrac = 0.35, .loopTripMean = 3, .randomBranchFrac = 0.25,
+         .footprintBytes = 256 * 1024, .memOpFrac = 0.30,
+         .pointerChaseFrac = 0.10, .fpFrac = 0.0,
+         .seed = 108, .callHeavy = true});
+
+    add({.name = "gap", .isFloat = false, .numFuncs = 26,
+         .callFanout = 2, .callSpan = 4, .bodyOps = 48, .avgLocals = 7,
+         .leafFrac = 0.3, .loopTripMean = 6, .randomBranchFrac = 0.18,
+         .footprintBytes = 640 * 1024, .memOpFrac = 0.30,
+         .pointerChaseFrac = 0.05, .fpFrac = 0.0,
+         .seed = 109, .callHeavy = true});
+
+    add({.name = "vortex_2", .isFloat = false, .numFuncs = 40,
+         .callFanout = 3, .callSpan = 6, .bodyOps = 26, .avgLocals = 9,
+         .leafFrac = 0.3, .loopTripMean = 3, .randomBranchFrac = 0.15,
+         .footprintBytes = 1024 * 1024, .memOpFrac = 0.34,
+         .pointerChaseFrac = 0.05, .fpFrac = 0.0,
+         .seed = 110, .callHeavy = true});
+
+    add({.name = "bzip2_graphic", .isFloat = false, .numFuncs = 16,
+         .callFanout = 2, .callSpan = 3, .bodyOps = 40, .avgLocals = 6,
+         .leafFrac = 0.35, .loopTripMean = 7, .randomBranchFrac = 0.20,
+         .footprintBytes = 1536 * 1024, .memOpFrac = 0.30,
+         .pointerChaseFrac = 0.0, .fpFrac = 0.0,
+         .seed = 111, .callHeavy = true});
+
+    add({.name = "twolf", .isFloat = false, .numFuncs = 20,
+         .callFanout = 2, .callSpan = 3, .bodyOps = 64, .avgLocals = 4,
+         .leafFrac = 0.4, .loopTripMean = 6, .randomBranchFrac = 0.25,
+         .footprintBytes = 128 * 1024, .memOpFrac = 0.26,
+         .pointerChaseFrac = 0.05, .fpFrac = 0.05,
+         .seed = 112, .callHeavy = true});
+
+    // ---- SPECfp-like (gcc-compilable subset, no F90) ----
+    add({.name = "wupwise", .isFloat = true, .numFuncs = 16,
+         .callFanout = 2, .callSpan = 3, .bodyOps = 48, .avgLocals = 7,
+         .leafFrac = 0.3, .loopTripMean = 8, .randomBranchFrac = 0.05,
+         .footprintBytes = 2 * 1024 * 1024, .memOpFrac = 0.30,
+         .pointerChaseFrac = 0.0, .fpFrac = 0.55,
+         .seed = 113, .callHeavy = true});
+
+    add({.name = "swim", .isFloat = true, .numFuncs = 8,
+         .callFanout = 1, .callSpan = 2, .bodyOps = 200, .avgLocals = 5,
+         .leafFrac = 0.6, .loopTripMean = 24, .randomBranchFrac = 0.02,
+         .footprintBytes = 12 * 1024 * 1024, .memOpFrac = 0.40,
+         .pointerChaseFrac = 0.0, .fpFrac = 0.60,
+         .seed = 114, .callHeavy = false});
+
+    add({.name = "mgrid", .isFloat = true, .numFuncs = 8,
+         .callFanout = 1, .callSpan = 2, .bodyOps = 240, .avgLocals = 5,
+         .leafFrac = 0.6, .loopTripMean = 20, .randomBranchFrac = 0.02,
+         .footprintBytes = 8 * 1024 * 1024, .memOpFrac = 0.42,
+         .pointerChaseFrac = 0.0, .fpFrac = 0.62,
+         .seed = 115, .callHeavy = false});
+
+    add({.name = "applu", .isFloat = true, .numFuncs = 10,
+         .callFanout = 1, .callSpan = 2, .bodyOps = 220, .avgLocals = 6,
+         .leafFrac = 0.55, .loopTripMean = 18, .randomBranchFrac = 0.03,
+         .footprintBytes = 10 * 1024 * 1024, .memOpFrac = 0.38,
+         .pointerChaseFrac = 0.0, .fpFrac = 0.58,
+         .seed = 116, .callHeavy = false});
+
+    add({.name = "mesa", .isFloat = true, .numFuncs = 26,
+         .callFanout = 2, .callSpan = 4, .bodyOps = 58, .avgLocals = 7,
+         .leafFrac = 0.3, .loopTripMean = 6, .randomBranchFrac = 0.10,
+         .footprintBytes = 512 * 1024, .memOpFrac = 0.28,
+         .pointerChaseFrac = 0.0, .fpFrac = 0.45,
+         .seed = 117, .callHeavy = true});
+
+    add({.name = "art", .isFloat = true, .numFuncs = 8,
+         .callFanout = 1, .callSpan = 2, .bodyOps = 160, .avgLocals = 4,
+         .leafFrac = 0.6, .loopTripMean = 30, .randomBranchFrac = 0.05,
+         .footprintBytes = 4 * 1024 * 1024, .memOpFrac = 0.44,
+         .pointerChaseFrac = 0.0, .fpFrac = 0.50,
+         .seed = 118, .callHeavy = false});
+
+    add({.name = "equake", .isFloat = true, .numFuncs = 14,
+         .callFanout = 2, .callSpan = 3, .bodyOps = 44, .avgLocals = 6,
+         .leafFrac = 0.35, .loopTripMean = 7, .randomBranchFrac = 0.06,
+         .footprintBytes = 6 * 1024 * 1024, .memOpFrac = 0.36,
+         .pointerChaseFrac = 0.10, .fpFrac = 0.50,
+         .seed = 119, .callHeavy = true});
+
+    add({.name = "ammp", .isFloat = true, .numFuncs = 14,
+         .callFanout = 2, .callSpan = 3, .bodyOps = 52, .avgLocals = 4,
+         .leafFrac = 0.4, .loopTripMean = 7, .randomBranchFrac = 0.08,
+         .footprintBytes = 3 * 1024 * 1024, .memOpFrac = 0.32,
+         .pointerChaseFrac = 0.10, .fpFrac = 0.55,
+         .seed = 120, .callHeavy = true});
+
+    add({.name = "sixtrack", .isFloat = true, .numFuncs = 14,
+         .callFanout = 2, .callSpan = 3, .bodyOps = 130, .avgLocals = 6,
+         .leafFrac = 0.5, .loopTripMean = 10, .randomBranchFrac = 0.04,
+         .footprintBytes = 256 * 1024, .memOpFrac = 0.28,
+         .pointerChaseFrac = 0.0, .fpFrac = 0.60,
+         .seed = 121, .callHeavy = false});
+
+    add({.name = "apsi", .isFloat = true, .numFuncs = 16,
+         .callFanout = 2, .callSpan = 3, .bodyOps = 110, .avgLocals = 6,
+         .leafFrac = 0.5, .loopTripMean = 9, .randomBranchFrac = 0.06,
+         .footprintBytes = 1536 * 1024, .memOpFrac = 0.32,
+         .pointerChaseFrac = 0.0, .fpFrac = 0.52,
+         .seed = 122, .callHeavy = false});
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchProfile> &
+spec2000Profiles()
+{
+    static const std::vector<BenchProfile> profiles = makeProfiles();
+    return profiles;
+}
+
+std::vector<BenchProfile>
+regWindowProfiles()
+{
+    std::vector<BenchProfile> out;
+    for (const BenchProfile &p : spec2000Profiles()) {
+        if (p.callHeavy)
+            out.push_back(p);
+    }
+    return out;
+}
+
+const BenchProfile &
+profileByName(const std::string &name)
+{
+    for (const BenchProfile &p : spec2000Profiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown benchmark profile '%s'", name.c_str());
+}
+
+} // namespace vca::wload

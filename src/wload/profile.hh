@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Benchmark personality profiles.
+ *
+ * The paper evaluates on SPEC CPU2000. We cannot ship SPEC, so each
+ * benchmark is replaced by a synthetic program generated from a profile
+ * that captures the characteristics that matter to the paper's
+ * experiments: function-call frequency and depth, number of callee-saved
+ * registers per frame (this drives the windowed/non-windowed path-length
+ * ratio of Table 2), memory footprint and access pattern (cache
+ * behaviour), branch predictability, FP mix, and ILP.
+ *
+ * The names mirror the SPEC benchmarks (with the input the paper
+ * selected, e.g. "bzip2_graphic"). The generated program for a profile
+ * is deterministic given the profile's seed.
+ */
+
+#ifndef VCA_WLOAD_PROFILE_HH
+#define VCA_WLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vca::wload {
+
+struct BenchProfile
+{
+    std::string name;
+    bool isFloat = false;       ///< FP benchmark (SPECfp)
+
+    // Call behaviour.
+    unsigned numFuncs = 24;     ///< functions in the call DAG
+    unsigned callFanout = 2;    ///< calls a non-leaf function makes
+    unsigned callSpan = 4;      ///< children chosen within [id+1, id+span]
+    unsigned bodyOps = 60;      ///< compute ops per function body
+    unsigned avgLocals = 6;     ///< callee-saved registers written / frame
+    double leafFrac = 0.45;     ///< fraction of functions that are leaves
+
+    // Loop / branch behaviour.
+    unsigned loopTripMean = 8;  ///< inner-loop iterations
+    double randomBranchFrac = 0.2; ///< data-dependent (hard) branches
+
+    // Memory behaviour.
+    std::uint64_t footprintBytes = 64 * 1024;
+    double memOpFrac = 0.28;    ///< fraction of body ops touching memory
+    double pointerChaseFrac = 0.0; ///< dependent-load chains (mcf-like)
+
+    // FP behaviour.
+    double fpFrac = 0.0;        ///< fraction of compute that is FP
+
+    // Scale: the planner sizes the outer loop so the non-windowed
+    // binary executes roughly this many dynamic instructions.
+    std::uint64_t targetDynInsts = 1'200'000;
+
+    std::uint64_t seed = 1;
+
+    /** True if this benchmark belongs to the paper's Table 2 subset
+     *  (calls at least once every 500 instructions). */
+    bool callHeavy = true;
+};
+
+/** All 22 SPEC CPU2000-like profiles (12 int + 10 FP, F90 excluded). */
+const std::vector<BenchProfile> &spec2000Profiles();
+
+/** The 15 call-heavy profiles used in the register-window experiments
+ *  (paper Table 2 / Figures 4-6). */
+std::vector<BenchProfile> regWindowProfiles();
+
+/** Look up a profile by name (fatal if unknown). */
+const BenchProfile &profileByName(const std::string &name);
+
+} // namespace vca::wload
+
+#endif // VCA_WLOAD_PROFILE_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the hybrid branch predictor and the return-address
+ * stack, including speculative-state checkpoint/restore.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/bpred.hh"
+
+namespace {
+
+using namespace vca;
+using namespace vca::bpred;
+
+class BPredTest : public ::testing::Test
+{
+  protected:
+    BPredTest() : root_("root"), bp_(BPredParams{}, 2, &root_) {}
+
+    stats::StatGroup root_;
+    BranchPredictor bp_;
+};
+
+TEST_F(BPredTest, LearnsAlwaysTaken)
+{
+    const Addr pc = 0x40;
+    BPredCheckpoint ckpt;
+    for (int i = 0; i < 8; ++i) {
+        bool pred = bp_.predict(0, pc, ckpt);
+        bp_.update(0, pc, true, ckpt.history);
+        (void)pred;
+    }
+    EXPECT_TRUE(bp_.predict(0, pc, ckpt));
+}
+
+TEST_F(BPredTest, LearnsAlternatingViaGshare)
+{
+    // A strictly alternating branch is mispredicted by bimodal but
+    // learnable with global history; the hybrid must converge.
+    const Addr pc = 0x80;
+    bool taken = false;
+    unsigned wrongLate = 0;
+    BPredCheckpoint ckpt;
+    for (int i = 0; i < 400; ++i) {
+        taken = !taken;
+        const bool pred = bp_.predict(0, pc, ckpt);
+        bp_.update(0, pc, taken, ckpt.history);
+        if (pred != taken) {
+            // What the pipeline does on a mispredict: squash and
+            // repair the speculative history with the real outcome.
+            bp_.repairHistory(0, ckpt, taken);
+            if (i >= 200)
+                ++wrongLate;
+        }
+    }
+    EXPECT_LT(wrongLate, 20u);
+}
+
+TEST_F(BPredTest, HistoryRestoreAfterSquash)
+{
+    const Addr pc = 0x100;
+    BPredCheckpoint ckpt1, ckpt2;
+    bp_.predict(0, pc, ckpt1);
+    bp_.predict(0, pc + 1, ckpt2);
+    // Squash the second prediction: restoring ckpt2 must give the same
+    // history as immediately after the first prediction.
+    bp_.restore(0, ckpt2);
+    BPredCheckpoint probe = bp_.snapshot(0);
+    EXPECT_EQ(probe.history, ckpt2.history);
+}
+
+TEST_F(BPredTest, RasPushPopLifo)
+{
+    BPredCheckpoint c;
+    bp_.pushRas(0, 100, c);
+    bp_.pushRas(0, 200, c);
+    bp_.pushRas(0, 300, c);
+    EXPECT_EQ(bp_.popRas(0, c), 300u);
+    EXPECT_EQ(bp_.popRas(0, c), 200u);
+    EXPECT_EQ(bp_.popRas(0, c), 100u);
+}
+
+TEST_F(BPredTest, RasPerThread)
+{
+    BPredCheckpoint c;
+    bp_.pushRas(0, 111, c);
+    bp_.pushRas(1, 222, c);
+    EXPECT_EQ(bp_.popRas(0, c), 111u);
+    EXPECT_EQ(bp_.popRas(1, c), 222u);
+}
+
+TEST_F(BPredTest, RasRestoreUndoesSpeculativePop)
+{
+    BPredCheckpoint before;
+    bp_.pushRas(0, 123, before);
+    BPredCheckpoint popCkpt;
+    EXPECT_EQ(bp_.popRas(0, popCkpt), 123u);
+    // The pop was down a wrong path: restore and pop again.
+    bp_.restore(0, popCkpt);
+    BPredCheckpoint c;
+    EXPECT_EQ(bp_.popRas(0, c), 123u);
+}
+
+TEST_F(BPredTest, RasRestoreUndoesSpeculativePush)
+{
+    BPredCheckpoint c;
+    bp_.pushRas(0, 42, c);
+    BPredCheckpoint pushCkpt;
+    bp_.pushRas(0, 999, pushCkpt); // wrong-path push clobbers nothing yet
+    bp_.restore(0, pushCkpt);
+    EXPECT_EQ(bp_.popRas(0, c), 42u);
+}
+
+TEST_F(BPredTest, RasWrapsWithoutCrashing)
+{
+    BPredCheckpoint c;
+    for (Addr i = 0; i < 100; ++i)
+        bp_.pushRas(0, 1000 + i, c);
+    // Deepest pushes overwrote oldest; the most recent 16 are intact.
+    for (Addr i = 0; i < 16; ++i)
+        EXPECT_EQ(bp_.popRas(0, c), 1000 + 99 - i);
+}
+
+} // namespace

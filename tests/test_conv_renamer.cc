@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Direct unit tests for the conventional renamer: initial-state
+ * accounting, free-list behaviour, squash undo, commit freeing, and
+ * the validate() invariant checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "cpu/conv_renamer.hh"
+#include "cpu/dyn_inst.hh"
+#include "cpu/phys_regfile.hh"
+
+namespace {
+
+using namespace vca;
+using namespace vca::cpu;
+
+class ConvRenamerTest : public ::testing::Test
+{
+  protected:
+    ConvRenamerTest()
+        : root_("t"),
+          params_(CpuParams::preset(RenamerKind::Baseline, 80)),
+          regs_(params_.physRegs),
+          renamer_(params_, regs_, isa::numArchRegs, &root_)
+    {
+    }
+
+    DynInst *
+    makeInst(isa::Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2)
+    {
+        insts_.push_back(isa::decode(isa::encodeR(op, rd, rs1, rs2)));
+        auto *inst = pool_.acquire();
+        inst->si = &insts_.back();
+        inst->tid = 0;
+        inst->seq = ++seq_;
+        return inst;
+    }
+
+    stats::StatGroup root_;
+    CpuParams params_;
+    PhysRegFile regs_;
+    ConvRenamer renamer_;
+    InstPool pool_;
+    std::deque<isa::StaticInst> insts_;
+    std::uint64_t seq_ = 0;
+};
+
+TEST_F(ConvRenamerTest, InitialStateMapsAllLogicals)
+{
+    // 80 physical - 64 architectural = 16 free rename registers.
+    EXPECT_EQ(renamer_.freeRegs(), 16u);
+    renamer_.validate();
+    // Initial values are zero and ready.
+    auto *inst = makeInst(isa::Opcode::Add, 10, 11, 12);
+    ASSERT_TRUE(renamer_.rename(*inst, 1));
+    EXPECT_TRUE(regs_.isReady(inst->srcPhys[0]));
+    EXPECT_EQ(regs_.read(inst->srcPhys[0]), 0u);
+    EXPECT_FALSE(regs_.isReady(inst->destPhys))
+        << "new destination must await its producer";
+}
+
+TEST_F(ConvRenamerTest, DependencyChainLinksPhys)
+{
+    auto *a = makeInst(isa::Opcode::Add, 10, 11, 12);
+    auto *b = makeInst(isa::Opcode::Add, 13, 10, 10);
+    ASSERT_TRUE(renamer_.rename(*a, 1));
+    ASSERT_TRUE(renamer_.rename(*b, 1));
+    EXPECT_EQ(b->srcPhys[0], a->destPhys);
+    EXPECT_EQ(b->srcPhys[1], a->destPhys);
+    renamer_.validate();
+}
+
+TEST_F(ConvRenamerTest, CommitFreesPreviousMapping)
+{
+    auto *a = makeInst(isa::Opcode::Add, 10, 11, 12);
+    ASSERT_TRUE(renamer_.rename(*a, 1));
+    const unsigned freeAfterRename = renamer_.freeRegs();
+    renamer_.commitInst(*a);
+    EXPECT_EQ(renamer_.freeRegs(), freeAfterRename + 1)
+        << "the overwritten mapping returns to the free list";
+    renamer_.validate();
+}
+
+TEST_F(ConvRenamerTest, SquashRestoresMappingAndFreesReg)
+{
+    auto *a = makeInst(isa::Opcode::Add, 10, 11, 12);
+    ASSERT_TRUE(renamer_.rename(*a, 1));
+    const unsigned freeAfter = renamer_.freeRegs();
+
+    renamer_.squashInst(*a);
+    EXPECT_EQ(renamer_.freeRegs(), freeAfter + 1);
+
+    // A later reader sees the original (pre-a) mapping again.
+    auto *b = makeInst(isa::Opcode::Add, 13, 10, 10);
+    ASSERT_TRUE(renamer_.rename(*b, 2));
+    EXPECT_EQ(b->srcPhys[0], a->prevDestPhys);
+    renamer_.validate();
+}
+
+TEST_F(ConvRenamerTest, FreeListExhaustionStalls)
+{
+    // 16 rename registers: the 17th in-flight destination must stall.
+    std::vector<DynInst *> inflight;
+    for (int i = 0; i < 16; ++i) {
+        auto *inst = makeInst(isa::Opcode::Add, 10, 11, 12);
+        ASSERT_TRUE(renamer_.rename(*inst, 1)) << "inst " << i;
+        inflight.push_back(inst);
+    }
+    auto *blocked = makeInst(isa::Opcode::Add, 10, 11, 12);
+    EXPECT_FALSE(renamer_.rename(*blocked, 1));
+    EXPECT_GE(renamer_.renameStallsFreeList.value(), 1.0);
+
+    // Committing the oldest in-flight producer frees a register.
+    renamer_.commitInst(*inflight.front());
+    EXPECT_TRUE(renamer_.rename(*blocked, 2));
+    renamer_.validate();
+}
+
+TEST_F(ConvRenamerTest, NoDestInstructionsNeverStall)
+{
+    // Drain the free list entirely...
+    for (int i = 0; i < 16; ++i) {
+        auto *inst = makeInst(isa::Opcode::Add, 10, 11, 12);
+        ASSERT_TRUE(renamer_.rename(*inst, 1));
+    }
+    // ...then a store (no destination) still renames.
+    insts_.push_back(isa::decode(isa::encodeB(isa::Opcode::St, 2, 10,
+                                              0)));
+    auto *st = pool_.acquire();
+    st->si = &insts_.back();
+    st->tid = 0;
+    st->seq = ++seq_;
+    EXPECT_TRUE(renamer_.rename(*st, 1));
+}
+
+TEST(ConvRenamerSmt, ThreadsHaveIndependentMaps)
+{
+    stats::StatGroup root("t");
+    CpuParams params = CpuParams::preset(RenamerKind::Baseline, 160, 2);
+    PhysRegFile regs(params.physRegs);
+    ConvRenamer renamer(params, regs, isa::numArchRegs, &root);
+    InstPool pool;
+    std::deque<isa::StaticInst> insts;
+
+    insts.push_back(isa::decode(isa::encodeR(isa::Opcode::Add, 10, 11,
+                                             12)));
+    auto *a = pool.acquire();
+    a->si = &insts.back();
+    a->tid = 0;
+    a->seq = 1;
+    auto *b = pool.acquire();
+    b->si = &insts.back();
+    b->tid = 1;
+    b->seq = 2;
+    ASSERT_TRUE(renamer.rename(*a, 1));
+    ASSERT_TRUE(renamer.rename(*b, 1));
+    EXPECT_NE(a->destPhys, b->destPhys);
+    EXPECT_NE(a->srcPhys[0], b->srcPhys[0])
+        << "thread 1's r11 is a different physical register";
+    renamer.validate();
+}
+
+} // namespace

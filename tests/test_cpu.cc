@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Out-of-order CPU tests: hand-written program execution on every
+ * renamer architecture, co-simulation against the functional golden
+ * model, window-trap behaviour, and SMT sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/conv_renamer.hh"
+#include "cpu/ooo_cpu.hh"
+#include "func/func_sim.hh"
+#include "wload/asm_builder.hh"
+#include "wload/generator.hh"
+#include "wload/profile.hh"
+
+namespace {
+
+using namespace vca;
+using namespace vca::cpu;
+using wload::AsmBuilder;
+
+isa::Program
+makeProgram(AsmBuilder &b, bool windowed)
+{
+    isa::Program p;
+    p.name = "t";
+    p.windowedAbi = windowed;
+    p.code = b.seal();
+    p.finalize();
+    return p;
+}
+
+/** Fibonacci with windowed locals (works under both ABIs when the
+ *  clobbered registers are saved appropriately; here we rely on windows
+ *  for the windowed machines and use explicit saves for the baseline). */
+isa::Program
+fibProgram(bool windowed)
+{
+    AsmBuilder b;
+    auto fib = b.newLabel();
+    b.addi(4, isa::regZero, 11);
+    b.call(fib);
+    b.mov(10, 4);
+    b.halt();
+
+    b.bind(fib);
+    auto recurse = b.newLabel();
+    auto done = b.newLabel();
+    // The comparison constant lives in a caller-saved argument register
+    // so it works identically under both ABIs.
+    b.addi(5, isa::regZero, 2);
+    b.branch(isa::Opcode::Bge, 4, 5, recurse);
+    b.jmp(done);
+    b.bind(recurse);
+    if (!windowed) {
+        // Baseline ABI: explicit callee saves.
+        b.addi(2, 2, -24);
+        b.st(2, 10, 0);
+        b.st(2, 11, 8);
+        b.st(2, 1, 16);
+    }
+    b.mov(10, 4);
+    b.addi(4, 10, -1);
+    b.call(fib);
+    b.mov(11, 4);
+    b.addi(4, 10, -2);
+    b.call(fib);
+    b.emitR(isa::Opcode::Add, 4, 4, 11);
+    if (!windowed) {
+        b.ld(10, 2, 0);
+        b.ld(11, 2, 8);
+        b.ld(1, 2, 16);
+        b.addi(2, 2, 24);
+    }
+    b.bind(done);
+    b.ret();
+
+    isa::Program p;
+    p.name = windowed ? "fib_w" : "fib_nw";
+    p.windowedAbi = windowed;
+    p.code = b.seal();
+    p.finalize();
+    return p;
+}
+
+CpuParams
+paramsFor(RenamerKind kind, unsigned physRegs = 256,
+          unsigned threads = 1)
+{
+    CpuParams p = CpuParams::preset(kind, physRegs, threads);
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// Basic execution on each architecture
+// ---------------------------------------------------------------------
+
+struct ArchCase
+{
+    RenamerKind kind;
+    bool windowedAbi;
+    const char *name;
+};
+
+class ArchExecTest : public ::testing::TestWithParam<ArchCase>
+{
+};
+
+TEST_P(ArchExecTest, FibonacciCommitsCorrectResult)
+{
+    const ArchCase &ac = GetParam();
+    isa::Program prog = fibProgram(ac.windowedAbi);
+    OooCpu cpu(paramsFor(ac.kind), {&prog});
+    auto res = cpu.run(2'000'000, 4'000'000);
+    ASSERT_TRUE(cpu.threadDone(0)) << ac.name;
+    EXPECT_GT(res.totalInsts, 100u);
+    cpu.renamer().validate();
+
+    // The functional model is the oracle for the final value.
+    mem::SparseMemory refMem;
+    func::FuncSim ref(prog, refMem);
+    ref.run();
+    // fib(11) = 89 lands in r4/a0 and is copied to r10 by main.
+    EXPECT_EQ(ref.readIntReg(4), 89u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchs, ArchExecTest,
+    ::testing::Values(
+        ArchCase{RenamerKind::Baseline, false, "baseline"},
+        ArchCase{RenamerKind::ConvWindow, true, "convwindow"},
+        ArchCase{RenamerKind::IdealWindow, true, "ideal"},
+        ArchCase{RenamerKind::Vca, true, "vca"},
+        ArchCase{RenamerKind::Vca, false, "vca_flat"}),
+    [](const auto &info) { return info.param.name; });
+
+// ---------------------------------------------------------------------
+// Co-simulation: the timing core's commit stream must match the
+// functional simulator instruction for instruction.
+// ---------------------------------------------------------------------
+
+void
+cosimCheck(const isa::Program &prog, const CpuParams &params,
+           InstCount maxInsts)
+{
+    OooCpu cpu(params, {&prog});
+    mem::SparseMemory refMem;
+    func::FuncSim ref(prog, refMem);
+
+    InstCount checked = 0;
+    bool mismatch = false;
+    cpu.setCommitHook([&](const DynInst &inst) {
+        if (mismatch)
+            return;
+        func::StepRecord rec;
+        ref.step(rec);
+        ++checked;
+        if (rec.pc != inst.pc) {
+            ADD_FAILURE() << "pc mismatch at inst " << checked << ": ref "
+                          << rec.pc << " vs cpu " << inst.pc;
+            mismatch = true;
+            return;
+        }
+        if (inst.si->hasDest && !inst.si->isCall &&
+            rec.destValue != inst.result) {
+            ADD_FAILURE() << "value mismatch at pc " << inst.pc
+                          << " (inst " << checked << "): ref "
+                          << rec.destValue << " vs cpu " << inst.result;
+            mismatch = true;
+            return;
+        }
+        if (inst.si->isMem() && rec.effAddr != inst.effAddr) {
+            ADD_FAILURE() << "address mismatch at pc " << inst.pc
+                          << ": ref " << rec.effAddr << " vs cpu "
+                          << inst.effAddr;
+            mismatch = true;
+        }
+    });
+
+    cpu.run(maxInsts, maxInsts * 40 + 100'000);
+    EXPECT_GT(checked, maxInsts / 2) << "too few instructions committed";
+    EXPECT_FALSE(mismatch);
+    cpu.renamer().validate();
+}
+
+struct CosimCase
+{
+    RenamerKind kind;
+    const char *bench;
+    unsigned physRegs;
+    const char *name;
+};
+
+class CosimTest : public ::testing::TestWithParam<CosimCase>
+{
+};
+
+TEST_P(CosimTest, CommitStreamMatchesFunctionalModel)
+{
+    const CosimCase &cc = GetParam();
+    const bool windowed = cc.kind != RenamerKind::Baseline;
+    const isa::Program *prog =
+        wload::cachedProgram(wload::profileByName(cc.bench), windowed);
+    cosimCheck(*prog, paramsFor(cc.kind, cc.physRegs), 60'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CosimTest,
+    ::testing::Values(
+        CosimCase{RenamerKind::Baseline, "crafty", 256, "baseline_crafty"},
+        CosimCase{RenamerKind::Baseline, "equake", 128, "baseline_equake"},
+        CosimCase{RenamerKind::ConvWindow, "crafty", 256, "convw_crafty"},
+        CosimCase{RenamerKind::ConvWindow, "perlbmk_535", 128,
+                  "convw_perl_small"},
+        CosimCase{RenamerKind::ConvWindow, "mesa", 192, "convw_mesa"},
+        CosimCase{RenamerKind::IdealWindow, "crafty", 64, "ideal_crafty"},
+        CosimCase{RenamerKind::IdealWindow, "vortex_2", 128,
+                  "ideal_vortex"},
+        CosimCase{RenamerKind::Vca, "crafty", 256, "vca_crafty"},
+        CosimCase{RenamerKind::Vca, "crafty", 64, "vca_crafty_64"},
+        CosimCase{RenamerKind::Vca, "perlbmk_535", 96, "vca_perl_96"},
+        CosimCase{RenamerKind::Vca, "vortex_2", 128, "vca_vortex"},
+        CosimCase{RenamerKind::Vca, "equake", 192, "vca_equake"},
+        CosimCase{RenamerKind::Vca, "twolf", 160, "vca_twolf"}),
+    [](const auto &info) { return info.param.name; });
+
+TEST(CosimVcaFlat, NonWindowedBinaryOnVca)
+{
+    // Figure 7 configuration: VCA managing plain thread contexts.
+    const isa::Program *prog =
+        wload::cachedProgram(wload::profileByName("crafty"), false);
+    cosimCheck(*prog, paramsFor(RenamerKind::Vca, 128), 60'000);
+}
+
+// ---------------------------------------------------------------------
+// Window traps
+// ---------------------------------------------------------------------
+
+TEST(WindowTraps, DeepRecursionTriggersOverflowAndUnderflow)
+{
+    isa::Program prog = fibProgram(true);
+    CpuParams params = paramsFor(RenamerKind::ConvWindow, 192);
+    OooCpu cpu(params, {&prog});
+    auto *wr = dynamic_cast<WindowConvRenamer *>(&cpu.renamer());
+    ASSERT_NE(wr, nullptr);
+    EXPECT_EQ(wr->numWindows(),
+              WindowConvRenamer::windowsForConfig(params));
+    cpu.run(2'000'000, 4'000'000);
+    ASSERT_TRUE(cpu.threadDone(0));
+    // fib(11) recurses ~11 deep; with (192-17-64)/47 = 2 windows there
+    // must be both overflow and underflow traps.
+    EXPECT_GT(wr->overflowTraps.value(), 0.0);
+    EXPECT_GT(wr->underflowTraps.value(), 0.0);
+    EXPECT_GT(wr->windowSaves.value(), 0.0);
+    EXPECT_GT(wr->windowRestores.value(), 0.0);
+}
+
+TEST(WindowTraps, WindowCountFormula)
+{
+    CpuParams p = paramsFor(RenamerKind::ConvWindow, 256);
+    // (256 - 17 - 64) / 47 = 3
+    EXPECT_EQ(WindowConvRenamer::windowsForConfig(p), 3u);
+    p.physRegs = 128;
+    EXPECT_EQ(WindowConvRenamer::windowsForConfig(p), 1u);
+    p.physRegs = 448;
+    EXPECT_EQ(WindowConvRenamer::windowsForConfig(p), 7u);
+}
+
+TEST(Baseline, CannotRunWithoutRenameRegisters)
+{
+    // Paper Section 4.1/4.2: the conventional architecture needs
+    // strictly more physical than architectural registers.
+    isa::Program prog = fibProgram(false);
+    EXPECT_THROW(OooCpu(paramsFor(RenamerKind::Baseline, 64), {&prog}),
+                 FatalError);
+    EXPECT_THROW(
+        OooCpu(paramsFor(RenamerKind::Baseline, 128, 2),
+               {&prog, &prog}),
+        FatalError);
+}
+
+TEST(Vca, RunsWithFewerPhysicalThanArchitecturalRegisters)
+{
+    // The headline capability: 4 threads x 64 arch regs on fewer
+    // physical registers than one architectural set.
+    isa::Program prog = fibProgram(true);
+    OooCpu cpu(paramsFor(RenamerKind::Vca, 56), {&prog});
+    auto res = cpu.run(200'000, 3'000'000);
+    EXPECT_TRUE(cpu.threadDone(0));
+    EXPECT_GT(res.totalInsts, 100u);
+    cpu.renamer().validate();
+}
+
+// ---------------------------------------------------------------------
+// SMT
+// ---------------------------------------------------------------------
+
+TEST(Smt, TwoThreadsBothProgress)
+{
+    const isa::Program *a =
+        wload::cachedProgram(wload::profileByName("crafty"), false);
+    const isa::Program *b =
+        wload::cachedProgram(wload::profileByName("gzip_graphic"), false);
+    OooCpu cpu(paramsFor(RenamerKind::Baseline, 320, 2), {a, b});
+    auto res = cpu.run(30'000, 2'000'000, /*stopOnFirstThread=*/true);
+    EXPECT_GE(res.threadInsts[0] + res.threadInsts[1], 30'000u);
+    EXPECT_GT(res.threadInsts[0], 1000u);
+    EXPECT_GT(res.threadInsts[1], 1000u);
+    cpu.renamer().validate();
+}
+
+TEST(Smt, VcaSharedRenameTableKeepsThreadsSeparate)
+{
+    const isa::Program *a =
+        wload::cachedProgram(wload::profileByName("crafty"), true);
+    const isa::Program *b =
+        wload::cachedProgram(wload::profileByName("mesa"), true);
+    CpuParams params = paramsFor(RenamerKind::Vca, 192, 2);
+    OooCpu cpu(params, {a, b});
+
+    // Co-sim both threads simultaneously against separate oracles.
+    mem::SparseMemory ma, mb;
+    func::FuncSim refA(*a, ma), refB(*b, mb);
+    bool mismatch = false;
+    cpu.setCommitHook([&](const DynInst &inst) {
+        if (mismatch)
+            return;
+        func::FuncSim &ref = inst.tid == 0 ? refA : refB;
+        func::StepRecord rec;
+        ref.step(rec);
+        if (rec.pc != inst.pc ||
+            (inst.si->hasDest && !inst.si->isCall &&
+             rec.destValue != inst.result)) {
+            ADD_FAILURE() << "thread " << int(inst.tid)
+                          << " diverged at pc " << inst.pc;
+            mismatch = true;
+        }
+    });
+    cpu.run(25'000, 2'000'000, true);
+    EXPECT_FALSE(mismatch);
+    cpu.renamer().validate();
+}
+
+TEST(Smt, FourThreadVcaOn192Registers)
+{
+    // Niagara-style: 4 threads + windows on 192 registers (paper §4.3).
+    std::vector<const isa::Program *> progs = {
+        wload::cachedProgram(wload::profileByName("crafty"), true),
+        wload::cachedProgram(wload::profileByName("gzip_graphic"), true),
+        wload::cachedProgram(wload::profileByName("mesa"), true),
+        wload::cachedProgram(wload::profileByName("gap"), true),
+    };
+    OooCpu cpu(paramsFor(RenamerKind::Vca, 192, 4), progs);
+    auto res = cpu.run(8'000, 1'500'000, true);
+    for (unsigned t = 0; t < 4; ++t)
+        EXPECT_GT(res.threadInsts[t], 500u) << "thread " << t;
+    cpu.renamer().validate();
+}
+
+// ---------------------------------------------------------------------
+// Timing sanity
+// ---------------------------------------------------------------------
+
+TEST(Timing, IpcInPlausibleRange)
+{
+    const isa::Program *prog =
+        wload::cachedProgram(wload::profileByName("crafty"), false);
+    OooCpu cpu(paramsFor(RenamerKind::Baseline, 256), {prog});
+    auto res = cpu.run(100'000, 2'000'000);
+    EXPECT_GT(res.ipc, 0.3);
+    EXPECT_LE(res.ipc, 4.0);
+}
+
+TEST(Timing, VcaExtraRenameStageLengthensPipeline)
+{
+    // The same binary on ideal (no extra stage) vs VCA with plentiful
+    // registers: VCA must not be faster.
+    const isa::Program *prog =
+        wload::cachedProgram(wload::profileByName("crafty"), true);
+    OooCpu ideal(paramsFor(RenamerKind::IdealWindow, 256), {prog});
+    OooCpu vcap(paramsFor(RenamerKind::Vca, 256), {prog});
+    auto ri = ideal.run(60'000, 2'000'000);
+    auto rv = vcap.run(60'000, 2'000'000);
+    EXPECT_LE(rv.ipc, ri.ipc * 1.005);
+}
+
+TEST(Timing, FewerRegistersNeverHelpVca)
+{
+    const isa::Program *prog =
+        wload::cachedProgram(wload::profileByName("perlbmk_535"), true);
+    OooCpu big(paramsFor(RenamerKind::Vca, 256), {prog});
+    OooCpu small(paramsFor(RenamerKind::Vca, 80), {prog});
+    auto rb = big.run(60'000, 2'000'000);
+    auto rs = small.run(60'000, 4'000'000);
+    EXPECT_LT(rs.ipc, rb.ipc * 1.02);
+}
+
+TEST(Timing, SingleDcachePortIsSlower)
+{
+    const isa::Program *prog =
+        wload::cachedProgram(wload::profileByName("vortex_2"), false);
+    CpuParams two = paramsFor(RenamerKind::Baseline, 256);
+    CpuParams one = paramsFor(RenamerKind::Baseline, 256);
+    one.dcachePorts = 1;
+    OooCpu cpu2(two, {prog});
+    OooCpu cpu1(one, {prog});
+    auto r2 = cpu2.run(60'000, 2'000'000);
+    auto r1 = cpu1.run(60'000, 4'000'000);
+    EXPECT_LT(r1.ipc, r2.ipc);
+}
+
+} // namespace

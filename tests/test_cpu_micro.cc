@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Targeted microarchitecture tests: store-to-load forwarding and
+ * memory disambiguation, the post-commit store buffer, SMT fetch
+ * fairness (ICOUNT), window-renamer depth bookkeeping, and latency
+ * plumbing (cache hit latency visible in execution time).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/conv_renamer.hh"
+#include "cpu/ooo_cpu.hh"
+#include "wload/asm_builder.hh"
+#include "wload/generator.hh"
+#include "wload/profile.hh"
+
+namespace {
+
+using namespace vca;
+using namespace vca::cpu;
+using wload::AsmBuilder;
+
+isa::Program
+fromBuilder(AsmBuilder &b, bool windowed = false)
+{
+    isa::Program p;
+    p.name = "micro";
+    p.windowedAbi = windowed;
+    p.code = b.seal();
+    p.finalize();
+    return p;
+}
+
+CpuParams
+basicParams(RenamerKind kind = RenamerKind::Baseline,
+            unsigned regs = 256, unsigned threads = 1)
+{
+    return CpuParams::preset(kind, regs, threads);
+}
+
+/** Run to halt and return the final value of r20 (via commit hook). */
+std::uint64_t
+runForR20(const isa::Program &prog, const CpuParams &params)
+{
+    OooCpu cpu(params, {&prog});
+    std::uint64_t last = 0;
+    cpu.setCommitHook([&](const DynInst &inst) {
+        if (inst.si->hasDest && inst.si->dest.cls == isa::RegClass::Int &&
+            inst.si->dest.idx == 20) {
+            last = inst.result;
+        }
+    });
+    cpu.run(1'000'000, 2'000'000);
+    EXPECT_TRUE(cpu.threadDone(0));
+    return last;
+}
+
+// ---------------------------------------------------------------------
+// Store-to-load forwarding / disambiguation
+// ---------------------------------------------------------------------
+
+TEST(LsqMicro, LoadSeesInFlightStore)
+{
+    // The load issues while the store is still in the SQ: forwarding
+    // must deliver the new value, not memory's stale one.
+    AsmBuilder b;
+    b.li(2, 0x2000'0000);
+    b.addi(10, isa::regZero, 1111);
+    b.st(2, 10, 0);
+    b.ld(20, 2, 0); // must forward 1111
+    b.halt();
+    isa::Program p = fromBuilder(b);
+    EXPECT_EQ(runForR20(p, basicParams()), 1111u);
+}
+
+TEST(LsqMicro, YoungestOlderStoreWins)
+{
+    AsmBuilder b;
+    b.li(2, 0x2000'0000);
+    b.addi(10, isa::regZero, 1);
+    b.addi(11, isa::regZero, 2);
+    b.st(2, 10, 0);
+    b.st(2, 11, 0); // younger store, same address
+    b.ld(20, 2, 0); // must see 2
+    b.halt();
+    isa::Program p = fromBuilder(b);
+    EXPECT_EQ(runForR20(p, basicParams()), 2u);
+}
+
+TEST(LsqMicro, LoadWaitsForUnresolvedStoreAddress)
+{
+    // The store's address depends on a long-latency chain (divs); a
+    // younger load to that address must still get the stored value.
+    AsmBuilder b;
+    b.li(2, 0x2000'0000);
+    b.addi(10, isa::regZero, 4096);
+    b.addi(11, isa::regZero, 2);
+    b.emitR(isa::Opcode::Div, 12, 10, 11);  // 2048
+    b.emitR(isa::Opcode::Div, 12, 12, 11);  // 1024
+    b.emitR(isa::Opcode::Add, 13, 2, 12);   // late-known address
+    b.addi(14, isa::regZero, 777);
+    b.st(13, 14, 0);                        // store @ base+1024
+    b.ld(20, 2, 1024);                      // same address, load early
+    b.halt();
+    isa::Program p = fromBuilder(b);
+    EXPECT_EQ(runForR20(p, basicParams()), 777u);
+}
+
+TEST(LsqMicro, ForwardingCountsAsDcacheAccessAndStat)
+{
+    AsmBuilder b;
+    b.li(2, 0x2000'0000);
+    b.addi(10, isa::regZero, 5);
+    auto loop = b.newLabel();
+    b.addi(13, isa::regZero, 50);
+    b.bind(loop);
+    b.st(2, 10, 0);
+    b.ld(20, 2, 0);
+    b.addi(13, 13, -1);
+    b.branch(isa::Opcode::Bne, 13, isa::regZero, loop);
+    b.halt();
+    isa::Program p = fromBuilder(b);
+    OooCpu cpu(basicParams(), {&p});
+    cpu.run(1'000'000, 1'000'000);
+    EXPECT_GT(cpu.loadForwards.value(), 10.0);
+    // Forwarded loads still probe the cache (they consume a port and
+    // are counted, as on real hardware).
+    EXPECT_GE(cpu.memSystem().dcache().accesses.value(),
+              cpu.loadForwards.value());
+}
+
+// ---------------------------------------------------------------------
+// Store buffer
+// ---------------------------------------------------------------------
+
+TEST(StoreBuffer, CommitStallsWhenFull)
+{
+    // A burst of stores with a tiny store buffer must still complete
+    // correctly (commit throttles on the buffer).
+    AsmBuilder b;
+    b.li(2, 0x2000'0000);
+    for (int i = 0; i < 48; ++i)
+        b.st(2, 2, 8 * (i % 16));
+    b.addi(20, isa::regZero, 99);
+    b.halt();
+    isa::Program p = fromBuilder(b);
+    CpuParams params = basicParams();
+    params.storeBufferSize = 2;
+    EXPECT_EQ(runForR20(p, params), 99u);
+}
+
+// ---------------------------------------------------------------------
+// SMT fetch fairness
+// ---------------------------------------------------------------------
+
+TEST(SmtMicro, IcountKeepsThreadsBalanced)
+{
+    const isa::Program *a = wload::cachedProgram(
+        wload::profileByName("crafty"), false);
+    const isa::Program *bprog = wload::cachedProgram(
+        wload::profileByName("gzip_graphic"), false);
+    OooCpu cpu(basicParams(RenamerKind::Baseline, 320, 2), {a, bprog});
+    auto res = cpu.run(40'000, 2'000'000, true);
+    // Integer workloads of comparable weight: ICOUNT must keep both
+    // threads progressing (no starvation), within a factor of ~4.
+    const double r = double(res.threadInsts[0]) /
+                     double(std::max<InstCount>(1, res.threadInsts[1]));
+    EXPECT_GT(r, 0.25);
+    EXPECT_LT(r, 4.0);
+}
+
+TEST(SmtMicro, HaltedThreadFreesBandwidth)
+{
+    // Thread 0 halts immediately; thread 1 must still make progress.
+    AsmBuilder b;
+    b.halt();
+    isa::Program tiny = fromBuilder(b);
+    const isa::Program *big = wload::cachedProgram(
+        wload::profileByName("crafty"), false);
+    OooCpu cpu(basicParams(RenamerKind::Baseline, 320, 2),
+               {&tiny, big});
+    auto res = cpu.run(20'000, 2'000'000);
+    EXPECT_TRUE(cpu.threadDone(0));
+    EXPECT_GE(res.threadInsts[1], 20'000u);
+}
+
+// ---------------------------------------------------------------------
+// Cache latency plumbing
+// ---------------------------------------------------------------------
+
+TEST(LatencyMicro, DependentLoadChainSeesHitLatency)
+{
+    // A pointer-chase over an L1-resident cycle: per-iteration time
+    // must be at least the 3-cycle hit latency (plus AGU).
+    AsmBuilder b;
+    b.li(2, 0x2000'0000);
+    // Build a 2-node pointer cycle in memory via stores.
+    b.li(10, 0x2000'0040);
+    b.st(2, 10, 0);   // [base] -> base+0x40
+    b.st(10, 2, 0);   // [base+0x40] -> base
+    b.mov(12, 2);
+    b.addi(13, isa::regZero, 200);
+    auto loop = b.newLabel();
+    b.bind(loop);
+    b.ld(12, 12, 0); // serialized chase
+    b.addi(13, 13, -1);
+    b.branch(isa::Opcode::Bne, 13, isa::regZero, loop);
+    b.mov(20, 12);
+    b.halt();
+    isa::Program p = fromBuilder(b);
+    OooCpu cpu(basicParams(), {&p});
+    auto res = cpu.run(1'000'000, 1'000'000);
+    ASSERT_TRUE(cpu.threadDone(0));
+    // 200 serialized loads at >= 4 cycles each.
+    EXPECT_GT(res.cycles, 200u * 4);
+}
+
+// ---------------------------------------------------------------------
+// Conventional window renamer bookkeeping
+// ---------------------------------------------------------------------
+
+TEST(WindowMicro, TrapCountsScaleWithDepthBeyondCapacity)
+{
+    // A recursion of depth D on a k-window machine overflow-traps
+    // (D - k) times on the way down and underflow-traps (D - k) times
+    // on the way back up, once per complete descent.
+    AsmBuilder b;
+    auto fn = b.newLabel();
+    b.addi(4, isa::regZero, 8); // depth 8
+    b.call(fn);
+    b.halt();
+    b.bind(fn);
+    auto done = b.newLabel();
+    b.addi(5, isa::regZero, 1);
+    b.branch(isa::Opcode::Blt, 4, 5, done);
+    b.addi(10, 4, 0);  // touch a windowed local (dirty)
+    b.addi(4, 4, -1);
+    b.call(fn);
+    b.mov(4, 10);
+    b.bind(done);
+    b.ret();
+    isa::Program p = fromBuilder(b, true);
+
+    CpuParams params = basicParams(RenamerKind::ConvWindow, 192);
+    // (192 - 17 - 64) / 47 = 2 windows.
+    OooCpu cpu(params, {&p});
+    cpu.run(1'000'000, 1'000'000);
+    ASSERT_TRUE(cpu.threadDone(0));
+    auto *wr = dynamic_cast<WindowConvRenamer *>(&cpu.renamer());
+    ASSERT_NE(wr, nullptr);
+    ASSERT_EQ(wr->numWindows(), 2u);
+    // Frames: main + fn(n=8..0) = 10 live frames on 2 windows:
+    // 8 overflows on the way down, 8 underflows unwinding.
+    EXPECT_DOUBLE_EQ(wr->overflowTraps.value(), 8.0);
+    EXPECT_DOUBLE_EQ(wr->underflowTraps.value(), 8.0);
+    // Underflows restore whole windows (47 registers each).
+    EXPECT_DOUBLE_EQ(wr->windowRestores.value(),
+                     8.0 * isa::windowSlots);
+    // Overflows save only dirty registers: far fewer.
+    EXPECT_LT(wr->windowSaves.value(), wr->windowRestores.value());
+    EXPECT_GT(wr->windowSaves.value(), 0.0);
+}
+
+TEST(WindowMicro, RenamerValidateAfterTrapStorm)
+{
+    const isa::Program *prog = wload::cachedProgram(
+        wload::profileByName("perlbmk_535"), true);
+    CpuParams params = basicParams(RenamerKind::ConvWindow, 128);
+    OooCpu cpu(params, {prog});
+    cpu.run(30'000, 4'000'000);
+    auto *wr = dynamic_cast<WindowConvRenamer *>(&cpu.renamer());
+    ASSERT_NE(wr, nullptr);
+    EXPECT_EQ(wr->numWindows(), 1u) << "128 regs fit exactly one window";
+    EXPECT_GT(wr->overflowTraps.value(), 100.0)
+        << "k=1 must thrash on a call-heavy benchmark";
+    cpu.renamer().validate();
+}
+
+// ---------------------------------------------------------------------
+// Occupancy statistics
+// ---------------------------------------------------------------------
+
+TEST(OccupancyStats, SampledEveryCycle)
+{
+    const isa::Program *prog = wload::cachedProgram(
+        wload::profileByName("crafty"), false);
+    OooCpu cpu(basicParams(), {prog});
+    auto res = cpu.run(20'000, 1'000'000);
+    EXPECT_EQ(cpu.robOccupancyDist.totalSamples(),
+              static_cast<std::uint64_t>(res.cycles));
+    EXPECT_GT(cpu.robOccupancyDist.mean(), 1.0);
+    EXPECT_LE(cpu.robOccupancyDist.maxSampled(), 192.0);
+    EXPECT_LE(cpu.iqOccupancyDist.maxSampled(), 128.0);
+}
+
+} // namespace

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Unit tests for the functional simulator: instruction semantics, the
+ * windowed ABI (window shifting, cross-window isolation, deep
+ * recursion), and hand-written program execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/func_sim.hh"
+#include "isa/program.hh"
+#include "wload/asm_builder.hh"
+
+namespace {
+
+using namespace vca;
+using namespace vca::isa;
+using vca::wload::AsmBuilder;
+
+isa::Program
+makeProgram(AsmBuilder &b, bool windowed = false)
+{
+    isa::Program p;
+    p.name = "test";
+    p.windowedAbi = windowed;
+    p.code = b.seal();
+    p.finalize();
+    return p;
+}
+
+func::FuncSimStats
+runToHalt(const isa::Program &p, mem::SparseMemory &m,
+          std::uint64_t *r5Out = nullptr)
+{
+    func::FuncSim sim(p, m);
+    const auto stats = sim.run(1'000'000);
+    EXPECT_TRUE(sim.halted()) << "program did not halt";
+    if (r5Out)
+        *r5Out = sim.readIntReg(5);
+    return stats;
+}
+
+TEST(FuncSim, BasicArithmetic)
+{
+    AsmBuilder b;
+    b.addi(4, regZero, 20);
+    b.addi(5, regZero, 22);
+    b.emitR(Opcode::Add, 5, 4, 5);
+    b.halt();
+    mem::SparseMemory m;
+    std::uint64_t r5 = 0;
+    const auto stats = runToHalt(makeProgram(b), m, &r5);
+    EXPECT_EQ(r5, 42u);
+    EXPECT_EQ(stats.insts, 3u);
+}
+
+TEST(FuncSim, SubWithZeroFirstOperand)
+{
+    // r5 = r0 - r4 must be -7, not 7 (positional operands).
+    AsmBuilder b;
+    b.addi(4, regZero, 7);
+    b.emitR(Opcode::Sub, 5, regZero, 4);
+    b.halt();
+    mem::SparseMemory m;
+    std::uint64_t r5 = 0;
+    runToHalt(makeProgram(b), m, &r5);
+    EXPECT_EQ(static_cast<std::int64_t>(r5), -7);
+}
+
+TEST(FuncSim, DivisionEdgeCases)
+{
+    AsmBuilder b;
+    b.addi(4, regZero, 10);
+    b.emitR(Opcode::Div, 5, 4, regZero); // div by zero -> 0
+    b.halt();
+    mem::SparseMemory m;
+    std::uint64_t r5 = 1;
+    runToHalt(makeProgram(b), m, &r5);
+    EXPECT_EQ(r5, 0u);
+}
+
+TEST(FuncSim, LoadStoreRoundTrip)
+{
+    AsmBuilder b;
+    b.li(2, 0x2000'0000);
+    b.addi(10, regZero, 1234);
+    b.st(2, 10, 16);
+    b.ld(5, 2, 16);
+    b.halt();
+    mem::SparseMemory m;
+    std::uint64_t r5 = 0;
+    const auto stats = runToHalt(makeProgram(b), m, &r5);
+    EXPECT_EQ(r5, 1234u);
+    EXPECT_EQ(stats.loads, 1u);
+    EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST(FuncSim, FloatingPoint)
+{
+    AsmBuilder b;
+    b.addi(4, regZero, 3);
+    b.emitR(Opcode::Fcvtif, 8, 4, regZero);  // f8 = 3.0
+    b.emitR(Opcode::Fmul, 9, 8, 8);          // f9 = 9.0
+    b.emitR(Opcode::Fadd, 9, 9, 8);          // f9 = 12.0
+    b.emitR(Opcode::Fcvtfi, 5, 9, regZero);  // r5 = 12
+    b.halt();
+    mem::SparseMemory m;
+    std::uint64_t r5 = 0;
+    runToHalt(makeProgram(b), m, &r5);
+    EXPECT_EQ(r5, 12u);
+}
+
+TEST(FuncSim, BranchTakenAndNotTaken)
+{
+    AsmBuilder b;
+    b.addi(4, regZero, 1);
+    auto skip = b.newLabel();
+    b.branch(Opcode::Bne, 4, regZero, skip); // taken
+    b.addi(5, regZero, 111);                 // skipped
+    b.bind(skip);
+    b.addi(6, regZero, 7);
+    auto skip2 = b.newLabel();
+    b.branch(Opcode::Beq, 4, regZero, skip2); // not taken
+    b.addi(5, regZero, 42);
+    b.bind(skip2);
+    b.halt();
+    mem::SparseMemory m;
+    std::uint64_t r5 = 0;
+    const auto stats = runToHalt(makeProgram(b), m, &r5);
+    EXPECT_EQ(r5, 42u);
+    EXPECT_EQ(stats.condBranches, 2u);
+    EXPECT_EQ(stats.takenCondBranches, 1u);
+}
+
+TEST(FuncSim, LoopSum)
+{
+    // Sum 1..10 into r5.
+    AsmBuilder b;
+    b.addi(13, regZero, 10);
+    b.addi(5, regZero, 0);
+    auto top = b.newLabel();
+    b.bind(top);
+    b.emitR(Opcode::Add, 5, 5, 13);
+    b.addi(13, 13, -1);
+    b.branch(Opcode::Bne, 13, regZero, top);
+    b.halt();
+    mem::SparseMemory m;
+    std::uint64_t r5 = 0;
+    runToHalt(makeProgram(b), m, &r5);
+    EXPECT_EQ(r5, 55u);
+}
+
+TEST(FuncSim, CallAndReturnNonWindowed)
+{
+    AsmBuilder b;
+    auto fn = b.newLabel();
+    b.addi(4, regZero, 20);
+    b.call(fn);
+    b.mov(5, 4);
+    b.halt();
+    b.bind(fn);
+    b.addi(4, 4, 22);
+    b.ret();
+    mem::SparseMemory m;
+    std::uint64_t r5 = 0;
+    const auto stats = runToHalt(makeProgram(b, false), m, &r5);
+    EXPECT_EQ(r5, 42u);
+    EXPECT_EQ(stats.calls, 1u);
+}
+
+TEST(FuncSim, WindowedCallIsolatesWindowedRegisters)
+{
+    // Caller's r10 must survive a callee that clobbers r10, with NO
+    // save/restore code, under the windowed ABI.
+    AsmBuilder b;
+    auto fn = b.newLabel();
+    b.addi(10, regZero, 1111);
+    b.call(fn);
+    b.mov(5, 10);
+    b.halt();
+    b.bind(fn);
+    b.addi(10, regZero, 2222); // clobber (own window)
+    b.ret();
+    mem::SparseMemory m;
+    std::uint64_t r5 = 0;
+    runToHalt(makeProgram(b, true), m, &r5);
+    EXPECT_EQ(r5, 1111u);
+}
+
+TEST(FuncSim, NonWindowedCallDoesNotIsolate)
+{
+    // Same program, non-windowed ABI: the clobber is visible.
+    AsmBuilder b;
+    auto fn = b.newLabel();
+    b.addi(10, regZero, 1111);
+    b.call(fn);
+    b.mov(5, 10);
+    b.halt();
+    b.bind(fn);
+    b.addi(10, regZero, 2222);
+    b.ret();
+    mem::SparseMemory m;
+    std::uint64_t r5 = 0;
+    runToHalt(makeProgram(b, false), m, &r5);
+    EXPECT_EQ(r5, 2222u);
+}
+
+TEST(FuncSim, WindowedGlobalsAreShared)
+{
+    // Globals (argument registers) pass values through calls.
+    AsmBuilder b;
+    auto fn = b.newLabel();
+    b.addi(4, regZero, 40);
+    b.call(fn);
+    b.mov(5, 4);
+    b.halt();
+    b.bind(fn);
+    b.addi(4, 4, 2);
+    b.ret();
+    mem::SparseMemory m;
+    std::uint64_t r5 = 0;
+    runToHalt(makeProgram(b, true), m, &r5);
+    EXPECT_EQ(r5, 42u);
+}
+
+TEST(FuncSim, WindowedDeepRecursionFibonacci)
+{
+    // fib(n) with per-frame locals in windowed registers, no explicit
+    // saves: exercises many live windows at once.
+    AsmBuilder b;
+    auto fib = b.newLabel();
+    b.addi(4, regZero, 12); // a0 = 12
+    b.call(fib);
+    b.mov(5, 4);
+    b.halt();
+
+    b.bind(fib);
+    auto recurse = b.newLabel();
+    auto done = b.newLabel();
+    b.addi(10, regZero, 2);
+    b.branch(Opcode::Bge, 4, 10, recurse);
+    b.jmp(done);               // fib(0)=0, fib(1)=1: a0 unchanged
+    b.bind(recurse);
+    b.mov(10, 4);              // save n in windowed local
+    b.addi(4, 10, -1);
+    b.call(fib);               // fib(n-1)
+    b.mov(11, 4);              // windowed local
+    b.addi(4, 10, -2);
+    b.call(fib);               // fib(n-2)
+    b.emitR(Opcode::Add, 4, 4, 11);
+    b.bind(done);
+    b.ret();
+
+    mem::SparseMemory m;
+    std::uint64_t r5 = 0;
+    const auto stats = runToHalt(makeProgram(b, true), m, &r5);
+    EXPECT_EQ(r5, 144u); // fib(12)
+    EXPECT_GT(stats.maxCallDepth, 8u);
+}
+
+TEST(FuncSim, WindowBasePointerMoves)
+{
+    AsmBuilder b;
+    auto fn = b.newLabel();
+    b.call(fn);
+    b.halt();
+    b.bind(fn);
+    b.nop();
+    b.ret();
+    mem::SparseMemory m;
+    isa::Program p = makeProgram(b, true);
+    func::FuncSim sim(p, m);
+    const Addr w0 = sim.windowBase();
+    func::StepRecord rec;
+    sim.step(rec); // call
+    EXPECT_EQ(sim.windowBase(), w0 - layout::windowFrameBytes);
+    sim.step(rec); // nop
+    sim.step(rec); // ret
+    EXPECT_EQ(sim.windowBase(), w0);
+}
+
+TEST(FuncSim, DataSegmentsLoaded)
+{
+    isa::Program p;
+    p.name = "data";
+    AsmBuilder b;
+    b.li(2, 0x1000'0000);
+    b.ld(5, 2, 8);
+    b.halt();
+    p.code = b.seal();
+    p.data.push_back({0x1000'0000, {0, 777, 0}});
+    p.finalize();
+    mem::SparseMemory m;
+    std::uint64_t r5 = 0;
+    runToHalt(p, m, &r5);
+    EXPECT_EQ(r5, 777u);
+}
+
+TEST(FuncSim, RunRespectsInstructionLimit)
+{
+    // Infinite loop.
+    AsmBuilder b;
+    auto top = b.newLabel();
+    b.bind(top);
+    b.addi(5, 5, 1);
+    b.jmp(top);
+    mem::SparseMemory m;
+    isa::Program p = makeProgram(b);
+    func::FuncSim sim(p, m);
+    const auto stats = sim.run(1000);
+    EXPECT_FALSE(sim.halted());
+    EXPECT_EQ(stats.insts, 1000u);
+}
+
+} // namespace

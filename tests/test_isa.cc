@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for the VRISC-64 ISA: register partition invariants,
+ * encode/decode round trips, and decode classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "isa/inst.hh"
+#include "isa/program.hh"
+#include "isa/registers.hh"
+
+namespace {
+
+using namespace vca;
+using namespace vca::isa;
+
+// ---------------------------------------------------------------------
+// Register partition
+// ---------------------------------------------------------------------
+
+TEST(Registers, PartitionCounts)
+{
+    unsigned windowed = 0, global = 0;
+    for (unsigned f = 0; f < numArchRegs; ++f) {
+        const ArchReg r = fromFlatIndex(f);
+        if (isWindowed(r.cls, r.idx))
+            ++windowed;
+        else
+            ++global;
+    }
+    EXPECT_EQ(windowed, windowSlots);
+    EXPECT_EQ(global, globalSlots);
+    EXPECT_EQ(windowed + global, numArchRegs);
+}
+
+TEST(Registers, AbiRoles)
+{
+    EXPECT_FALSE(isWindowed(RegClass::Int, regZero));
+    EXPECT_TRUE(isWindowed(RegClass::Int, regRa));
+    EXPECT_FALSE(isWindowed(RegClass::Int, regSp));
+    EXPECT_FALSE(isWindowed(RegClass::Int, regGp));
+    for (RegIndex a = regArg0; a <= regArg5; ++a)
+        EXPECT_FALSE(isWindowed(RegClass::Int, a)) << "arg r" << a;
+    for (RegIndex t = firstIntTemp; t < numIntRegs; ++t)
+        EXPECT_TRUE(isWindowed(RegClass::Int, t)) << "temp r" << t;
+    for (RegIndex f = 0; f < 8; ++f)
+        EXPECT_FALSE(isWindowed(RegClass::Float, f));
+    for (RegIndex f = 8; f < numFloatRegs; ++f)
+        EXPECT_TRUE(isWindowed(RegClass::Float, f));
+}
+
+TEST(Registers, WindowSlotIsBijective)
+{
+    std::vector<bool> seen(windowSlots, false);
+    for (unsigned f = 0; f < numArchRegs; ++f) {
+        const ArchReg r = fromFlatIndex(f);
+        if (!isWindowed(r.cls, r.idx))
+            continue;
+        const unsigned slot = windowSlot(r.cls, r.idx);
+        ASSERT_LT(slot, windowSlots);
+        EXPECT_FALSE(seen[slot]) << "slot " << slot << " duplicated";
+        seen[slot] = true;
+    }
+}
+
+TEST(Registers, GlobalSlotIsBijective)
+{
+    std::vector<bool> seen(globalSlots, false);
+    for (unsigned f = 0; f < numArchRegs; ++f) {
+        const ArchReg r = fromFlatIndex(f);
+        if (isWindowed(r.cls, r.idx))
+            continue;
+        const unsigned slot = globalSlot(r.cls, r.idx);
+        ASSERT_LT(slot, globalSlots);
+        EXPECT_FALSE(seen[slot]) << "slot " << slot << " duplicated";
+        seen[slot] = true;
+    }
+}
+
+TEST(Registers, FlatIndexRoundTrip)
+{
+    for (unsigned f = 0; f < numArchRegs; ++f) {
+        const ArchReg r = fromFlatIndex(f);
+        EXPECT_EQ(flatIndex(r.cls, r.idx), f);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encode / decode
+// ---------------------------------------------------------------------
+
+TEST(Decode, RFormatRoundTrip)
+{
+    const auto w = encodeR(Opcode::Sub, 5, 7, 9);
+    const StaticInst si = decode(w);
+    EXPECT_EQ(si.op, Opcode::Sub);
+    ASSERT_TRUE(si.hasDest);
+    EXPECT_EQ(si.dest.cls, RegClass::Int);
+    EXPECT_EQ(si.dest.idx, 5);
+    ASSERT_EQ(si.numSrcs, 2u);
+    EXPECT_EQ(si.src[0].idx, 7);
+    EXPECT_EQ(si.src[1].idx, 9);
+    EXPECT_TRUE(si.srcValid[0]);
+    EXPECT_TRUE(si.srcValid[1]);
+}
+
+TEST(Decode, ZeroRegisterSourcesAreInvalidButPositional)
+{
+    // sub r5, r0, r3: src[0] must stay positional (constant 0).
+    const StaticInst si = decode(encodeR(Opcode::Sub, 5, 0, 3));
+    ASSERT_EQ(si.numSrcs, 2u);
+    EXPECT_FALSE(si.srcValid[0]);
+    EXPECT_TRUE(si.srcValid[1]);
+    EXPECT_EQ(si.src[1].idx, 3);
+}
+
+TEST(Decode, ZeroRegisterDestIsDropped)
+{
+    const StaticInst si = decode(encodeR(Opcode::Add, 0, 1, 2));
+    EXPECT_FALSE(si.hasDest);
+}
+
+TEST(Decode, IFormatNegativeImmediate)
+{
+    const StaticInst si = decode(encodeI(Opcode::Addi, 4, 4, -128));
+    EXPECT_EQ(si.imm, -128);
+    EXPECT_EQ(si.op, Opcode::Addi);
+}
+
+TEST(Decode, ImmediateExtremes)
+{
+    EXPECT_EQ(decode(encodeI(Opcode::Addi, 1, 1, imm14Max)).imm, imm14Max);
+    EXPECT_EQ(decode(encodeI(Opcode::Addi, 1, 1, imm14Min)).imm, imm14Min);
+}
+
+TEST(Decode, LoadStoreClassification)
+{
+    const StaticInst ld = decode(encodeI(Opcode::Ld, 10, 2, 16));
+    EXPECT_TRUE(ld.isLoad);
+    EXPECT_FALSE(ld.isStore);
+    EXPECT_EQ(ld.fu, FuClass::MemRead);
+    EXPECT_TRUE(ld.isMem());
+
+    const StaticInst st = decode(encodeB(Opcode::St, 2, 10, 24));
+    EXPECT_TRUE(st.isStore);
+    ASSERT_EQ(st.numSrcs, 2u);
+    EXPECT_EQ(st.src[0].idx, 2);  // base
+    EXPECT_EQ(st.src[1].idx, 10); // data
+    EXPECT_EQ(st.imm, 24);
+}
+
+TEST(Decode, FloatLoadUsesIntBase)
+{
+    const StaticInst fld = decode(encodeI(Opcode::Fld, 9, 2, 0));
+    EXPECT_EQ(fld.dest.cls, RegClass::Float);
+    EXPECT_EQ(fld.src[0].cls, RegClass::Int);
+    EXPECT_TRUE(fld.isFloat);
+}
+
+TEST(Decode, FloatStoreSources)
+{
+    const StaticInst fst = decode(encodeB(Opcode::Fst, 2, 9, 8));
+    ASSERT_EQ(fst.numSrcs, 2u);
+    EXPECT_EQ(fst.src[0].cls, RegClass::Int);
+    EXPECT_EQ(fst.src[1].cls, RegClass::Float);
+}
+
+TEST(Decode, BranchClassification)
+{
+    const StaticInst b = decode(encodeB(Opcode::Bne, 13, 0, -5));
+    EXPECT_TRUE(b.isBranch);
+    EXPECT_TRUE(b.isControl());
+    EXPECT_FALSE(b.hasDest);
+    EXPECT_EQ(b.imm, -5);
+}
+
+TEST(Decode, CallWritesRa)
+{
+    const StaticInst c = decode(encodeJ(Opcode::Call, 1234));
+    EXPECT_TRUE(c.isCall);
+    ASSERT_TRUE(c.hasDest);
+    EXPECT_EQ(c.dest.idx, regRa);
+    EXPECT_EQ(c.imm, 1234);
+}
+
+TEST(Decode, RetReadsRa)
+{
+    const StaticInst r = decode(encodeJ(Opcode::Ret, 0));
+    EXPECT_TRUE(r.isRet);
+    ASSERT_EQ(r.numSrcs, 1u);
+    EXPECT_EQ(r.src[0].idx, regRa);
+}
+
+TEST(Decode, UnknownOpcodeDecodesToHalt)
+{
+    const StaticInst si = decode(0xffu << 24);
+    EXPECT_TRUE(si.isHalt);
+}
+
+TEST(Decode, AllOpcodesDecodeWithoutPanic)
+{
+    for (unsigned op = 0; op < unsigned(Opcode::NumOpcodes); ++op) {
+        const std::uint32_t w = (op << 24) | (3u << 19) | (4u << 14) |
+                                (5u << 9);
+        EXPECT_NO_THROW({
+            const StaticInst si = decode(w);
+            EXPECT_FALSE(disassemble(si).empty());
+        }) << "opcode " << op;
+    }
+}
+
+TEST(Disassemble, ReadableOutput)
+{
+    EXPECT_EQ(disassemble(encodeR(Opcode::Add, 5, 6, 7)).substr(0, 3),
+              "add");
+    EXPECT_NE(disassemble(encodeI(Opcode::Ld, 10, 2, 16)).find("r10"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Program container
+// ---------------------------------------------------------------------
+
+TEST(Program, OutOfRangePcDecodesToHalt)
+{
+    Program p;
+    p.name = "tiny";
+    p.code = {encodeR(Opcode::Add, 1, 2, 3)};
+    p.finalize();
+    EXPECT_TRUE(p.inst(100).isHalt);
+    EXPECT_EQ(p.inst(0).op, Opcode::Add);
+}
+
+TEST(Program, LayoutInvariants)
+{
+    using namespace layout;
+    EXPECT_EQ(windowFrameBytes % 8, 0u);
+    EXPECT_GE(windowFrameBytes, windowSlots * 8);
+    // Dense frames spread across the 64 rename-table sets: the frame
+    // stride in slots must be coprime with the set count.
+    EXPECT_EQ(std::gcd<unsigned>(windowFrameBytes / 8, 64), 1u);
+    EXPECT_EQ(initialWindowPointer() % 8, 0u);
+    // The register space must not collide with code/data/stack.
+    EXPECT_GT(regSpaceBase, stackTop);
+}
+
+} // namespace

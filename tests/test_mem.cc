@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for SparseMemory and the cache timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/sparse_memory.hh"
+
+namespace {
+
+using namespace vca;
+using namespace vca::mem;
+
+TEST(SparseMemory, ZeroFillAndRoundTrip)
+{
+    SparseMemory m;
+    EXPECT_EQ(m.read(0x1234560), 0u);
+    m.write(0x1234560, 0xdeadbeef);
+    EXPECT_EQ(m.read(0x1234560), 0xdeadbeefu);
+    EXPECT_EQ(m.read(0x1234568), 0u);
+}
+
+TEST(SparseMemory, DoubleRoundTrip)
+{
+    SparseMemory m;
+    m.writeDouble(0x1000, 3.25);
+    EXPECT_DOUBLE_EQ(m.readDouble(0x1000), 3.25);
+}
+
+TEST(SparseMemory, PagesAllocatedLazily)
+{
+    SparseMemory m;
+    EXPECT_EQ(m.allocatedPages(), 0u);
+    (void)m.read(0x9999);
+    EXPECT_EQ(m.allocatedPages(), 0u); // reads do not allocate
+    m.write(0x9999, 1);
+    EXPECT_EQ(m.allocatedPages(), 1u);
+    m.write(0x9999 + SparseMemory::pageBytes, 1);
+    EXPECT_EQ(m.allocatedPages(), 2u);
+}
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    CacheTest()
+        : root_("root"),
+          l2_({"l2", 64 * 1024, 4, 64, 15, 32}, nullptr, 250, &root_),
+          l1_({"l1", 4 * 1024, 2, 64, 3, 4}, &l2_, 250, &root_)
+    {
+    }
+
+    stats::StatGroup root_;
+    Cache l2_;
+    Cache l1_;
+};
+
+TEST_F(CacheTest, MissThenHit)
+{
+    auto r1 = l1_.access(0x1000, false, 0);
+    EXPECT_FALSE(r1.hit);
+    EXPECT_GE(r1.latency, 3u + 15u); // L1 lat + L2 (miss there too, +250)
+
+    auto r2 = l1_.access(0x1008, false, r1.latency);
+    EXPECT_TRUE(r2.hit);
+    EXPECT_EQ(r2.latency, 3u);
+    EXPECT_DOUBLE_EQ(l1_.accesses.value(), 2.0);
+    EXPECT_DOUBLE_EQ(l1_.misses.value(), 1.0);
+    EXPECT_DOUBLE_EQ(l1_.hits.value(), 1.0);
+}
+
+TEST_F(CacheTest, L2HitIsCheaperThanMemory)
+{
+    // Warm L2 with the line, then evict it from L1 and re-access.
+    l1_.access(0x1000, false, 0);
+    // L1 is 4K 2-way, 64B lines -> 32 sets; two more lines mapping to
+    // set 0 evict the first.
+    l1_.access(0x1000 + 4096, false, 400);
+    l1_.access(0x1000 + 8192, false, 800);
+    auto r = l1_.access(0x1000, false, 1200);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.latency, 3u + 15u); // L2 hit this time
+}
+
+TEST_F(CacheTest, LruReplacement)
+{
+    // Fill both ways of set 0, touch the first, then insert a third:
+    // the second (LRU) must be evicted.
+    l1_.access(0x0000, false, 0);
+    l1_.access(0x1000, false, 10);
+    l1_.access(0x0000, false, 500);  // refresh line A (after fills done)
+    l1_.access(0x2000, false, 600);  // evicts B
+    auto ra = l1_.access(0x0000, false, 1200);
+    EXPECT_TRUE(ra.hit);
+    auto rb = l1_.access(0x1000, false, 1300);
+    EXPECT_FALSE(rb.hit);
+}
+
+TEST_F(CacheTest, WritebackOnDirtyEviction)
+{
+    l1_.access(0x0000, true, 0);     // dirty line A in set 0
+    l1_.access(0x1000, false, 400);
+    l1_.access(0x2000, false, 800);  // evicts A -> writeback
+    EXPECT_GE(l1_.writebacks.value(), 1.0);
+}
+
+TEST_F(CacheTest, InflightMergeCostsResidualLatency)
+{
+    auto r1 = l1_.access(0x3000, false, 0);
+    ASSERT_FALSE(r1.hit);
+    // Second access to the same line a few cycles later: residual only.
+    auto r2 = l1_.access(0x3008, false, 5);
+    EXPECT_LT(r2.latency, r1.latency);
+    EXPECT_GE(r2.latency, 3u);
+}
+
+TEST_F(CacheTest, MshrExhaustionRejects)
+{
+    // L1 has 4 MSHRs; issue 5 distinct-line misses at the same cycle.
+    unsigned rejects = 0;
+    for (unsigned i = 0; i < 5; ++i) {
+        auto r = l1_.access(0x10000 + i * 4096, false, 0);
+        if (!r.accepted)
+            ++rejects;
+    }
+    EXPECT_EQ(rejects, 1u);
+    EXPECT_DOUBLE_EQ(l1_.mshrRejects.value(), 1.0);
+    // After the misses complete, accesses are accepted again.
+    auto r = l1_.access(0x90000, false, 10'000);
+    EXPECT_TRUE(r.accepted);
+}
+
+TEST_F(CacheTest, InvalidateAllForgetsEverything)
+{
+    l1_.access(0x1000, false, 0);
+    l1_.invalidateAll();
+    auto r = l1_.access(0x1000, false, 5000);
+    EXPECT_FALSE(r.hit);
+}
+
+TEST(MemSystem, ThreadTagSeparatesSpaces)
+{
+    const Addr a = MemSystem::threadTag(0, 0x1000);
+    const Addr b = MemSystem::threadTag(1, 0x1000);
+    EXPECT_NE(a, b);
+
+    MemSystemParams params;
+    params.dl1.sizeBytes = 4096;
+    params.dl1.assoc = 1;
+    MemSystem ms(params);
+    ms.dataAccess(a, false, 0);
+    auto r = ms.dataAccess(b, false, 1000);
+    EXPECT_FALSE(r.hit) << "thread 1 must not hit thread 0's line";
+}
+
+TEST(MemSystem, Table1Defaults)
+{
+    // The defaults must match paper Table 1.
+    MemSystemParams p;
+    EXPECT_EQ(p.dl1.sizeBytes, 64u * 1024);
+    EXPECT_EQ(p.dl1.assoc, 4u);
+    EXPECT_EQ(p.dl1.hitLatency, 3u);
+    EXPECT_EQ(p.il1.sizeBytes, 64u * 1024);
+    EXPECT_EQ(p.il1.hitLatency, 1u);
+    EXPECT_EQ(p.l2.sizeBytes, 1024u * 1024);
+    EXPECT_EQ(p.l2.hitLatency, 15u);
+    EXPECT_EQ(p.memLatency, 250u);
+}
+
+} // namespace

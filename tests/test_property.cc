@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Property-style tests.
+ *
+ *  - Random-profile co-simulation: freshly generated workloads (random
+ *    structural parameters per seed) must commit exactly the golden
+ *    model's instruction stream on the VCA machine.
+ *  - Cross-architecture agreement: the same binary running on every
+ *    architecture commits the same (pc, value) stream.
+ *  - Configuration stress: extreme VCA geometries keep all internal
+ *    invariants (validated after every run).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/ooo_cpu.hh"
+#include "func/func_sim.hh"
+#include "sim/rng.hh"
+#include "wload/generator.hh"
+#include "wload/profile.hh"
+
+namespace {
+
+using namespace vca;
+using namespace vca::cpu;
+
+wload::BenchProfile
+randomProfile(std::uint64_t seed)
+{
+    Rng rng(seed * 77 + 5);
+    wload::BenchProfile p;
+    p.name = "prop_" + std::to_string(seed);
+    p.numFuncs = static_cast<unsigned>(rng.range(6, 40));
+    p.callFanout = static_cast<unsigned>(rng.range(1, 3));
+    p.callSpan = static_cast<unsigned>(rng.range(2, 6));
+    p.bodyOps = static_cast<unsigned>(rng.range(16, 200));
+    p.avgLocals = static_cast<unsigned>(rng.range(4, 12));
+    p.leafFrac = 0.2 + rng.uniform() * 0.4;
+    p.loopTripMean = static_cast<unsigned>(rng.range(2, 20));
+    p.randomBranchFrac = rng.uniform() * 0.4;
+    p.footprintBytes = 4096u << rng.range(0, 10);
+    p.memOpFrac = 0.1 + rng.uniform() * 0.3;
+    p.pointerChaseFrac = rng.chance(0.3) ? rng.uniform() * 0.4 : 0.0;
+    p.fpFrac = rng.chance(0.4) ? rng.uniform() * 0.6 : 0.0;
+    p.targetDynInsts = 400'000;
+    p.seed = seed * 1000 + 7;
+    return p;
+}
+
+/** Run prog on the architecture and co-simulate against FuncSim. */
+void
+checkCosim(const isa::Program &prog, RenamerKind kind, unsigned physRegs,
+           InstCount maxInsts)
+{
+    CpuParams params = CpuParams::preset(kind, physRegs);
+    OooCpu cpu(params, {&prog});
+    mem::SparseMemory refMem;
+    func::FuncSim ref(prog, refMem);
+
+    bool mismatch = false;
+    InstCount checked = 0;
+    cpu.setCommitHook([&](const DynInst &inst) {
+        if (mismatch)
+            return;
+        func::StepRecord rec;
+        ref.step(rec);
+        ++checked;
+        if (rec.pc != inst.pc ||
+            (inst.si->hasDest && !inst.si->isCall &&
+             rec.destValue != inst.result)) {
+            ADD_FAILURE() << prog.name << ": divergence at commit "
+                          << checked << " (pc " << inst.pc << " vs ref "
+                          << rec.pc << ")";
+            mismatch = true;
+        }
+    });
+    cpu.run(maxInsts, maxInsts * 60 + 200'000);
+    EXPECT_FALSE(mismatch);
+    EXPECT_GT(checked, maxInsts / 4);
+    cpu.renamer().validate();
+}
+
+class RandomProfileCosim : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomProfileCosim, VcaMatchesGoldenModel)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    const wload::BenchProfile prof = randomProfile(seed);
+    const isa::Program prog = wload::generateProgram(prof, true);
+    // Register count varies with the seed: exercises plentiful and
+    // starved regimes.
+    const unsigned physRegs = 72 + 32 * (seed % 5);
+    checkCosim(prog, RenamerKind::Vca, physRegs, 25'000);
+}
+
+TEST_P(RandomProfileCosim, ConvWindowMatchesGoldenModel)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    const wload::BenchProfile prof = randomProfile(seed);
+    const isa::Program prog = wload::generateProgram(prof, true);
+    const unsigned physRegs = 160 + 32 * (seed % 3);
+    checkCosim(prog, RenamerKind::ConvWindow, physRegs, 25'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProfileCosim,
+                         ::testing::Range(1, 9));
+
+TEST(CrossArch, AllArchitecturesCommitTheSameStream)
+{
+    // Hash the first N committed (pc, result) pairs per architecture;
+    // the windowed machines share a stream, the baseline has its own
+    // binary (different ABI), so compare within ABI groups.
+    const auto &prof = wload::profileByName("gap");
+    const InstCount n = 30'000;
+
+    auto streamHash = [&](RenamerKind kind, unsigned physRegs) {
+        const isa::Program *prog = wload::cachedProgram(
+            prof, kind != RenamerKind::Baseline);
+        CpuParams params = CpuParams::preset(kind, physRegs);
+        OooCpu cpu(params, {prog});
+        std::uint64_t h = 1469598103934665603ULL;
+        InstCount count = 0;
+        cpu.setCommitHook([&](const DynInst &inst) {
+            if (count >= n)
+                return;
+            ++count;
+            h ^= inst.pc;
+            h *= 1099511628211ULL;
+            if (inst.si->hasDest) {
+                h ^= inst.result;
+                h *= 1099511628211ULL;
+            }
+        });
+        cpu.run(n, n * 60 + 100'000);
+        EXPECT_GE(count, n) << renamerKindName(kind);
+        return h;
+    };
+
+    const std::uint64_t ideal = streamHash(RenamerKind::IdealWindow, 128);
+    const std::uint64_t conv = streamHash(RenamerKind::ConvWindow, 256);
+    const std::uint64_t vcaBig = streamHash(RenamerKind::Vca, 256);
+    const std::uint64_t vcaTiny = streamHash(RenamerKind::Vca, 72);
+    EXPECT_EQ(ideal, conv);
+    EXPECT_EQ(ideal, vcaBig);
+    EXPECT_EQ(ideal, vcaTiny)
+        << "register starvation must never change results";
+}
+
+TEST(VcaStress, ExtremeGeometriesKeepInvariants)
+{
+    const auto &prof = wload::profileByName("perlbmk_535");
+    const isa::Program *prog = wload::cachedProgram(prof, true);
+
+    struct Geometry
+    {
+        unsigned physRegs, sets, assoc, astq, rsids, ports;
+    };
+    const Geometry configs[] = {
+        {64, 16, 2, 1, 2, 4},
+        {80, 64, 1, 2, 4, 6},
+        {96, 32, 8, 8, 16, 8},
+        {200, 128, 2, 4, 8, 8},
+        {448, 64, 6, 16, 32, 12},
+    };
+    for (const Geometry &g : configs) {
+        CpuParams params = CpuParams::preset(RenamerKind::Vca,
+                                             g.physRegs);
+        params.vcaTableSets = g.sets;
+        params.vcaTableAssoc = g.assoc;
+        params.astqEntries = g.astq;
+        params.rsidEntries = g.rsids;
+        params.vcaRenamePorts = g.ports;
+        OooCpu cpu(params, {prog});
+        auto res = cpu.run(15'000, 3'000'000);
+        EXPECT_GT(res.totalInsts, 1000u)
+            << "regs=" << g.physRegs << " sets=" << g.sets;
+        EXPECT_NO_THROW(cpu.renamer().validate())
+            << "regs=" << g.physRegs << " sets=" << g.sets;
+    }
+}
+
+TEST(VcaStress, TinyRsidTableStillCorrect)
+{
+    // With only 2 RSIDs and deep windows the translation table must
+    // flush and reuse identifiers; correctness must be unaffected.
+    const auto &prof = wload::profileByName("perlbmk_535");
+    const isa::Program prog = *wload::cachedProgram(prof, true);
+    CpuParams params = CpuParams::preset(RenamerKind::Vca, 128);
+    params.rsidEntries = 2;
+    params.rsidOffsetBits = 10; // 1 KiB regions: ~3 frames per RSID
+    OooCpu cpu(params, {&prog});
+
+    mem::SparseMemory refMem;
+    func::FuncSim ref(prog, refMem);
+    bool mismatch = false;
+    cpu.setCommitHook([&](const DynInst &inst) {
+        func::StepRecord rec;
+        ref.step(rec);
+        mismatch = mismatch || rec.pc != inst.pc;
+    });
+    cpu.run(20'000, 4'000'000);
+    EXPECT_FALSE(mismatch);
+    cpu.renamer().validate();
+}
+
+TEST(Determinism, TimingRunsAreExactlyRepeatable)
+{
+    const auto &prof = wload::profileByName("twolf");
+    const isa::Program *prog = wload::cachedProgram(prof, true);
+    auto runOnce = [&] {
+        CpuParams params = CpuParams::preset(RenamerKind::Vca, 160);
+        OooCpu cpu(params, {prog});
+        auto r = cpu.run(40'000, 4'000'000);
+        return std::make_pair(r.cycles, r.dcacheAccesses);
+    };
+    const auto a = runOnce();
+    const auto b = runOnce();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+} // namespace

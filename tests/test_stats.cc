@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/statistics.hh"
+
+namespace {
+
+using namespace vca::stats;
+
+TEST(Stats, ScalarAccumulates)
+{
+    StatGroup root("root");
+    Scalar s(&root, "count", "a counter");
+    ++s;
+    s += 4;
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, AverageMean)
+{
+    StatGroup root("root");
+    Average a(&root, "avg", "an average");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2);
+    a.sample(4);
+    a.sample(6);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    StatGroup root("root");
+    Distribution d(&root, "dist", "a histogram", 0, 10, 5);
+    d.sample(0.5);
+    d.sample(9.9);
+    d.sample(-1);   // underflow
+    d.sample(100);  // overflow
+    EXPECT_EQ(d.totalSamples(), 4u);
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.bucketCount(4), 1u);
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 1u);
+    EXPECT_DOUBLE_EQ(d.minSampled(), -1.0);
+    EXPECT_DOUBLE_EQ(d.maxSampled(), 100.0);
+}
+
+TEST(Stats, DistributionRejectsBadConfig)
+{
+    StatGroup root("root");
+    EXPECT_THROW(Distribution(&root, "bad", "", 10, 0, 5),
+                 vca::PanicError);
+    EXPECT_THROW(Distribution(&root, "bad2", "", 0, 10, 0),
+                 vca::PanicError);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    StatGroup root("root");
+    Scalar a(&root, "a", "");
+    Scalar b(&root, "b", "");
+    Formula f(&root, "ratio", "a/b", [&] {
+        return b.value() ? a.value() / b.value() : 0.0;
+    });
+    a += 10;
+    b += 4;
+    EXPECT_DOUBLE_EQ(f.value(), 2.5);
+    a += 10;
+    EXPECT_DOUBLE_EQ(f.value(), 5.0);
+}
+
+TEST(Stats, GroupDumpContainsDottedPaths)
+{
+    StatGroup root("cpu");
+    StatGroup child("dcache", &root);
+    Scalar s(&child, "accesses", "dcache accesses");
+    s += 7;
+    std::ostringstream os;
+    root.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("cpu.dcache.accesses"), std::string::npos);
+    EXPECT_NE(text.find("7"), std::string::npos);
+}
+
+TEST(Stats, GroupResetRecurses)
+{
+    StatGroup root("root");
+    StatGroup child("c", &root);
+    Scalar a(&root, "a", "");
+    Scalar b(&child, "b", "");
+    a += 1;
+    b += 2;
+    root.resetStats();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}
+
+TEST(Stats, FindLocatesStat)
+{
+    StatGroup root("root");
+    Scalar a(&root, "alpha", "");
+    EXPECT_EQ(root.find("alpha"), &a);
+    EXPECT_EQ(root.find("beta"), nullptr);
+}
+
+TEST(Stats, OrphanStatPanics)
+{
+    EXPECT_THROW(Scalar(nullptr, "x", ""), vca::PanicError);
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the workload substrate: assembler fixups, generated-program
+ * well-formedness, two-ABI equivalence (same results, windowed path is
+ * shorter), determinism, and Table-2-style path-length ratios.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/func_sim.hh"
+#include "sim/logging.hh"
+#include "wload/asm_builder.hh"
+#include "wload/generator.hh"
+#include "wload/profile.hh"
+
+namespace {
+
+using namespace vca;
+using wload::AsmBuilder;
+using wload::BenchProfile;
+
+TEST(AsmBuilder, ForwardAndBackwardBranches)
+{
+    AsmBuilder b;
+    auto fwd = b.newLabel();
+    auto back = b.newLabel();
+    b.bind(back);
+    b.nop();
+    b.branch(isa::Opcode::Beq, 1, 2, fwd);
+    b.branch(isa::Opcode::Bne, 1, 2, back);
+    b.bind(fwd);
+    b.halt();
+    auto code = b.seal();
+    ASSERT_EQ(code.size(), 4u);
+    EXPECT_EQ(isa::decode(code[1]).imm, 1);  // to 'fwd' at 3: 3-(1+1)
+    EXPECT_EQ(isa::decode(code[2]).imm, -3); // to 'back' at 0: 0-(2+1)
+}
+
+TEST(AsmBuilder, UnboundLabelPanics)
+{
+    AsmBuilder b;
+    auto l = b.newLabel();
+    b.jmp(l);
+    EXPECT_THROW(b.seal(), PanicError);
+}
+
+TEST(AsmBuilder, LiProducesExactConstants)
+{
+    const std::uint64_t values[] = {
+        0, 1, 42, 8191, 8192, -1ull, 0x1000'0000ull,
+        isa::layout::stackTop, isa::layout::regSpaceBase,
+        0xdeadbeefcafebabeull,
+    };
+    for (std::uint64_t v : values) {
+        AsmBuilder b;
+        b.li(5, v);
+        b.halt();
+        isa::Program p;
+        p.name = "li";
+        p.code = b.seal();
+        p.finalize();
+        mem::SparseMemory m;
+        func::FuncSim sim(p, m);
+        sim.run();
+        EXPECT_EQ(sim.readIntReg(5), v) << "value " << std::hex << v;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generated programs
+// ---------------------------------------------------------------------
+
+class GeneratorTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(GeneratorTest, BothAbisRunToCompletionWithEqualResults)
+{
+    const BenchProfile &prof = wload::profileByName(GetParam());
+
+    const isa::Program *pw = wload::cachedProgram(prof, true);
+    const isa::Program *pn = wload::cachedProgram(prof, false);
+    ASSERT_TRUE(pw->windowedAbi);
+    ASSERT_FALSE(pn->windowedAbi);
+
+    mem::SparseMemory mw, mn;
+    func::FuncSim fw(*pw, mw), fn(*pn, mn);
+    const auto sw = fw.run(400'000'000);
+    const auto sn = fn.run(400'000'000);
+    ASSERT_TRUE(fw.halted()) << prof.name << " windowed did not halt";
+    ASSERT_TRUE(fn.halted()) << prof.name << " non-windowed did not halt";
+
+    // Same dynamic work: identical call counts and conditional-branch
+    // outcome counts (control flow must match exactly).
+    EXPECT_EQ(sw.calls, sn.calls);
+    EXPECT_EQ(sw.condBranches, sn.condBranches);
+    EXPECT_EQ(sw.takenCondBranches, sn.takenCondBranches);
+
+    // The windowed path must be strictly shorter (it drops the explicit
+    // save/restore code) and the ratio must be in a sane band.
+    EXPECT_LT(sw.insts, sn.insts);
+    const double ratio = double(sw.insts) / double(sn.insts);
+    EXPECT_GT(ratio, 0.6) << prof.name;
+    EXPECT_LT(ratio, 1.0) << prof.name;
+
+    // Loads/stores: windowed has strictly fewer (no spill/fill code).
+    EXPECT_LT(sw.loads, sn.loads);
+    EXPECT_LT(sw.stores, sn.stores);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCallHeavy, GeneratorTest,
+                         ::testing::Values("gzip_graphic", "crafty",
+                                           "perlbmk_535", "vortex_2",
+                                           "twolf", "mesa", "equake"));
+
+TEST(Generator, Deterministic)
+{
+    const BenchProfile &prof = wload::profileByName("crafty");
+    const isa::Program a = wload::generateProgram(prof, true);
+    const isa::Program b = wload::generateProgram(prof, true);
+    EXPECT_EQ(a.code, b.code);
+    ASSERT_EQ(a.data.size(), b.data.size());
+    for (size_t i = 0; i < a.data.size(); ++i) {
+        EXPECT_EQ(a.data[i].base, b.data[i].base);
+        EXPECT_EQ(a.data[i].words, b.data[i].words);
+    }
+}
+
+TEST(Generator, DifferentSeedsDiffer)
+{
+    BenchProfile p = wload::profileByName("crafty");
+    const isa::Program a = wload::generateProgram(p, true);
+    p.seed += 1;
+    const isa::Program b = wload::generateProgram(p, true);
+    EXPECT_NE(a.code, b.code);
+}
+
+TEST(Generator, CallHeavyProfilesCallFrequentlyEnough)
+{
+    // Paper Section 3.1: register-window benchmarks must call at least
+    // once every 500 instructions.
+    for (const BenchProfile &prof : wload::regWindowProfiles()) {
+        mem::SparseMemory m;
+        func::FuncSim sim(*wload::cachedProgram(prof, false), m);
+        const auto s = sim.run(3'000'000);
+        ASSERT_GT(s.calls, 0u) << prof.name;
+        const double instsPerCall = double(s.insts) / double(s.calls);
+        EXPECT_LT(instsPerCall, 500.0) << prof.name;
+    }
+}
+
+TEST(Generator, ProgramsAreLongEnoughForTimingRuns)
+{
+    for (const char *name : {"twolf", "swim", "vortex_2"}) {
+        const BenchProfile &prof = wload::profileByName(name);
+        mem::SparseMemory m;
+        func::FuncSim sim(*wload::cachedProgram(prof, true), m);
+        const auto s = sim.run(400'000'000);
+        EXPECT_TRUE(sim.halted()) << name;
+        EXPECT_GT(s.insts, 400'000u) << name;
+    }
+}
+
+TEST(Generator, ProfileTableShape)
+{
+    const auto &all = wload::spec2000Profiles();
+    EXPECT_EQ(all.size(), 22u);
+    EXPECT_EQ(wload::regWindowProfiles().size(), 15u);
+    unsigned fp = 0;
+    for (const auto &p : all)
+        fp += p.isFloat ? 1 : 0;
+    EXPECT_EQ(fp, 10u);
+}
+
+TEST(Generator, UnknownProfileNameIsFatal)
+{
+    EXPECT_THROW(wload::profileByName("not_a_benchmark"), FatalError);
+}
+
+} // namespace
+
+TEST(Generator, AllProfilesGenerateRunnableCodeInBothAbis)
+{
+    // Structural smoke over the full benchmark universe: every profile
+    // must produce well-formed code under both ABIs (seal() panics on
+    // bad fixups) that executes cleanly for a while.
+    for (const BenchProfile &prof : wload::spec2000Profiles()) {
+        for (bool windowed : {false, true}) {
+            const isa::Program *prog =
+                wload::cachedProgram(prof, windowed);
+            ASSERT_GT(prog->size(), 100u) << prof.name;
+            ASSERT_TRUE(prog->finalized());
+            EXPECT_EQ(prog->windowedAbi, windowed);
+            mem::SparseMemory m;
+            func::FuncSim sim(*prog, m);
+            const auto s = sim.run(50'000);
+            EXPECT_EQ(s.insts, 50'000u)
+                << prof.name << " halted too early";
+        }
+    }
+}
+
+TEST(Generator, WindowedBinaryIsStaticallySmaller)
+{
+    // The windowed binary drops the callee-save prologue/epilogue code.
+    for (const char *name : {"vortex_2", "perlbmk_535", "crafty"}) {
+        const BenchProfile &prof = wload::profileByName(name);
+        EXPECT_LT(wload::cachedProgram(prof, true)->size(),
+                  wload::cachedProgram(prof, false)->size())
+            << name;
+    }
+}

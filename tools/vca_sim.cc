@@ -1,0 +1,178 @@
+/**
+ * @file
+ * vca-sim: the standalone command-line simulator driver.
+ *
+ * Runs one of the bundled SPEC-like benchmarks (or an SMT mix) on any
+ * of the four register-management architectures and dumps the full
+ * statistics tree — the sim-outorder-style front door for users who
+ * want to poke at configurations without writing C++.
+ *
+ * Examples:
+ *   vca-sim --bench=crafty --arch=vca --regs=128
+ *   vca-sim --bench=crafty,mesa,gap,gzip_graphic --arch=vca \
+ *           --regs=192 --windows=true --insts=200000
+ *   vca-sim --list-benches
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/experiment.hh"
+#include "cpu/ooo_cpu.hh"
+#include "cpu/tracer.hh"
+#include "sim/options.hh"
+#include "wload/generator.hh"
+#include "wload/profile.hh"
+
+using namespace vca;
+
+namespace {
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+cpu::RenamerKind
+parseArch(const std::string &name)
+{
+    if (name == "baseline")
+        return cpu::RenamerKind::Baseline;
+    if (name == "regwindow" || name == "convwindow")
+        return cpu::RenamerKind::ConvWindow;
+    if (name == "ideal")
+        return cpu::RenamerKind::IdealWindow;
+    if (name == "vca")
+        return cpu::RenamerKind::Vca;
+    fatal("unknown --arch '%s' (baseline|regwindow|ideal|vca)",
+          name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    opts.add("bench", "crafty",
+             "benchmark name, or a comma list for SMT (one per thread)");
+    opts.add("arch", "vca", "baseline | regwindow | ideal | vca");
+    opts.add("regs", "256", "physical register file size");
+    opts.add("windows", "auto",
+             "run windowed binaries: true | false | auto (by arch)");
+    opts.add("insts", "200000", "instructions to commit per thread");
+    opts.add("warmup", "20000", "warm-up instructions per thread");
+    opts.add("dcache-ports", "2", "L1D ports");
+    opts.add("astq", "4", "ASTQ entries (vca)");
+    opts.add("table-assoc", "0",
+             "vca rename-table associativity (0 = paper default)");
+    opts.add("dead-hints", "false", "enable dead-value hints (vca)");
+    opts.add("stats", "true", "dump the statistics tree");
+    opts.add("trace", "0",
+             "print a commit trace for the first N instructions");
+    opts.add("list-benches", "false", "list bundled benchmarks and exit");
+    opts.add("quiet", "true", "suppress warnings");
+    opts.add("help", "false", "show this help");
+
+    if (!opts.parse(argc, argv)) {
+        std::fprintf(stderr, "error: %s\n%s", opts.error().c_str(),
+                     opts.usage("vca-sim").c_str());
+        return 1;
+    }
+    if (opts.getBool("help")) {
+        std::fputs(opts.usage("vca-sim").c_str(), stdout);
+        return 0;
+    }
+    setQuiet(opts.getBool("quiet"));
+
+    if (opts.getBool("list-benches")) {
+        std::printf("%-16s %6s %10s %10s %8s\n", "name", "fp",
+                    "footprint", "target", "windows?");
+        for (const auto &p : wload::spec2000Profiles()) {
+            std::printf("%-16s %6s %9lluK %9lluK %8s\n", p.name.c_str(),
+                        p.isFloat ? "yes" : "no",
+                        (unsigned long long)p.footprintBytes / 1024,
+                        (unsigned long long)p.targetDynInsts / 1000,
+                        p.callHeavy ? "table2" : "");
+        }
+        return 0;
+    }
+
+    const cpu::RenamerKind kind = parseArch(opts.get("arch"));
+    const std::string windowsOpt = opts.get("windows");
+    const bool windowed = windowsOpt == "auto"
+        ? analysis::usesWindowedBinary(kind)
+        : (windowsOpt == "true" || windowsOpt == "1");
+
+    const auto benchNames = splitCommas(opts.get("bench"));
+    if (benchNames.empty())
+        fatal("--bench must name at least one benchmark");
+
+    std::vector<const isa::Program *> programs;
+    for (const std::string &name : benchNames) {
+        programs.push_back(wload::cachedProgram(
+            wload::profileByName(name), windowed));
+    }
+
+    cpu::CpuParams params = cpu::CpuParams::preset(
+        kind, static_cast<unsigned>(opts.getU64("regs")),
+        static_cast<unsigned>(programs.size()));
+    params.dcachePorts =
+        static_cast<unsigned>(opts.getU64("dcache-ports"));
+    params.astqEntries = static_cast<unsigned>(opts.getU64("astq"));
+    if (opts.getU64("table-assoc") > 0) {
+        params.vcaTableAssoc =
+            static_cast<unsigned>(opts.getU64("table-assoc"));
+    }
+    params.vcaDeadValueHints = opts.getBool("dead-hints");
+
+    try {
+        cpu::OooCpu cpu(params, programs);
+        if (opts.getU64("trace") > 0) {
+            cpu::TraceOptions traceOpts;
+            traceOpts.maxInsts = opts.getU64("trace");
+            cpu::attachCommitTracer(cpu, std::cout, traceOpts);
+        }
+        const InstCount warmup = opts.getU64("warmup");
+        const InstCount insts = opts.getU64("insts");
+        if (warmup) {
+            cpu.run(warmup, warmup * 200 + 100'000,
+                    programs.size() > 1);
+            cpu.resetStats();
+        }
+        const auto res = cpu.run(insts, insts * 200 + 100'000,
+                                 programs.size() > 1);
+
+        std::printf("arch=%s regs=%u threads=%zu windowed=%d\n",
+                    cpu::renamerKindName(kind), params.physRegs,
+                    programs.size(), windowed ? 1 : 0);
+        std::printf("cycles=%llu insts=%llu ipc=%.4f cpi=%.4f\n",
+                    (unsigned long long)res.cycles,
+                    (unsigned long long)res.totalInsts, res.ipc,
+                    res.ipc > 0 ? 1.0 / res.ipc : 0.0);
+        for (size_t t = 0; t < programs.size(); ++t) {
+            std::printf("thread %zu (%s): insts=%llu\n", t,
+                        benchNames[t].c_str(),
+                        (unsigned long long)res.threadInsts[t]);
+        }
+        if (opts.getBool("stats")) {
+            std::printf("\n-- statistics --\n");
+            std::ostringstream os;
+            cpu.dump(os);
+            std::fputs(os.str().c_str(), stdout);
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr,
+                     "configuration cannot operate: %s\n", e.what());
+        return 2;
+    }
+    return 0;
+}
