@@ -123,5 +123,6 @@ main()
         const auto r = runConfig(p);
         std::printf("%6u %8.3f\n", ports, r.ipc);
     }
+    printCycleAccounting({cpu::RenamerKind::Vca}, 192, defaultOptions());
     return 0;
 }

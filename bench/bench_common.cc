@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "trace/json.hh"
+
 namespace vca::bench {
 
 using analysis::Measurement;
@@ -88,6 +90,75 @@ writeSeriesCsv(const std::string &slug,
         os << "\n";
     }
     inform("wrote %s", path.c_str());
+}
+
+void
+writeSeriesJson(const std::string &slug,
+                const std::vector<unsigned> &physRegs,
+                const std::map<std::string, std::vector<double>> &series)
+{
+    const char *dir = std::getenv("VCA_BENCH_JSON_DIR");
+    if (!dir || !*dir)
+        return;
+    const std::string path =
+        std::string(dir) + "/BENCH_" + slug + ".json";
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write JSON to %s", path.c_str());
+        return;
+    }
+    trace::JsonWriter w(os);
+    w.beginObject();
+    w.key("bench").string(slug);
+    w.key("phys_regs").beginArray();
+    for (unsigned p : physRegs)
+        w.number(std::uint64_t(p));
+    w.endArray();
+    w.key("series").beginObject();
+    for (const auto &[name, values] : series) {
+        w.key(name).beginArray();
+        for (double v : values) {
+            if (v < 0)
+                w.null(); // configuration cannot operate
+            else
+                w.number(v);
+        }
+        w.endArray();
+    }
+    w.endObject();
+    w.endObject();
+    os << '\n';
+    inform("wrote %s", path.c_str());
+}
+
+void
+printCycleAccounting(const std::vector<cpu::RenamerKind> &archs,
+                     unsigned physRegs,
+                     const analysis::RunOptions &opts,
+                     const std::string &benchName)
+{
+    std::printf("\n== Cycle accounting: %s @ %u phys regs ==\n",
+                benchName.c_str(), physRegs);
+    bool header = false;
+    for (RenamerKind kind : archs) {
+        const Measurement m = analysis::runBench(
+            wload::profileByName(benchName), kind, physRegs, opts);
+        if (!header && m.ok) {
+            std::printf("%-12s", "arch");
+            for (const auto &[name, frac] : m.cycleBreakdown)
+                std::printf(" %10s", name.c_str());
+            std::printf("   (%% of cycles)\n");
+            header = true;
+        }
+        std::printf("%-12s", archLabel(kind));
+        if (!m.ok) {
+            std::printf(" %9s\n", "n/a");
+            continue;
+        }
+        for (const auto &[name, frac] : m.cycleBreakdown)
+            std::printf("     %5.1f%%", 100 * frac);
+        std::printf("\n");
+    }
 }
 
 analysis::WorkloadSelection

@@ -75,6 +75,16 @@ void writeSeriesCsv(const std::string &slug,
                     const std::map<std::string,
                                    std::vector<double>> &series);
 
+/**
+ * Write one figure's series as BENCH_<slug>.json into
+ * $VCA_BENCH_JSON_DIR (if set): machine-readable results for
+ * regression tracking. Inoperable points export as null.
+ */
+void writeSeriesJson(const std::string &slug,
+                     const std::vector<unsigned> &physRegs,
+                     const std::map<std::string,
+                                    std::vector<double>> &series);
+
 /** Print one figure-style series table (and CSV when enabled). */
 inline void
 printSeries(const char *title, const char *valueName,
@@ -102,7 +112,18 @@ printSeries(const char *title, const char *valueName,
         slug += (*c == ' ') ? '_' : static_cast<char>(
             std::tolower(static_cast<unsigned char>(*c)));
     writeSeriesCsv(slug, physRegs, series);
+    writeSeriesJson(slug, physRegs, series);
 }
+
+/**
+ * Print the cycle-accounting breakdown (commit-stall attribution) of
+ * one representative run per architecture, so every bench shows where
+ * the cycles of its configurations actually go.
+ */
+void printCycleAccounting(const std::vector<cpu::RenamerKind> &archs,
+                          unsigned physRegs,
+                          const analysis::RunOptions &opts,
+                          const std::string &benchName = "crafty");
 
 /**
  * Sweep the register-window architectures over physical register file

@@ -28,5 +28,6 @@ main()
     printSeries("Figure 4: Register window execution time "
                 "(normalized to baseline @ 256)",
                 "norm. execution time", sizes, series);
+    printCycleAccounting(regWindowArchs(), 192, defaultOptions());
     return 0;
 }

@@ -27,5 +27,6 @@ main()
     printSeries("Figure 5: Register window data cache accesses "
                 "(normalized to baseline @ 256)",
                 "norm. dcache accesses", sizes, series);
+    printCycleAccounting(regWindowArchs(), 192, defaultOptions());
     return 0;
 }

@@ -28,5 +28,6 @@ main()
     printSeries("Figure 6: Single cache port execution time "
                 "(normalized to dual-port baseline @ 256)",
                 "norm. execution time", sizes, series);
+    printCycleAccounting(regWindowArchs(), 192, opts);
     return 0;
 }

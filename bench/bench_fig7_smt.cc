@@ -78,5 +78,7 @@ main()
     printSeries("Figure 7: SMT weighted speedup "
                 "(vs 1T baseline @ 256)",
                 "weighted speedup", sizes, series);
+    printCycleAccounting({cpu::RenamerKind::Baseline,
+                          cpu::RenamerKind::Vca}, 192, opts);
     return 0;
 }

@@ -102,5 +102,7 @@ main()
         std::printf("4T windowed VCA @192 vs baseline @448:    %+5.1f%% "
                     "(paper:  -5%%)\n", 100 * (v / b - 1));
     }
+    printCycleAccounting({cpu::RenamerKind::Baseline,
+                          cpu::RenamerKind::Vca}, 192, opts);
     return 0;
 }

@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "bench_common.hh"
 #include "bpred/bpred.hh"
 #include "cpu/ooo_cpu.hh"
 #include "func/func_sim.hh"
@@ -121,4 +122,15 @@ BENCHMARK(BM_PipelineThroughput)
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    bench::printCycleAccounting(bench::regWindowArchs(), 192,
+                                bench::defaultOptions());
+    return 0;
+}

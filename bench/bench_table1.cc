@@ -62,5 +62,7 @@ main()
                 p.astqWritesPerCycle);
     std::printf("RSID table: %u entries, %u-bit register-space offset\n",
                 p.rsidEntries, p.rsidOffsetBits);
+    bench::printCycleAccounting({cpu::RenamerKind::Baseline}, 256,
+                                bench::defaultOptions());
     return 0;
 }

@@ -43,5 +43,7 @@ main()
     }
     std::printf("%-16s %12s %12s %8.2f   (paper: 0.92)\n", "Average", "",
                 "", analysis::mean(ratios));
+    bench::printCycleAccounting(bench::regWindowArchs(), 192,
+                                bench::defaultOptions());
     return 0;
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full verification sweep: build and test the Release configuration and
+# an AddressSanitizer/UBSan configuration.
+#
+# Usage: scripts/check.sh [extra ctest args...]
+#   CHECK_JOBS=N        parallelism (default: nproc)
+#   CHECK_BUILD_DIR=dir build-tree root (default: build-check)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="${CHECK_JOBS:-$(nproc)}"
+root="${CHECK_BUILD_DIR:-build-check}"
+
+run_config() {
+    local name="$1"
+    shift
+    local dir="$root/$name"
+    echo "== configure $name =="
+    cmake -B "$dir" -S . "$@" >/dev/null
+    echo "== build $name =="
+    cmake --build "$dir" -j "$jobs"
+    echo "== test $name =="
+    (cd "$dir" && ctest --output-on-failure -j "$jobs" "${CTEST_ARGS[@]}")
+}
+
+CTEST_ARGS=("$@")
+
+run_config release -DCMAKE_BUILD_TYPE=Release
+run_config asan-ubsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DVCA_SANITIZE=address,undefined
+
+echo "== all configurations passed =="

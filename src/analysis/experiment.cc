@@ -1,5 +1,6 @@
 #include "analysis/experiment.hh"
 
+#include <algorithm>
 #include <map>
 #include <mutex>
 #include <numeric>
@@ -49,6 +50,16 @@ runTiming(const std::vector<const isa::Program *> &programs,
                 ti ? static_cast<double>(res.cycles) / ti : 0.0);
             m.threadDcachePerInst.push_back(m.dcacheAccPerInst);
         }
+        const double cycles = std::max(1.0, double(res.cycles));
+        const auto &ca = cpu.cycleAccounting;
+        m.cycleBreakdown = {
+            {"commit", ca.commitActive.value() / cycles},
+            {"mem", ca.memStall.value() / cycles},
+            {"exec", ca.execStall.value() / cycles},
+            {"rename", ca.renameFreeList.value() / cycles},
+            {"window", ca.windowShift.value() / cycles},
+            {"frontend", ca.frontendStall.value() / cycles},
+        };
     } catch (const FatalError &e) {
         m.ok = false;
         m.error = e.what();

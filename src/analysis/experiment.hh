@@ -18,6 +18,7 @@
 #define VCA_ANALYSIS_EXPERIMENT_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cpu/ooo_cpu.hh"
@@ -50,6 +51,9 @@ struct Measurement
     std::vector<double> threadCpi;   ///< per-thread CPI
     std::vector<double> threadDcachePerInst; ///< aggregate rate copy
     std::vector<InstCount> threadInsts;
+    /** Commit-stall attribution: (bucket name, fraction of cycles),
+     *  from OooCpu's cycle_accounting group. Fractions sum to 1. */
+    std::vector<std::pair<std::string, double>> cycleBreakdown;
 };
 
 /** Run a timing measurement for an arbitrary program/thread set. */

@@ -2,6 +2,7 @@
 
 #include "isa/program.hh"
 #include "sim/logging.hh"
+#include "trace/debug_flags.hh"
 
 namespace vca::core {
 
@@ -118,6 +119,8 @@ VcaRenamer::enqueueSpill(PhysRegIndex reg)
     memoryFor(s.addr, 0).write(s.addr, regs_.read(reg));
     s.dirty = false;
     ++spills;
+    DPRINTF(VcaCache, "spill p%d -> addr 0x%llx", int(reg),
+            (unsigned long long)s.addr);
     if (!ideal_) {
         astq_.enqueue({true, s.addr, invalidPhysReg,
                        static_cast<ThreadId>(
@@ -182,9 +185,14 @@ VcaRenamer::getEntry(Addr addr, bool &stalled)
                 const int victim = rsid_.victim();
                 if (victim < 0 || !flushRsid(victim)) {
                     ++stallsRsid;
+                    DPRINTF(VcaRename,
+                            "stall: RSID flush blocked (addr 0x%llx)",
+                            (unsigned long long)addr);
                     stalled = true;
                     return nullptr;
                 }
+                DPRINTF(VcaRename, "RSID %d flushed for addr 0x%llx",
+                        victim, (unsigned long long)addr);
                 rsid_.invalidate(victim);
                 rsid = rsid_.allocate(addr);
                 if (rsid == RsidTable::noRsid)
@@ -222,13 +230,23 @@ VcaRenamer::getEntry(Addr addr, bool &stalled)
         if (dirtyChoice && !canSpill) {
             astq_.noteRejected(1);
             ++stallsAstq;
+            DPRINTF(VcaRename,
+                    "stall: ASTQ full, dirty victim for addr 0x%llx",
+                    (unsigned long long)addr);
         } else {
             ++stallsTableConflict;
+            DPRINTF(VcaRename,
+                    "stall: table set conflict for addr 0x%llx",
+                    (unsigned long long)addr);
         }
         stalled = true;
         return nullptr;
     }
 
+    DPRINTF(VcaRename, "evict table entry addr 0x%llx (%s) for 0x%llx",
+            (unsigned long long)choice->addr,
+            regState_[choice->front].dirty ? "dirty" : "clean",
+            (unsigned long long)addr);
     if (regState_[choice->front].dirty)
         enqueueSpill(choice->front);
     dropEntryRsidRef(choice);
@@ -251,8 +269,10 @@ VcaRenamer::allocPhys(bool &stalled)
         if (!canSpill) {
             astq_.noteRejected(1);
             ++stallsAstq;
+            DPRINTF(VcaRename, "stall: ASTQ full, no clean victim reg");
         } else {
             ++stallsNoFreeReg;
+            DPRINTF(VcaRename, "stall: no free/evictable register");
         }
         stalled = true;
         return invalidPhysReg;
@@ -262,6 +282,9 @@ VcaRenamer::allocPhys(bool &stalled)
     TableEntry *entry = table_.lookup(s.addr);
     if (!entry)
         panic("victim register %d has no rename-table entry", int(victim));
+
+    DPRINTF(VcaRename, "reclaim p%d (addr 0x%llx, %s)", int(victim),
+            (unsigned long long)s.addr, s.dirty ? "dirty" : "clean");
 
     if (s.dirty)
         enqueueSpill(victim);
@@ -354,8 +377,13 @@ VcaRenamer::rename(DynInst &inst, Cycle now)
             phys = entry->front;
             if (phys == invalidPhysReg)
                 panic("valid rename-table entry with no front register");
+            DPRINTFT(VcaRename, inst.tid,
+                     "src hit addr 0x%llx -> p%d",
+                     (unsigned long long)srcAddr[s], int(phys));
         } else {
             ++tableMisses;
+            DPRINTFT(VcaRename, inst.tid, "src miss addr 0x%llx",
+                     (unsigned long long)srcAddr[s]);
             // Fill path.
             if (!ideal_ && !astq_.canEnqueue(1)) {
                 astq_.noteRejected(1);
@@ -395,6 +423,8 @@ VcaRenamer::rename(DynInst &inst, Cycle now)
             entry->front = phys;
             entry->commit = phys;
             ++fills;
+            DPRINTFT(VcaCache, inst.tid, "fill p%d <- addr 0x%llx",
+                     int(phys), (unsigned long long)srcAddr[s]);
             if (ideal_) {
                 regs_.write(phys,
                             memoryFor(srcAddr[s], inst.tid)

@@ -1,6 +1,7 @@
 #include "cpu/conv_renamer.hh"
 
 #include "sim/logging.hh"
+#include "trace/debug_flags.hh"
 
 namespace vca::cpu {
 
@@ -302,6 +303,9 @@ WindowConvRenamer::performTrap(ThreadId tid)
 
     if (tw.pendingTrap == ThreadWindows::Trap::Overflow) {
         ++overflowTraps;
+        DPRINTFT(WindowTrap, tid,
+                 "overflow trap: spilling window %d (depth %d)",
+                 int(tw.oldestResident), int(tw.commitDepth));
         // Spill the oldest resident window's dirty registers. The
         // pipeline is flushed, so the RAT is architectural.
         const std::int32_t victim = tw.oldestResident;
@@ -333,6 +337,9 @@ WindowConvRenamer::performTrap(ThreadId tid)
         tw.dirty[w][isa::windowSlot(RegClass::Int, isa::regRa)] = true;
     } else if (tw.pendingTrap == ThreadWindows::Trap::Underflow) {
         ++underflowTraps;
+        DPRINTFT(WindowTrap, tid,
+                 "underflow trap: restoring window %d",
+                 int(tw.commitDepth));
         // Restore the whole departing-to window from memory -- "fill a
         // new window on an underflow" including dead registers.
         const std::int32_t restored = tw.commitDepth;

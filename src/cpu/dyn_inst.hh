@@ -59,6 +59,16 @@ struct DynInst
     bool completed = false;
     bool squashed = false;
 
+    // Pipeline stage timestamps (cycles), captured as the instruction
+    // flows and emitted by the O3PipeView tracer at commit. Invariant:
+    // fetch <= decode <= rename <= dispatch <= issue <= complete.
+    Cycle fetchTick = 0;
+    Cycle decodeTick = 0;
+    Cycle renameTick = 0;
+    Cycle dispatchTick = 0;
+    Cycle issueTick = 0;
+    Cycle completeTick = 0;
+
     // Execution.
     std::uint64_t result = 0;
     Addr effAddr = invalidAddr;

@@ -6,7 +6,9 @@
 #include "core/vca_renamer.hh"
 #include "cpu/conv_renamer.hh"
 #include "func/func_sim.hh"
+#include "isa/inst.hh"
 #include "sim/logging.hh"
+#include "trace/debug_flags.hh"
 
 namespace vca::cpu {
 
@@ -24,6 +26,28 @@ renamerKindName(RenamerKind kind)
       case RenamerKind::Vca:         return "vca";
     }
     return "?";
+}
+
+CycleAccounting::CycleAccounting(stats::StatGroup *parent)
+    : stats::StatGroup("cycle_accounting", parent),
+      commitActive(this, "commit_active",
+                   "cycles that retired at least one instruction"),
+      memStall(this, "mem_stall",
+               "stall cycles: oldest instruction is an unfinished "
+               "load/store"),
+      execStall(this, "exec_stall",
+                "stall cycles: oldest instruction unfinished, "
+                "non-memory"),
+      renameFreeList(this, "rename_freelist",
+                     "stall cycles: ROB empty, renamer refused "
+                     "(free list / table conflicts / ports)"),
+      windowShift(this, "window_shift",
+                  "stall cycles: ROB empty, rename blocked by a "
+                  "window trap or mispredict recovery walk"),
+      frontendStall(this, "frontend",
+                    "stall cycles: ROB empty, front end still "
+                    "fetching/decoding")
+{
 }
 
 OooCpu::OooCpu(const CpuParams &params,
@@ -52,6 +76,10 @@ OooCpu::OooCpu(const CpuParams &params,
       iqOccupancyDist(this, "iq_occupancy",
                       "IQ occupancy sampled per cycle", 0,
                       params.iqSize + 1, 16),
+      committedTotalAlias(this, "committedTotal",
+                          "alias of committed_insts for tooling",
+                          [this] { return committedTotal.value(); }),
+      cycleAccounting(this),
       params_(params),
       memSys_(params.memParams, this),
       bpred_(params.bpredParams, params.numThreads, this),
@@ -352,6 +380,7 @@ OooCpu::completeInst(DynInst *inst)
     if (inst->completed)
         return;
     inst->completed = true;
+    inst->completeTick = now_;
     if (inst->si->hasDest) {
         regs_.write(inst->destPhys, inst->result);
         regs_.setReady(inst->destPhys, true);
@@ -370,6 +399,12 @@ OooCpu::resolveControl(DynInst *inst)
     ++mispredicts;
     inst->mispredicted = true;
     const ThreadId tid = inst->tid;
+    DPRINTFT(Squash, tid,
+             "mispredict seq=%llu pc=%llu predNpc=%llu actualNpc=%llu",
+             (unsigned long long)inst->seq,
+             (unsigned long long)inst->pc,
+             (unsigned long long)inst->predNpc,
+             (unsigned long long)inst->actualNpc);
 
     // How far the branch sits from the ROB head determines the
     // commit-table walk length of the VCA recovery scheme.
@@ -406,6 +441,11 @@ void
 OooCpu::squashThread(ThreadId tid, std::uint64_t afterSeq)
 {
     ThreadState &ts = threads_.at(tid);
+    DPRINTFT(Squash, tid,
+             "squash after seq=%llu (%zu frontend, %zu rob entries "
+             "inspected)",
+             (unsigned long long)afterSeq, ts.fetchQueue.size(),
+             ts.rob.size());
 
     // Front-end entries are all younger than anything in the ROB:
     // undo their predictor effects youngest-first, then drop them.
@@ -518,8 +558,16 @@ OooCpu::commitStage()
                               inst->actualTaken, inst->bpCkpt.history);
             }
 
-            if (commitHook_)
-                commitHook_(*inst);
+            if (DTRACE(Commit)) {
+                DPRINTFT(Commit, t, "commit seq=%llu pc=%llu %s%s",
+                         (unsigned long long)inst->seq,
+                         (unsigned long long)inst->pc,
+                         isa::disassemble(*inst->si).c_str(),
+                         inst->mispredicted ? " [mispredicted]" : "");
+            }
+
+            for (const auto &listener : commitListeners_)
+                listener(*inst);
 
             ts.rob.pop_front();
             ++ts.committed;
@@ -621,8 +669,15 @@ OooCpu::issueStage()
                 ++fuUsed[fuIdx];
                 --issueBudget;
                 inst->issued = true;
+                inst->issueTick = now_;
                 inst->iqSlot = -1;
                 --iqCount_;
+                DPRINTFT(Issue, inst->tid,
+                         "issue load seq=%llu addr=0x%llx lat=%llu%s",
+                         (unsigned long long)inst->seq,
+                         (unsigned long long)inst->effAddr,
+                         (unsigned long long)latency,
+                         forwardFrom ? " [forwarded]" : "");
                 scheduleCompletion(inst, now_ + 1 + latency);
                 continue;
             }
@@ -632,8 +687,13 @@ OooCpu::issueStage()
             ++fuUsed[fuIdx];
             --issueBudget;
             inst->issued = true;
+            inst->issueTick = now_;
             inst->iqSlot = -1;
             --iqCount_;
+            DPRINTFT(Issue, inst->tid, "issue seq=%llu pc=%llu fu=%u",
+                     (unsigned long long)inst->seq,
+                     (unsigned long long)inst->pc,
+                     static_cast<unsigned>(inst->si->fu));
             scheduleCompletion(inst,
                                now_ + 1 + isa::fuLatency(inst->si->fu));
         }
@@ -709,8 +769,11 @@ OooCpu::insertIq(DynInst *inst)
 void
 OooCpu::renameStage()
 {
-    if (renamer_->transfersBlockRename())
+    renamerRefusedThisCycle_ = false;
+    if (renamer_->transfersBlockRename()) {
+        DPRINTF(Rename, "rename blocked: transfers draining");
         return;
+    }
 
     renamer_->beginCycle(now_);
 
@@ -735,6 +798,7 @@ OooCpu::renameStage()
 
             if (robOccupancy() >= params_.robSize) {
                 ++robFullStalls;
+                DPRINTFT(Rename, t, "stall: ROB full");
                 budget = 0;
                 break;
             }
@@ -742,21 +806,37 @@ OooCpu::renameStage()
                                  !inst->si->isHalt && !inst->si->isJump;
             if (needsIq && iqCount_ >= params_.iqSize) {
                 ++iqFullStalls;
+                DPRINTFT(Rename, t, "stall: IQ full");
                 budget = 0;
                 break;
             }
             if (inst->isLoad() && ts.lq.size() >= params_.lqSize) {
                 ++lsqFullStalls;
+                DPRINTFT(Rename, t, "stall: LQ full");
                 break;
             }
             if (inst->isStore() && ts.sq.size() >= params_.sqSize) {
                 ++lsqFullStalls;
+                DPRINTFT(Rename, t, "stall: SQ full");
                 break;
             }
 
-            if (!renamer_->rename(*inst, now_))
-                break; // this thread stalls; try the next thread
+            if (!renamer_->rename(*inst, now_)) {
+                // This thread stalls; try the next thread.
+                renamerRefusedThisCycle_ = true;
+                DPRINTFT(Rename, t, "stall: renamer refused seq=%llu",
+                         (unsigned long long)inst->seq);
+                break;
+            }
 
+            inst->renameTick = now_;
+            inst->dispatchTick = now_;
+            inst->decodeTick = inst->fetchTick + params_.decodeDelay;
+            DPRINTFT(Rename, t,
+                     "rename seq=%llu pc=%llu dest p%d src p%d,p%d",
+                     (unsigned long long)inst->seq,
+                     (unsigned long long)inst->pc, inst->destPhys,
+                     inst->srcPhys[0], inst->srcPhys[1]);
             ts.fetchQueue.pop_front();
             ts.rob.push_back(inst);
             if (inst->isLoad())
@@ -771,6 +851,8 @@ OooCpu::renameStage()
                 inst->actualNpc = inst->si->isJump
                     ? static_cast<Addr>(inst->si->imm) : inst->pc + 1;
                 inst->completed = true;
+                inst->issueTick = now_;
+                inst->completeTick = now_;
             }
             --budget;
             progress = true;
@@ -817,10 +899,15 @@ OooCpu::fetchStage()
     const auto access = memSys_.instAccess(
         mem::MemSystem::threadTag(tid, lineAddr), now_);
     if (!access.accepted) {
+        DPRINTFT(Fetch, tid, "icache rejected pc=%llu (MSHRs full)",
+                 (unsigned long long)ts.fetchPc);
         ts.fetchReadyAt = now_ + 1;
         return;
     }
     if (!access.hit) {
+        DPRINTFT(Fetch, tid, "icache miss pc=%llu lat=%llu",
+                 (unsigned long long)ts.fetchPc,
+                 (unsigned long long)access.latency);
         ts.fetchReadyAt = now_ + access.latency;
         ++fetchIcacheStalls;
         return;
@@ -838,7 +925,12 @@ OooCpu::fetchStage()
         inst->pc = pc;
         inst->tid = tid;
         inst->seq = nextSeq_++;
+        inst->fetchTick = now_;
         ++fetchedInsts;
+        DPRINTFT(Fetch, tid, "fetch seq=%llu pc=%llu %s",
+                 (unsigned long long)inst->seq,
+                 (unsigned long long)pc,
+                 isa::disassemble(si).c_str());
 
         Addr npc = pc + 1;
         if (si.isHalt) {
@@ -869,18 +961,68 @@ OooCpu::fetchStage()
     ts.fetchPc = pc;
 }
 
+/**
+ * Attribute this cycle to one CycleAccounting bucket. Runs after every
+ * stage so rename-stall state from this cycle is visible.
+ */
+void
+OooCpu::accountCycle(double committedThisCycle)
+{
+    if (committedThisCycle > 0) {
+        ++cycleAccounting.commitActive;
+        return;
+    }
+
+    // Find the oldest ROB head across threads: the instruction the
+    // machine is architecturally waiting on.
+    const DynInst *oldest = nullptr;
+    for (const ThreadState &ts : threads_) {
+        if (ts.rob.empty())
+            continue;
+        const DynInst *head = ts.rob.front();
+        if (!oldest || head->seq < oldest->seq)
+            oldest = head;
+    }
+
+    if (oldest) {
+        // A completed head that still didn't retire is a store stuck
+        // behind a full store buffer: memory's fault either way.
+        if (oldest->si->isMem() || oldest->completed)
+            ++cycleAccounting.memStall;
+        else
+            ++cycleAccounting.execStall;
+        return;
+    }
+
+    // ROB empty: why is the front end not delivering?
+    bool trapBlocked = false;
+    for (const ThreadState &ts : threads_) {
+        if (!ts.done && ts.renameBlockedUntil > now_)
+            trapBlocked = true;
+    }
+    if (trapBlocked || renamer_->transfersBlockRename())
+        ++cycleAccounting.windowShift;
+    else if (renamerRefusedThisCycle_)
+        ++cycleAccounting.renameFreeList;
+    else
+        ++cycleAccounting.frontendStall;
+}
+
 void
 OooCpu::tick()
 {
     ++now_;
     ++numCycles;
+    trace::setTraceCycle(now_);
     robOccupancyDist.sample(static_cast<double>(robOccupancy()));
     iqOccupancyDist.sample(static_cast<double>(iqCount_));
+    const double committedBefore = committedTotal.value();
     processCompletions();
     commitStage();
     issueStage();
     renameStage();
     fetchStage();
+    accountCycle(committedTotal.value() - committedBefore);
 }
 
 RunResult

@@ -47,6 +47,26 @@ struct RunResult
     double ipc = 0;
 };
 
+/**
+ * Commit-stall attribution: every simulated cycle lands in exactly one
+ * bucket, so the buckets sum to `cpu.cycles`. Attribution is
+ * commit-centric (gem5's methodology): a cycle that retires nothing is
+ * blamed on whatever the oldest unretired instruction is waiting for,
+ * or — with an empty ROB — on why the front end is not delivering.
+ */
+class CycleAccounting : public stats::StatGroup
+{
+  public:
+    explicit CycleAccounting(stats::StatGroup *parent);
+
+    stats::Scalar commitActive;   ///< >=1 instruction retired
+    stats::Scalar memStall;       ///< ROB head is an unfinished mem op
+    stats::Scalar execStall;      ///< ROB head unfinished, non-memory
+    stats::Scalar renameFreeList; ///< ROB empty, renamer refused
+    stats::Scalar windowShift;    ///< ROB empty, trap/recovery stall
+    stats::Scalar frontendStall;  ///< ROB empty, fetch/decode filling
+};
+
 class OooCpu : public stats::StatGroup
 {
   public:
@@ -85,10 +105,15 @@ class OooCpu : public stats::StatGroup
     PhysRegFile &physRegs() { return regs_; }
     mem::SparseMemory &threadMemory(ThreadId tid);
 
-    /** Commit hook for co-simulation checks (called in commit order). */
-    void setCommitHook(std::function<void(const DynInst &)> hook)
+    /**
+     * Register a commit listener (called in commit order, in
+     * registration order). Listeners compose: co-simulation checks,
+     * the exec tracer, the pipeline tracer and interval statistics can
+     * all observe the same run.
+     */
+    void addCommitListener(std::function<void(const DynInst &)> listener)
     {
-        commitHook_ = std::move(hook);
+        commitListeners_.push_back(std::move(listener));
     }
 
     // Statistics (public; benches read them).
@@ -108,6 +133,8 @@ class OooCpu : public stats::StatGroup
     stats::Scalar lsqFullStalls;
     stats::Distribution robOccupancyDist;
     stats::Distribution iqOccupancyDist;
+    stats::Formula committedTotalAlias; ///< "committedTotal" for tools
+    CycleAccounting cycleAccounting;
 
   private:
     struct FetchEntry
@@ -146,6 +173,7 @@ class OooCpu : public stats::StatGroup
     void fetchStage();
 
     // Helpers.
+    void accountCycle(double committedThisCycle);
     void executeInst(DynInst *inst);
     std::uint64_t readOperand(const DynInst *inst, unsigned s) const;
     void resolveControl(DynInst *inst);
@@ -194,8 +222,9 @@ class OooCpu : public stats::StatGroup
 
     unsigned commitRR_ = 0; ///< commit round-robin cursor
     unsigned renameRR_ = 0; ///< rename round-robin cursor
+    bool renamerRefusedThisCycle_ = false; ///< for stall attribution
 
-    std::function<void(const DynInst &)> commitHook_;
+    std::vector<std::function<void(const DynInst &)>> commitListeners_;
 };
 
 } // namespace vca::cpu

@@ -30,12 +30,46 @@ void
 attachCommitTracer(OooCpu &cpu, std::ostream &os, TraceOptions opts)
 {
     auto count = std::make_shared<InstCount>(0);
-    cpu.setCommitHook([&cpu, &os, opts, count](const DynInst &inst) {
+    cpu.addCommitListener([&cpu, &os, opts, count](const DynInst &inst) {
         if (opts.maxInsts && *count >= opts.maxInsts)
             return;
         ++*count;
         os << formatTraceLine(cpu, inst, opts) << '\n';
     });
+}
+
+trace::PipeRecord
+makePipeRecord(const OooCpu &cpu, const DynInst &inst)
+{
+    trace::PipeRecord rec;
+    rec.seq = inst.seq;
+    rec.tid = inst.tid;
+    rec.pc = inst.pc;
+    rec.fetch = inst.fetchTick;
+    rec.decode = inst.decodeTick;
+    rec.rename = inst.renameTick;
+    rec.dispatch = inst.dispatchTick;
+    rec.issue = inst.issueTick;
+    rec.complete = inst.completeTick;
+    rec.commit = cpu.currentCycle();
+    rec.isStore = inst.isStore();
+    // The store buffer drains after the instruction is released, so
+    // the writeback tick is approximated by the retire tick.
+    rec.storeComplete = rec.isStore ? rec.commit : 0;
+    rec.disasm = isa::disassemble(*inst.si);
+    return rec;
+}
+
+void
+attachPipeTracer(OooCpu &cpu, std::ostream &os, InstCount maxInsts)
+{
+    auto writer = std::make_shared<trace::PipeTraceWriter>(os);
+    cpu.addCommitListener(
+        [&cpu, writer, maxInsts](const DynInst &inst) {
+            if (maxInsts && writer->recordsWritten() >= maxInsts)
+                return;
+            writer->write(makePipeRecord(cpu, inst));
+        });
 }
 
 } // namespace vca::cpu

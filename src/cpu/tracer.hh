@@ -2,8 +2,10 @@
  * @file
  * Commit-stream tracing (M5's Exec trace flavour): one line per
  * committed instruction with cycle, thread, pc, disassembly, and the
- * produced value / effective address. Installed through the CPU's
- * commit hook, so it composes with nothing else using that hook.
+ * produced value / effective address. Tracers install through the
+ * CPU's commit-listener list, so any number of them — plus
+ * co-simulation checks, pipeline tracers and interval recorders —
+ * can observe the same run.
  */
 
 #ifndef VCA_CPU_TRACER_HH
@@ -12,6 +14,7 @@
 #include <ostream>
 
 #include "cpu/ooo_cpu.hh"
+#include "trace/pipe_trace.hh"
 
 namespace vca::cpu {
 
@@ -23,8 +26,8 @@ struct TraceOptions
 };
 
 /**
- * Attach a commit tracer to the core. Replaces any existing commit
- * hook. The stream must outlive the core.
+ * Attach a commit tracer to the core (composes with other commit
+ * listeners). The stream must outlive the core.
  */
 void attachCommitTracer(OooCpu &cpu, std::ostream &os,
                         TraceOptions opts = {});
@@ -32,6 +35,18 @@ void attachCommitTracer(OooCpu &cpu, std::ostream &os,
 /** Format one committed instruction as a trace line (no newline). */
 std::string formatTraceLine(const OooCpu &cpu, const DynInst &inst,
                             const TraceOptions &opts);
+
+/** Build the pipeline-stage record of one committing instruction. */
+trace::PipeRecord makePipeRecord(const OooCpu &cpu, const DynInst &inst);
+
+/**
+ * Attach an O3PipeView pipeline tracer: every committed instruction
+ * emits its fetch/rename/dispatch/issue/complete/retire timestamps to
+ * the stream (render with tools/vca_pipeview or gem5's
+ * o3-pipeview.py). The stream must outlive the core.
+ */
+void attachPipeTracer(OooCpu &cpu, std::ostream &os,
+                      InstCount maxInsts = 0);
 
 } // namespace vca::cpu
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "trace/debug_flags.hh"
 
 namespace vca::mem {
 
@@ -75,6 +76,8 @@ Cache::access(Addr addr, bool write, Cycle now)
     if (inflightIt != inflight_.end()) {
         ++accesses;
         ++misses;
+        DPRINTF(Cache, "%s: miss 0x%llx merged into in-flight fill",
+                params_.name.c_str(), (unsigned long long)addr);
         Cycle ready = std::max(inflightIt->second, now + params_.hitLatency);
         return {true, false, ready - now};
     }
@@ -83,11 +86,15 @@ Cache::access(Addr addr, bool write, Cycle now)
         // No MSHR available: caller must retry. The access still consumed
         // a port but is not counted as a hit or miss.
         ++mshrRejects;
+        DPRINTF(Cache, "%s: MSHRs full, rejecting 0x%llx",
+                params_.name.c_str(), (unsigned long long)addr);
         return {false, false, 0};
     }
 
     ++accesses;
     ++misses;
+    DPRINTF(Cache, "%s: %s miss 0x%llx", params_.name.c_str(),
+            write ? "write" : "read", (unsigned long long)addr);
 
     // Choose a victim (invalid first, else LRU) and install the new tag.
     Line *victim = &ways[0];
@@ -101,6 +108,8 @@ Cache::access(Addr addr, bool write, Cycle now)
     }
     if (victim->valid && victim->dirty) {
         ++writebacks;
+        DPRINTF(Cache, "%s: writeback 0x%llx", params_.name.c_str(),
+                (unsigned long long)(victim->tag * params_.lineBytes));
         if (next_) {
             // Timing of the writeback is off the critical path; we only
             // record the traffic at the next level.

@@ -11,6 +11,7 @@
 #ifndef VCA_SIM_LOGGING_HH
 #define VCA_SIM_LOGGING_HH
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -35,6 +36,7 @@ class FatalError : public std::runtime_error
 namespace detail {
 std::string formatMessage(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+std::string vformatMessage(const char *fmt, va_list args);
 } // namespace detail
 
 /**

@@ -114,6 +114,30 @@ Formula::print(std::ostream &os) const
     printLine(os, name(), value(), desc());
 }
 
+void
+Scalar::accept(StatVisitor &v) const
+{
+    v.visitScalar(*this);
+}
+
+void
+Average::accept(StatVisitor &v) const
+{
+    v.visitAverage(*this);
+}
+
+void
+Distribution::accept(StatVisitor &v) const
+{
+    v.visitDistribution(*this);
+}
+
+void
+Formula::accept(StatVisitor &v) const
+{
+    v.visitFormula(*this);
+}
+
 StatGroup::StatGroup(std::string name, StatGroup *parent)
     : name_(std::move(name)), parent_(parent)
 {
@@ -202,6 +226,87 @@ StatGroup::find(const std::string &name) const
             return s;
     }
     return nullptr;
+}
+
+const StatGroup *
+StatGroup::childGroup(const std::string &name) const
+{
+    for (const StatGroup *child : children_) {
+        if (child->name_ == name)
+            return child;
+    }
+    return nullptr;
+}
+
+namespace {
+
+/** Split "a.b.c" into components; empty components are dropped. */
+std::vector<std::string>
+splitPath(const std::string &dotted)
+{
+    std::vector<std::string> parts;
+    size_t pos = 0;
+    while (pos <= dotted.size()) {
+        size_t dot = dotted.find('.', pos);
+        if (dot == std::string::npos)
+            dot = dotted.size();
+        if (dot > pos)
+            parts.push_back(dotted.substr(pos, dot - pos));
+        pos = dot + 1;
+    }
+    return parts;
+}
+
+} // namespace
+
+const StatBase *
+StatGroup::findPath(const std::string &dotted) const
+{
+    std::vector<std::string> parts = splitPath(dotted);
+    if (parts.empty())
+        return nullptr;
+    size_t i = 0;
+    if (parts.size() > 1 && parts[0] == name_)
+        i = 1;
+    const StatGroup *group = this;
+    for (; i + 1 < parts.size(); ++i) {
+        group = group->childGroup(parts[i]);
+        if (!group)
+            return nullptr;
+    }
+    return group->find(parts[i]);
+}
+
+const StatGroup *
+StatGroup::findGroup(const std::string &dotted) const
+{
+    std::vector<std::string> parts = splitPath(dotted);
+    size_t i = 0;
+    if (!parts.empty() && parts[0] == name_)
+        i = 1;
+    const StatGroup *group = this;
+    for (; i < parts.size(); ++i) {
+        group = group->childGroup(parts[i]);
+        if (!group)
+            return nullptr;
+    }
+    return group;
+}
+
+void
+StatGroup::visit(StatVisitor &v) const
+{
+    v.beginGroup(*this);
+    std::vector<StatBase *> sorted = stats_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const StatBase *a, const StatBase *b) {
+                  return a->name() < b->name();
+              });
+    for (const StatBase *s : sorted)
+        s->accept(v);
+    for (const StatGroup *child : children_)
+        child->visit(v);
+    v.endGroup(*this);
 }
 
 } // namespace vca::stats

@@ -24,6 +24,7 @@
 namespace vca::stats {
 
 class StatGroup;
+class StatVisitor;
 
 /** Base class for all statistics. */
 class StatBase
@@ -43,6 +44,9 @@ class StatBase
 
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
+
+    /** Double-dispatch entry for visitors (exporters, checkers). */
+    virtual void accept(StatVisitor &v) const = 0;
 
   private:
     std::string name_;
@@ -64,6 +68,7 @@ class Scalar : public StatBase
 
     void print(std::ostream &os) const override;
     void reset() override { value_ = 0; }
+    void accept(StatVisitor &v) const override;
 
   private:
     double value_ = 0;
@@ -87,6 +92,7 @@ class Average : public StatBase
     std::uint64_t count() const { return count_; }
 
     void print(std::ostream &os) const override;
+    void accept(StatVisitor &v) const override;
 
     void
     reset() override
@@ -119,6 +125,15 @@ class Distribution : public StatBase
 
     void print(std::ostream &os) const override;
     void reset() override;
+    void accept(StatVisitor &v) const override;
+
+    double bucketMin() const { return min_; }
+    double bucketMax() const { return max_; }
+    double bucketSize() const { return bucketSize_; }
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(counts_.size());
+    }
 
   private:
     double min_;
@@ -147,9 +162,32 @@ class Formula : public StatBase
 
     void print(std::ostream &os) const override;
     void reset() override {}
+    void accept(StatVisitor &v) const override;
 
   private:
     Func func_;
+};
+
+/**
+ * Visitor over a statistics tree. dumpJson() and the interval
+ * exporter are built on this; checks and new output formats get the
+ * full tree without the stats package knowing about them.
+ *
+ * StatGroup::visit() calls beginGroup/endGroup around each group and
+ * accept()s every stat (sorted by name) in between.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+
+    virtual void beginGroup(const StatGroup &group) { (void)group; }
+    virtual void endGroup(const StatGroup &group) { (void)group; }
+
+    virtual void visitScalar(const Scalar &s) { (void)s; }
+    virtual void visitAverage(const Average &a) { (void)a; }
+    virtual void visitDistribution(const Distribution &d) { (void)d; }
+    virtual void visitFormula(const Formula &f) { (void)f; }
 };
 
 /**
@@ -178,6 +216,27 @@ class StatGroup
 
     /** Find a stat by name within this group only (nullptr if absent). */
     const StatBase *find(const std::string &name) const;
+
+    /**
+     * Resolve a dotted path to a stat anywhere below this group, e.g.
+     * findPath("dcache.accesses"). The leading component may name this
+     * group itself ("cpu.dcache.accesses" on the "cpu" group), so full
+     * dump paths resolve from the group they start at. nullptr when
+     * any component is missing.
+     */
+    const StatBase *findPath(const std::string &dotted) const;
+
+    /** Resolve a dotted path to a child group (same root rule). */
+    const StatGroup *findGroup(const std::string &dotted) const;
+
+    /** Immediate child group by name (nullptr if absent). */
+    const StatGroup *childGroup(const std::string &name) const;
+
+    /**
+     * Walk this group and every descendant with a visitor: beginGroup,
+     * stats sorted by name, child groups, endGroup.
+     */
+    void visit(StatVisitor &v) const;
 
   private:
     friend class StatBase;

@@ -1,0 +1,96 @@
+#include "trace/interval_stats.hh"
+
+#include "sim/logging.hh"
+#include "trace/debug_flags.hh"
+
+namespace vca::trace {
+
+IntervalRecorder::IntervalRecorder(InstCount every) : every_(every)
+{
+    if (every_ == 0)
+        fatal("interval length must be positive");
+}
+
+void
+IntervalRecorder::addProbe(std::string name,
+                           std::function<double()> sample)
+{
+    probeNames_.push_back(std::move(name));
+    probeFns_.push_back(std::move(sample));
+    probeStart_.push_back(0);
+}
+
+void
+IntervalRecorder::onCommit(Cycle now)
+{
+    if (!started_) {
+        // The first commit anchors the window so warm-up commits that
+        // happened before attachment don't skew the first interval.
+        started_ = true;
+        intervalStartCycle_ = now;
+        for (size_t i = 0; i < probeFns_.size(); ++i)
+            probeStart_[i] = probeFns_[i]();
+    }
+    ++committed_;
+    if (committed_ - intervalStartInsts_ >= every_)
+        closeInterval(now);
+}
+
+void
+IntervalRecorder::finish(Cycle now)
+{
+    if (started_ && committed_ > intervalStartInsts_)
+        closeInterval(now);
+}
+
+void
+IntervalRecorder::closeInterval(Cycle now)
+{
+    IntervalRecord rec;
+    rec.index = records_.size();
+    rec.startCycle = intervalStartCycle_;
+    rec.endCycle = now;
+    rec.committed = committed_ - intervalStartInsts_;
+    rec.committedCum = committed_;
+    const Cycle span = now > intervalStartCycle_
+        ? now - intervalStartCycle_ : 1;
+    rec.ipc = static_cast<double>(rec.committed) /
+              static_cast<double>(span);
+    for (size_t i = 0; i < probeFns_.size(); ++i) {
+        const double v = probeFns_[i]();
+        rec.probes.push_back(v - probeStart_[i]);
+        probeStart_[i] = v;
+    }
+    DPRINTF(Interval,
+            "interval %llu: cycles [%llu, %llu] insts %llu ipc %.4f",
+            (unsigned long long)rec.index,
+            (unsigned long long)rec.startCycle,
+            (unsigned long long)rec.endCycle,
+            (unsigned long long)rec.committed, rec.ipc);
+    records_.push_back(std::move(rec));
+    intervalStartInsts_ = committed_;
+    intervalStartCycle_ = now;
+}
+
+void
+IntervalRecorder::writeJson(JsonWriter &w, const char *key) const
+{
+    w.key(key).beginArray();
+    for (const IntervalRecord &rec : records_) {
+        w.beginObject();
+        w.key("interval").number(rec.index);
+        w.key("start_cycle").number(
+            static_cast<std::uint64_t>(rec.startCycle));
+        w.key("end_cycle").number(
+            static_cast<std::uint64_t>(rec.endCycle));
+        w.key("committed").number(rec.committed);
+        w.key("committed_cum").number(rec.committedCum);
+        w.key("ipc").number(rec.ipc);
+        for (size_t i = 0; i < rec.probes.size(); ++i)
+            w.key(probeNames_[i]).number(rec.probes[i]);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+} // namespace vca::trace

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Interval statistics: an IPC/stall time-series over a run.
+ *
+ * The recorder is fed one onCommit() call per committed instruction
+ * (wired through OooCpu::addCommitListener) and closes an interval
+ * every `every` commits, capturing the cycle window and any extra
+ * probe values (dcache accesses, stall counters) the caller
+ * registered. Closed intervals are kept in memory for the JSON
+ * export and optionally announced through DPRINTF(Interval, ...).
+ */
+
+#ifndef VCA_TRACE_INTERVAL_STATS_HH
+#define VCA_TRACE_INTERVAL_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+#include "trace/json.hh"
+
+namespace vca::trace {
+
+/** One closed measurement interval. */
+struct IntervalRecord
+{
+    std::uint64_t index = 0;      ///< 0-based interval number
+    Cycle startCycle = 0;
+    Cycle endCycle = 0;
+    std::uint64_t committed = 0;  ///< instructions in this interval
+    std::uint64_t committedCum = 0; ///< cumulative at interval end
+    double ipc = 0;
+    /** Probe deltas over the interval, in registration order. */
+    std::vector<double> probes;
+};
+
+class IntervalRecorder
+{
+  public:
+    /** @param every interval length in committed instructions (>0) */
+    explicit IntervalRecorder(InstCount every);
+
+    /**
+     * Register a named probe sampled at interval boundaries; the
+     * recorded value is the delta across the interval (suits
+     * monotonic counters like cache accesses or stall cycles).
+     */
+    void addProbe(std::string name, std::function<double()> sample);
+
+    /** Feed one committed instruction at the given cycle. */
+    void onCommit(Cycle now);
+
+    /** Close a final partial interval (no-op when empty). */
+    void finish(Cycle now);
+
+    const std::vector<IntervalRecord> &records() const
+    {
+        return records_;
+    }
+    const std::vector<std::string> &probeNames() const
+    {
+        return probeNames_;
+    }
+    InstCount intervalLength() const { return every_; }
+
+    /** Emit `"intervals": [...]`-style array into an open object. */
+    void writeJson(JsonWriter &w, const char *key = "intervals") const;
+
+  private:
+    void closeInterval(Cycle now);
+
+    InstCount every_;
+    std::uint64_t committed_ = 0;      ///< total commits seen
+    std::uint64_t intervalStartInsts_ = 0;
+    Cycle intervalStartCycle_ = 0;
+    bool started_ = false;
+    std::vector<std::string> probeNames_;
+    std::vector<std::function<double()>> probeFns_;
+    std::vector<double> probeStart_;
+    std::vector<IntervalRecord> records_;
+};
+
+} // namespace vca::trace
+
+#endif // VCA_TRACE_INTERVAL_STATS_HH

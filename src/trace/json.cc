@@ -1,0 +1,504 @@
+#include "trace/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace vca::trace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+// ---------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------
+
+void
+JsonWriter::newline()
+{
+    os_ << "\n";
+    for (size_t i = 0; i < stack_.size() * indentWidth_; ++i)
+        os_ << ' ';
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (stack_.empty())
+        return;
+    Frame &top = stack_.back();
+    if (top.isObject)
+        panic("JsonWriter: value in object without a key");
+    if (!top.first)
+        os_ << ",";
+    top.first = false;
+    newline();
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    if (stack_.empty() || !stack_.back().isObject)
+        panic("JsonWriter: key() outside an object");
+    if (pendingKey_)
+        panic("JsonWriter: key '%s' follows a dangling key", k.c_str());
+    Frame &top = stack_.back();
+    if (!top.first)
+        os_ << ",";
+    top.first = false;
+    newline();
+    os_ << '"' << jsonEscape(k) << "\": ";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os_ << "{";
+    stack_.push_back({true, true});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || !stack_.back().isObject)
+        panic("JsonWriter: endObject() without beginObject()");
+    const bool empty = stack_.back().first;
+    stack_.pop_back();
+    if (!empty)
+        newline();
+    os_ << "}";
+    if (stack_.empty())
+        os_ << "\n";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os_ << "[";
+    stack_.push_back({false, true});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back().isObject)
+        panic("JsonWriter: endArray() without beginArray()");
+    const bool empty = stack_.back().first;
+    stack_.pop_back();
+    if (!empty)
+        newline();
+    os_ << "]";
+    if (stack_.empty())
+        os_ << "\n";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::number(double v)
+{
+    beforeValue();
+    os_ << jsonNumber(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::number(std::uint64_t v)
+{
+    beforeValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::string(const std::string &s)
+{
+    beforeValue();
+    os_ << '"' << jsonEscape(s) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::boolean(bool b)
+{
+    beforeValue();
+    os_ << (b ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    os_ << "null";
+    return *this;
+}
+
+// ---------------------------------------------------------------------
+// JsonValue / parser
+// ---------------------------------------------------------------------
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        fatal("JSON parse error at offset %zu: %s", pos_, what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        size_t len = 0;
+        while (lit[len])
+            ++len;
+        if (text_.compare(pos_, len, lit) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        const char c = peek();
+        JsonValue v;
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"':
+            v.kind_ = JsonValue::Kind::String;
+            v.string_ = parseString();
+            return v;
+          case 't':
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            v.kind_ = JsonValue::Kind::Bool;
+            v.bool_ = true;
+            return v;
+          case 'f':
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            v.kind_ = JsonValue::Kind::Bool;
+            v.bool_ = false;
+            return v;
+          case 'n':
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            v.kind_ = JsonValue::Kind::Null;
+            return v;
+          default:
+            return parseNumber();
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("unterminated escape");
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"':  out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/':  out += '/'; break;
+                  case 'b':  out += '\b'; break;
+                  case 'f':  out += '\f'; break;
+                  case 'n':  out += '\n'; break;
+                  case 'r':  out += '\r'; break;
+                  case 't':  out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        fail("bad \\u escape");
+                    unsigned code = static_cast<unsigned>(std::strtoul(
+                        text_.substr(pos_, 4).c_str(), nullptr, 16));
+                    pos_ += 4;
+                    // Keep it simple: store BMP code points as UTF-8.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xc0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (code >> 12));
+                        out += static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    }
+                    break;
+                  }
+                  default: fail("bad escape character");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool sawDigit = false;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                sawDigit = true;
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '-' ||
+                       c == '+') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (!sawDigit)
+            fail("expected a number");
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Number;
+        v.number_ = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                                nullptr);
+        return v;
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            expect(':');
+            v.members_.emplace_back(std::move(key), parseValue());
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                break;
+            }
+            fail("expected ',' or '}' in object");
+        }
+        return v;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.elements_.push_back(parseValue());
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                break;
+            }
+            fail("expected ',' or ']' in array");
+        }
+        return v;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).parseDocument();
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        panic("JsonValue: asNumber() on a non-number");
+    return number_;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        panic("JsonValue: asBool() on a non-bool");
+    return bool_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        panic("JsonValue: asString() on a non-string");
+    return string_;
+}
+
+size_t
+JsonValue::size() const
+{
+    if (kind_ == Kind::Array)
+        return elements_.size();
+    if (kind_ == Kind::Object)
+        return members_.size();
+    return 0;
+}
+
+const JsonValue &
+JsonValue::at(size_t i) const
+{
+    if (kind_ != Kind::Array || i >= elements_.size())
+        panic("JsonValue: bad array access");
+    return elements_[i];
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const JsonValue *
+JsonValue::findPath(const std::string &dotted) const
+{
+    const JsonValue *cur = this;
+    size_t pos = 0;
+    while (pos < dotted.size()) {
+        size_t dot = dotted.find('.', pos);
+        if (dot == std::string::npos)
+            dot = dotted.size();
+        cur = cur->find(dotted.substr(pos, dot - pos));
+        if (!cur)
+            return nullptr;
+        pos = dot + 1;
+    }
+    return cur;
+}
+
+} // namespace vca::trace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * A minimal JSON document model: enough to write the statistics
+ * export, parse it back in tests/tools, and emit bench results.
+ *
+ * Writing goes through JsonWriter (streaming, no intermediate tree);
+ * reading goes through JsonValue::parse(), a strict recursive-descent
+ * parser that throws FatalError on malformed input. Object member
+ * order is preserved.
+ */
+
+#ifndef VCA_TRACE_JSON_HH
+#define VCA_TRACE_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vca::trace {
+
+/** Escape a string for inclusion in a JSON document (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Format a double the way the exporter writes numbers: integral
+ * values print without a fractional part, non-finite values print as
+ * null (JSON has no NaN/Inf).
+ */
+std::string jsonNumber(double v);
+
+/**
+ * Streaming JSON writer with automatic comma placement and
+ * indentation. Usage:
+ *
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.key("ipc").number(1.5);
+ *   w.key("threads").beginArray().number(0).number(1).endArray();
+ *   w.endObject();
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, unsigned indentWidth = 2)
+        : os_(os), indentWidth_(indentWidth) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by exactly one value. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &number(double v);
+    JsonWriter &number(std::uint64_t v);
+    JsonWriter &string(const std::string &s);
+    JsonWriter &boolean(bool b);
+    JsonWriter &null();
+
+  private:
+    void beforeValue();
+    void newline();
+
+    struct Frame
+    {
+        bool isObject = false;
+        bool first = true;
+    };
+
+    std::ostream &os_;
+    unsigned indentWidth_;
+    std::vector<Frame> stack_;
+    bool pendingKey_ = false;
+};
+
+/** A parsed JSON document node. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    /** Parse a complete document; throws FatalError on bad JSON. */
+    static JsonValue parse(const std::string &text);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    double asNumber() const;
+    bool asBool() const;
+    const std::string &asString() const;
+
+    /** Array element count / object member count. */
+    size_t size() const;
+
+    /** Array element access (panics on out-of-range / non-array). */
+    const JsonValue &at(size_t i) const;
+
+    /** Object member lookup (nullptr when absent / non-object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /**
+     * Nested lookup through objects by dotted path
+     * ("cpu.dcache.accesses"). nullptr when any hop is missing.
+     */
+    const JsonValue *findPath(const std::string &dotted) const;
+
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0;
+    std::string string_;
+    std::vector<JsonValue> elements_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+} // namespace vca::trace
+
+#endif // VCA_TRACE_JSON_HH

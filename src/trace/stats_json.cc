@@ -1,0 +1,106 @@
+#include "trace/stats_json.hh"
+
+#include <sstream>
+
+namespace vca::trace {
+
+namespace {
+
+/** StatVisitor that streams every group/stat into a JsonWriter. */
+class JsonExportVisitor : public stats::StatVisitor
+{
+  public:
+    explicit JsonExportVisitor(JsonWriter &w) : w_(w) {}
+
+    void
+    beginGroup(const stats::StatGroup &group) override
+    {
+        w_.key(group.groupName()).beginObject();
+    }
+
+    void
+    endGroup(const stats::StatGroup &group) override
+    {
+        (void)group;
+        w_.endObject();
+    }
+
+    void
+    visitScalar(const stats::Scalar &s) override
+    {
+        w_.key(s.name()).number(s.value());
+    }
+
+    void
+    visitFormula(const stats::Formula &f) override
+    {
+        w_.key(f.name()).number(f.value());
+    }
+
+    void
+    visitAverage(const stats::Average &a) override
+    {
+        w_.key(a.name()).beginObject();
+        w_.key("mean").number(a.mean());
+        w_.key("count").number(static_cast<std::uint64_t>(a.count()));
+        w_.endObject();
+    }
+
+    void
+    visitDistribution(const stats::Distribution &d) override
+    {
+        w_.key(d.name()).beginObject();
+        w_.key("samples").number(
+            static_cast<std::uint64_t>(d.totalSamples()));
+        w_.key("mean").number(d.mean());
+        w_.key("min").number(d.minSampled());
+        w_.key("max").number(d.maxSampled());
+        w_.key("underflow").number(
+            static_cast<std::uint64_t>(d.underflows()));
+        w_.key("overflow").number(
+            static_cast<std::uint64_t>(d.overflows()));
+        w_.key("buckets").beginArray();
+        for (unsigned i = 0; i < d.numBuckets(); ++i) {
+            if (d.bucketCount(i) == 0)
+                continue; // sparse: empty buckets are implicit
+            w_.beginObject();
+            w_.key("lo").number(d.bucketMin() + d.bucketSize() * i);
+            w_.key("count").number(
+                static_cast<std::uint64_t>(d.bucketCount(i)));
+            w_.endObject();
+        }
+        w_.endArray();
+        w_.endObject();
+    }
+
+  private:
+    JsonWriter &w_;
+};
+
+} // namespace
+
+void
+writeJsonGroup(const stats::StatGroup &group, JsonWriter &w)
+{
+    JsonExportVisitor visitor(w);
+    group.visit(visitor);
+}
+
+void
+dumpJson(const stats::StatGroup &group, std::ostream &os)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    writeJsonGroup(group, w);
+    w.endObject();
+}
+
+std::string
+dumpJsonString(const stats::StatGroup &group)
+{
+    std::ostringstream os;
+    dumpJson(group, os);
+    return os.str();
+}
+
+} // namespace vca::trace

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Machine-readable statistics export.
+ *
+ * dumpJson() walks a StatGroup tree with a StatVisitor and emits one
+ * nested JSON object per group:
+ *
+ *   { "cpu": {
+ *       "cycles": 1234,
+ *       "rob_occupancy": { "samples": ..., "mean": ...,
+ *                          "buckets": [ {"lo": 0, "count": 7}, ... ] },
+ *       "mem": { "dcache": { "accesses": ... } } } }
+ *
+ * Scalars and formulas export as numbers; averages as {mean, count};
+ * distributions as an object with summary fields and a sparse bucket
+ * array. The schema is documented in README.md (Observability).
+ */
+
+#ifndef VCA_TRACE_STATS_JSON_HH
+#define VCA_TRACE_STATS_JSON_HH
+
+#include <ostream>
+#include <string>
+
+#include "stats/statistics.hh"
+#include "trace/json.hh"
+
+namespace vca::trace {
+
+/**
+ * Export a statistics tree as JSON. The group itself becomes the
+ * single key of the top-level object.
+ */
+void dumpJson(const stats::StatGroup &group, std::ostream &os);
+
+/**
+ * Export a statistics tree into an already-open JsonWriter object
+ * scope: emits `"<group name>": {...}` so callers can wrap the stats
+ * with their own metadata (run config, intervals, ...).
+ */
+void writeJsonGroup(const stats::StatGroup &group, JsonWriter &w);
+
+/** Convenience: dumpJson into a string. */
+std::string dumpJsonString(const stats::StatGroup &group);
+
+} // namespace vca::trace
+
+#endif // VCA_TRACE_STATS_JSON_HH

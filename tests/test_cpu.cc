@@ -150,7 +150,7 @@ cosimCheck(const isa::Program &prog, const CpuParams &params,
 
     InstCount checked = 0;
     bool mismatch = false;
-    cpu.setCommitHook([&](const DynInst &inst) {
+    cpu.addCommitListener([&](const DynInst &inst) {
         if (mismatch)
             return;
         func::StepRecord rec;
@@ -323,7 +323,7 @@ TEST(Smt, VcaSharedRenameTableKeepsThreadsSeparate)
     mem::SparseMemory ma, mb;
     func::FuncSim refA(*a, ma), refB(*b, mb);
     bool mismatch = false;
-    cpu.setCommitHook([&](const DynInst &inst) {
+    cpu.addCommitListener([&](const DynInst &inst) {
         if (mismatch)
             return;
         func::FuncSim &ref = inst.tid == 0 ? refA : refB;

@@ -44,7 +44,7 @@ runForR20(const isa::Program &prog, const CpuParams &params)
 {
     OooCpu cpu(params, {&prog});
     std::uint64_t last = 0;
-    cpu.setCommitHook([&](const DynInst &inst) {
+    cpu.addCommitListener([&](const DynInst &inst) {
         if (inst.si->hasDest && inst.si->dest.cls == isa::RegClass::Int &&
             inst.si->dest.idx == 20) {
             last = inst.result;

@@ -59,7 +59,7 @@ checkCosim(const isa::Program &prog, RenamerKind kind, unsigned physRegs,
 
     bool mismatch = false;
     InstCount checked = 0;
-    cpu.setCommitHook([&](const DynInst &inst) {
+    cpu.addCommitListener([&](const DynInst &inst) {
         if (mismatch)
             return;
         func::StepRecord rec;
@@ -122,7 +122,7 @@ TEST(CrossArch, AllArchitecturesCommitTheSameStream)
         OooCpu cpu(params, {prog});
         std::uint64_t h = 1469598103934665603ULL;
         InstCount count = 0;
-        cpu.setCommitHook([&](const DynInst &inst) {
+        cpu.addCommitListener([&](const DynInst &inst) {
             if (count >= n)
                 return;
             ++count;
@@ -195,7 +195,7 @@ TEST(VcaStress, TinyRsidTableStillCorrect)
     mem::SparseMemory refMem;
     func::FuncSim ref(prog, refMem);
     bool mismatch = false;
-    cpu.setCommitHook([&](const DynInst &inst) {
+    cpu.addCommitListener([&](const DynInst &inst) {
         func::StepRecord rec;
         ref.step(rec);
         mismatch = mismatch || rec.pc != inst.pc;

@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "stats/statistics.hh"
+#include "trace/json.hh"
+#include "trace/stats_json.hh"
 
 namespace {
 
@@ -114,6 +117,132 @@ TEST(Stats, FindLocatesStat)
 TEST(Stats, OrphanStatPanics)
 {
     EXPECT_THROW(Scalar(nullptr, "x", ""), vca::PanicError);
+}
+
+TEST(Stats, FindPathResolvesNestedStats)
+{
+    StatGroup cpu("cpu");
+    StatGroup mem("mem", &cpu);
+    StatGroup dcache("dcache", &mem);
+    Scalar accesses(&dcache, "accesses", "");
+    Scalar cycles(&cpu, "cycles", "");
+    accesses += 11;
+
+    // Dump-style paths resolve with or without the root's own name.
+    EXPECT_EQ(cpu.findPath("cpu.mem.dcache.accesses"), &accesses);
+    EXPECT_EQ(cpu.findPath("mem.dcache.accesses"), &accesses);
+    EXPECT_EQ(cpu.findPath("cycles"), &cycles);
+    EXPECT_EQ(cpu.findPath("mem.icache.accesses"), nullptr);
+    EXPECT_EQ(cpu.findPath("mem.dcache.nope"), nullptr);
+
+    EXPECT_EQ(cpu.findGroup("mem.dcache"), &dcache);
+    EXPECT_EQ(cpu.childGroup("mem"), &mem);
+    EXPECT_EQ(cpu.childGroup("dcache"), nullptr);
+}
+
+/** Counts visitor callbacks, proving full-tree double dispatch. */
+class CountingVisitor : public StatVisitor
+{
+  public:
+    void beginGroup(const StatGroup &) override { ++groups; }
+    void endGroup(const StatGroup &) override { ++groupEnds; }
+    void visitScalar(const Scalar &) override { ++scalars; }
+    void visitAverage(const Average &) override { ++averages; }
+    void visitDistribution(const Distribution &) override { ++dists; }
+    void visitFormula(const Formula &) override { ++formulas; }
+
+    int groups = 0, groupEnds = 0;
+    int scalars = 0, averages = 0, dists = 0, formulas = 0;
+};
+
+TEST(Stats, VisitWalksWholeTree)
+{
+    StatGroup root("root");
+    StatGroup child("child", &root);
+    Scalar s1(&root, "s1", "");
+    Scalar s2(&child, "s2", "");
+    Average a(&child, "a", "");
+    Distribution d(&child, "d", "", 0, 10, 5);
+    Formula f(&root, "f", "", [] { return 1.0; });
+
+    CountingVisitor v;
+    root.visit(v);
+    EXPECT_EQ(v.groups, 2);
+    EXPECT_EQ(v.groupEnds, 2);
+    EXPECT_EQ(v.scalars, 2);
+    EXPECT_EQ(v.averages, 1);
+    EXPECT_EQ(v.dists, 1);
+    EXPECT_EQ(v.formulas, 1);
+}
+
+TEST(Stats, JsonExportRoundTrips)
+{
+    StatGroup cpu("cpu");
+    StatGroup dcache("dcache", &cpu);
+    Scalar cycles(&cpu, "cycles", "");
+    Scalar accesses(&dcache, "accesses", "");
+    Average occ(&cpu, "occ", "");
+    Distribution dist(&cpu, "dist", "", 0, 10, 5);
+    Formula ipc(&cpu, "ipc", "", [&] { return 1.5; });
+    cycles += 1000;
+    accesses += 42;
+    occ.sample(3);
+    occ.sample(5);
+    dist.sample(1);
+    dist.sample(7);
+    dist.sample(-4); // underflow
+
+    const std::string text = vca::trace::dumpJsonString(cpu);
+    const auto doc = vca::trace::JsonValue::parse(text);
+
+    const auto *cyclesV = doc.findPath("cpu.cycles");
+    ASSERT_NE(cyclesV, nullptr);
+    EXPECT_DOUBLE_EQ(cyclesV->asNumber(), 1000.0);
+
+    const auto *accV = doc.findPath("cpu.dcache.accesses");
+    ASSERT_NE(accV, nullptr);
+    EXPECT_DOUBLE_EQ(accV->asNumber(), 42.0);
+
+    const auto *ipcV = doc.findPath("cpu.ipc");
+    ASSERT_NE(ipcV, nullptr);
+    EXPECT_DOUBLE_EQ(ipcV->asNumber(), 1.5);
+
+    const auto *occV = doc.findPath("cpu.occ");
+    ASSERT_NE(occV, nullptr);
+    EXPECT_DOUBLE_EQ(occV->find("mean")->asNumber(), 4.0);
+    EXPECT_DOUBLE_EQ(occV->find("count")->asNumber(), 2.0);
+
+    const auto *distV = doc.findPath("cpu.dist");
+    ASSERT_NE(distV, nullptr);
+    EXPECT_DOUBLE_EQ(distV->find("samples")->asNumber(), 3.0);
+    EXPECT_DOUBLE_EQ(distV->find("underflow")->asNumber(), 1.0);
+    const auto *buckets = distV->find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_TRUE(buckets->isArray());
+    // Sparse export: only the two occupied buckets appear.
+    ASSERT_EQ(buckets->size(), 2u);
+    double total = 0;
+    for (size_t i = 0; i < buckets->size(); ++i)
+        total += buckets->at(i).find("count")->asNumber();
+    EXPECT_DOUBLE_EQ(total, 2.0);
+}
+
+TEST(Stats, JsonParserRejectsMalformedInput)
+{
+    EXPECT_THROW(vca::trace::JsonValue::parse("{\"a\": }"),
+                 vca::FatalError);
+    EXPECT_THROW(vca::trace::JsonValue::parse("{\"a\": 1} trailing"),
+                 vca::FatalError);
+    EXPECT_THROW(vca::trace::JsonValue::parse(""), vca::FatalError);
+}
+
+TEST(Stats, JsonNumberFormatting)
+{
+    EXPECT_EQ(vca::trace::jsonNumber(5.0), "5");
+    EXPECT_EQ(vca::trace::jsonNumber(0.25), "0.25");
+    EXPECT_EQ(vca::trace::jsonNumber(
+                  std::numeric_limits<double>::quiet_NaN()),
+              "null");
 }
 
 } // namespace

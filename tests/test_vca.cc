@@ -598,7 +598,7 @@ TEST(DeadValueHints, CosimStillExact)
     mem::SparseMemory refMem;
     func::FuncSim ref(*prog, refMem);
     bool mismatch = false;
-    cpu.setCommitHook([&](const cpu::DynInst &inst) {
+    cpu.addCommitListener([&](const cpu::DynInst &inst) {
         func::StepRecord rec;
         ref.step(rec);
         mismatch = mismatch || rec.pc != inst.pc ||

@@ -11,17 +11,26 @@
  *   vca-sim --bench=crafty --arch=vca --regs=128
  *   vca-sim --bench=crafty,mesa,gap,gzip_graphic --arch=vca \
  *           --regs=192 --windows=true --insts=200000
+ *   vca-sim --debug-flags=Commit,VcaCache --debug-file=run.log
+ *   vca-sim --pipeview out.trace --stats-json stats.json \
+ *           --interval 10000
  *   vca-sim --list-benches
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "analysis/experiment.hh"
 #include "cpu/ooo_cpu.hh"
 #include "cpu/tracer.hh"
 #include "sim/options.hh"
+#include "trace/debug_flags.hh"
+#include "trace/interval_stats.hh"
+#include "trace/stats_json.hh"
 #include "wload/generator.hh"
 #include "wload/profile.hh"
 
@@ -56,10 +65,8 @@ parseArch(const std::string &name)
           name.c_str());
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+simMain(int argc, char **argv)
 {
     Options opts;
     opts.add("bench", "crafty",
@@ -78,6 +85,21 @@ main(int argc, char **argv)
     opts.add("stats", "true", "dump the statistics tree");
     opts.add("trace", "0",
              "print a commit trace for the first N instructions");
+    opts.add("debug-flags", "",
+             "comma list of debug flags (prefix '-' disables; see "
+             "--debug-help)");
+    opts.add("debug-file", "",
+             "write the debug trace to this file instead of stderr");
+    opts.add("debug-help", "false", "list debug flags and exit");
+    opts.add("pipeview", "",
+             "write an O3PipeView pipeline trace to this file");
+    opts.add("pipeview-insts", "0",
+             "cap the pipeline trace at N instructions (0 = all)");
+    opts.add("stats-json", "",
+             "write the statistics tree as JSON to this file");
+    opts.add("interval", "0",
+             "record an IPC/stall interval every N committed insts "
+             "(exported via --stats-json)");
     opts.add("list-benches", "false", "list bundled benchmarks and exit");
     opts.add("quiet", "true", "suppress warnings");
     opts.add("help", "false", "show this help");
@@ -92,6 +114,21 @@ main(int argc, char **argv)
         return 0;
     }
     setQuiet(opts.getBool("quiet"));
+
+    if (opts.getBool("debug-help")) {
+        std::fputs(trace::flagHelp().c_str(), stdout);
+        return 0;
+    }
+    std::ofstream debugFile;
+    if (!opts.get("debug-file").empty()) {
+        debugFile.open(opts.get("debug-file"));
+        if (!debugFile)
+            fatal("cannot open --debug-file '%s'",
+                  opts.get("debug-file").c_str());
+        trace::setTraceStream(&debugFile);
+    }
+    if (!opts.get("debug-flags").empty())
+        trace::setFlagsFromString(opts.get("debug-flags"));
 
     if (opts.getBool("list-benches")) {
         std::printf("%-16s %6s %10s %10s %8s\n", "name", "fp",
@@ -141,6 +178,15 @@ main(int argc, char **argv)
             traceOpts.maxInsts = opts.getU64("trace");
             cpu::attachCommitTracer(cpu, std::cout, traceOpts);
         }
+        std::ofstream pipeFile;
+        if (!opts.get("pipeview").empty()) {
+            pipeFile.open(opts.get("pipeview"));
+            if (!pipeFile)
+                fatal("cannot open --pipeview '%s'",
+                      opts.get("pipeview").c_str());
+            cpu::attachPipeTracer(cpu, pipeFile,
+                                  opts.getU64("pipeview-insts"));
+        }
         const InstCount warmup = opts.getU64("warmup");
         const InstCount insts = opts.getU64("insts");
         if (warmup) {
@@ -148,8 +194,30 @@ main(int argc, char **argv)
                     programs.size() > 1);
             cpu.resetStats();
         }
+        // The interval recorder attaches after warm-up so interval 0
+        // starts at the measured region's first commit.
+        std::unique_ptr<trace::IntervalRecorder> intervals;
+        if (opts.getU64("interval") > 0) {
+            intervals = std::make_unique<trace::IntervalRecorder>(
+                opts.getU64("interval"));
+            intervals->addProbe("dcache_accesses", [&cpu] {
+                return cpu.memSystem().dcache().accesses.value();
+            });
+            intervals->addProbe("mem_stall_cycles", [&cpu] {
+                return cpu.cycleAccounting.memStall.value();
+            });
+            intervals->addProbe("rename_stall_cycles", [&cpu] {
+                return cpu.renameStallCycles.value();
+            });
+            cpu.addCommitListener([&cpu, &intervals](
+                                      const cpu::DynInst &) {
+                intervals->onCommit(cpu.currentCycle());
+            });
+        }
         const auto res = cpu.run(insts, insts * 200 + 100'000,
                                  programs.size() > 1);
+        if (intervals)
+            intervals->finish(cpu.currentCycle());
 
         std::printf("arch=%s regs=%u threads=%zu windowed=%d\n",
                     cpu::renamerKindName(kind), params.physRegs,
@@ -163,11 +231,49 @@ main(int argc, char **argv)
                         benchNames[t].c_str(),
                         (unsigned long long)res.threadInsts[t]);
         }
+        {
+            const double cyc = std::max(1.0, double(res.cycles));
+            const auto &ca = cpu.cycleAccounting;
+            std::printf("cycle accounting: commit=%.1f%% mem=%.1f%% "
+                        "exec=%.1f%% rename=%.1f%% window=%.1f%% "
+                        "frontend=%.1f%%\n",
+                        100 * ca.commitActive.value() / cyc,
+                        100 * ca.memStall.value() / cyc,
+                        100 * ca.execStall.value() / cyc,
+                        100 * ca.renameFreeList.value() / cyc,
+                        100 * ca.windowShift.value() / cyc,
+                        100 * ca.frontendStall.value() / cyc);
+        }
         if (opts.getBool("stats")) {
             std::printf("\n-- statistics --\n");
             std::ostringstream os;
             cpu.dump(os);
             std::fputs(os.str().c_str(), stdout);
+        }
+        if (!opts.get("stats-json").empty()) {
+            std::ofstream jsonFile(opts.get("stats-json"));
+            if (!jsonFile)
+                fatal("cannot open --stats-json '%s'",
+                      opts.get("stats-json").c_str());
+            trace::JsonWriter w(jsonFile);
+            w.beginObject();
+            w.key("config").beginObject();
+            w.key("arch").string(cpu::renamerKindName(kind));
+            w.key("regs").number(std::uint64_t(params.physRegs));
+            w.key("threads").number(std::uint64_t(programs.size()));
+            w.key("windowed").boolean(windowed);
+            w.key("insts").number(std::uint64_t(insts));
+            w.endObject();
+            w.key("summary").beginObject();
+            w.key("cycles").number(std::uint64_t(res.cycles));
+            w.key("insts").number(std::uint64_t(res.totalInsts));
+            w.key("ipc").number(res.ipc);
+            w.endObject();
+            trace::writeJsonGroup(cpu, w);
+            if (intervals)
+                intervals->writeJson(w);
+            w.endObject();
+            jsonFile << '\n';
         }
     } catch (const FatalError &e) {
         std::fprintf(stderr,
@@ -175,4 +281,19 @@ main(int argc, char **argv)
         return 2;
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Argument/setup errors raise FatalError too; exit cleanly rather
+    // than std::terminate so shell scripts can distinguish bad usage.
+    try {
+        return simMain(argc, argv);
+    } catch (const vca::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
 }
