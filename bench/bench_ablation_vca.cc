@@ -28,27 +28,45 @@ struct AblationResult
     double extra = 0;
 };
 
-AblationResult
-runConfig(const cpu::CpuParams &params)
+double
+counterValue(const analysis::Measurement &m, const char *name)
 {
-    const analysis::RunOptions opts = defaultOptions();
-    double cycles = 0, insts = 0, stalls = 0, extra = 0;
+    for (const auto &[counter, value] : m.counters)
+        if (counter == name)
+            return value;
+    return 0;
+}
+
+/**
+ * Run the windowed call-heavy set on VCA with one configuration
+ * deviation, as a single parallel (and disk-memoized) runner batch.
+ */
+AblationResult
+runConfig(unsigned physRegs, const analysis::ParamOverrides &overrides)
+{
+    analysis::RunOptions opts = defaultOptions();
+    opts.overrides = overrides;
+    std::vector<analysis::SweepPoint> points;
     for (const auto &prof : wload::regWindowProfiles()) {
-        cpu::CpuParams p = params;
-        cpu::OooCpu cpu(p, {wload::cachedProgram(prof, true)});
-        cpu.run(opts.warmupInsts, opts.warmupInsts * 200 + 100'000);
-        cpu.resetStats();
-        auto res = cpu.run(opts.measureInsts,
-                           opts.measureInsts * 200 + 100'000);
-        cycles += static_cast<double>(res.cycles);
-        insts += static_cast<double>(res.totalInsts);
-        const auto *group = static_cast<const stats::StatGroup *>(&cpu);
-        if (const auto *s = dynamic_cast<const stats::Scalar *>(
-                group->find("stalls_table_conflict")))
-            stalls += s->value();
-        if (const auto *s = dynamic_cast<const stats::Scalar *>(
-                group->find("stalls_astq")))
-            extra += s->value();
+        analysis::SweepPoint point;
+        point.benches = {prof.name};
+        point.windowed = true;
+        point.kind = cpu::RenamerKind::Vca;
+        point.physRegs = physRegs;
+        point.opts = opts;
+        points.push_back(std::move(point));
+    }
+    const auto results = analysis::SweepRunner::global().run(points);
+
+    double cycles = 0, insts = 0, stalls = 0, extra = 0;
+    for (const auto &m : results) {
+        if (!m.ok)
+            fatal("ablation configuration cannot operate: %s",
+                  m.error.c_str());
+        cycles += static_cast<double>(m.cycles);
+        insts += static_cast<double>(m.insts);
+        stalls += counterValue(m, "stalls_table_conflict");
+        extra += counterValue(m, "stalls_astq");
     }
     return {insts / cycles, stalls / insts * 1000, extra / insts * 1000};
 }
@@ -59,45 +77,40 @@ int
 main()
 {
     setQuiet(true);
-    const auto base = [] {
-        cpu::CpuParams p =
-            cpu::CpuParams::preset(cpu::RenamerKind::Vca, 192);
-        return p;
-    };
 
     std::printf("== Ablation: VCA rename-table associativity "
                 "(192 phys regs, 64 sets) ==\n");
     std::printf("%6s %8s %16s\n", "assoc", "IPC", "conflicts/kinst");
     for (unsigned assoc : {1u, 2u, 3u, 4u, 6u, 8u}) {
-        cpu::CpuParams p = base();
-        p.vcaTableAssoc = assoc;
-        const auto r = runConfig(p);
+        analysis::ParamOverrides ov;
+        ov.vcaTableAssoc = assoc;
+        const auto r = runConfig(192, ov);
         std::printf("%6u %8.3f %16.2f\n", assoc, r.ipc, r.stalls);
     }
 
     std::printf("\n== Ablation: ASTQ depth ==\n");
     std::printf("%6s %8s %16s\n", "depth", "IPC", "astq-stalls/kinst");
     for (unsigned depth : {1u, 2u, 4u, 8u, 16u}) {
-        cpu::CpuParams p = base();
-        p.astqEntries = depth;
-        const auto r = runConfig(p);
+        analysis::ParamOverrides ov;
+        ov.astqEntries = depth;
+        const auto r = runConfig(192, ov);
         std::printf("%6u %8.3f %16.2f\n", depth, r.ipc, r.extra);
     }
 
     std::printf("\n== Ablation: RSID table entries ==\n");
     std::printf("%6s %8s\n", "rsids", "IPC");
     for (unsigned rsids : {2u, 4u, 8u, 16u, 32u}) {
-        cpu::CpuParams p = base();
-        p.rsidEntries = rsids;
-        const auto r = runConfig(p);
+        analysis::ParamOverrides ov;
+        ov.rsidEntries = rsids;
+        const auto r = runConfig(192, ov);
         std::printf("%6u %8.3f\n", rsids, r.ipc);
     }
 
     std::printf("\n== Ablation: misprediction recovery scheme ==\n");
     for (bool checkpoint : {false, true}) {
-        cpu::CpuParams p = base();
-        p.vcaCheckpointRecovery = checkpoint;
-        const auto r = runConfig(p);
+        analysis::ParamOverrides ov;
+        ov.vcaCheckpointRecovery = checkpoint ? 1 : 0;
+        const auto r = runConfig(192, ov);
         std::printf("%-24s IPC %8.3f\n",
                     checkpoint ? "checkpoint (idealized)"
                                : "commit-table walk (P4)",
@@ -107,10 +120,10 @@ main()
     std::printf("\n== Extension: dead-value hints "
                 "(paper future work, Secs. 5-6) ==\n");
     for (bool hints : {false, true}) {
-        cpu::CpuParams p = base();
-        p.physRegs = 112; // small file: spills matter
-        p.vcaDeadValueHints = hints;
-        const auto r = runConfig(p);
+        analysis::ParamOverrides ov;
+        ov.vcaDeadValueHints = hints ? 1 : 0;
+        // Small register file: spills matter.
+        const auto r = runConfig(112, ov);
         std::printf("%-24s IPC %8.3f\n",
                     hints ? "hints on" : "hints off", r.ipc);
     }
@@ -118,9 +131,9 @@ main()
     std::printf("\n== Ablation: rename ports ==\n");
     std::printf("%6s %8s\n", "ports", "IPC");
     for (unsigned ports : {4u, 6u, 8u, 12u}) {
-        cpu::CpuParams p = base();
-        p.vcaRenamePorts = ports;
-        const auto r = runConfig(p);
+        analysis::ParamOverrides ov;
+        ov.vcaRenamePorts = ports;
+        const auto r = runConfig(192, ov);
         std::printf("%6u %8.3f\n", ports, r.ipc);
     }
     printCycleAccounting({cpu::RenamerKind::Vca}, 192, defaultOptions());

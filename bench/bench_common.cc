@@ -7,7 +7,58 @@
 namespace vca::bench {
 
 using analysis::Measurement;
+using analysis::SweepPoint;
 using cpu::RenamerKind;
+
+std::map<std::string, std::vector<double>>
+sweepSeries(const std::vector<SeriesSpec> &specs,
+            const std::vector<unsigned> &physRegs,
+            const analysis::RunOptions &opts,
+            const WorkloadMetric &metric)
+{
+    // One flat batch over the whole grid: the runner parallelizes and
+    // memoizes; duplicate points across curves simulate once.
+    std::vector<SweepPoint> points;
+    for (const SeriesSpec &spec : specs) {
+        analysis::RunOptions specOpts = opts;
+        specOpts.stopOnFirstThread = spec.stopOnFirstThread;
+        for (unsigned p : physRegs) {
+            for (const auto &w : spec.workloads) {
+                SweepPoint point;
+                point.benches = w;
+                point.windowed = spec.windowed;
+                point.kind = spec.kind;
+                point.physRegs = p;
+                point.opts = specOpts;
+                points.push_back(std::move(point));
+            }
+        }
+    }
+    const std::vector<Measurement> results =
+        analysis::SweepRunner::global().run(points);
+
+    std::map<std::string, std::vector<double>> series;
+    size_t idx = 0;
+    for (const SeriesSpec &spec : specs) {
+        std::vector<double> row;
+        for (size_t s = 0; s < physRegs.size(); ++s) {
+            std::vector<double> values;
+            bool operable = true;
+            for (const auto &w : spec.workloads) {
+                const Measurement &m = results[idx++];
+                const double v = m.ok ? metric(spec, w, m) : -1.0;
+                if (v < 0) {
+                    operable = false;
+                    continue;
+                }
+                values.push_back(v);
+            }
+            row.push_back(operable ? analysis::mean(values) : -1.0);
+        }
+        series[spec.label] = std::move(row);
+    }
+    return series;
+}
 
 std::map<std::string, std::vector<double>>
 regWindowSweep(const std::vector<unsigned> &physRegs,
@@ -21,9 +72,16 @@ regWindowSweep(const std::vector<unsigned> &physRegs,
     {
         analysis::RunOptions refOpts = opts;
         refOpts.dcachePorts = normalizePorts;
+        std::vector<SweepPoint> refPoints;
         for (const auto &prof : benches) {
-            const Measurement m = analysis::runBench(
-                prof, RenamerKind::Baseline, 256, refOpts);
+            refPoints.push_back(analysis::makePoint(
+                prof.name, RenamerKind::Baseline, 256, refOpts));
+        }
+        const auto refResults =
+            analysis::SweepRunner::global().run(refPoints);
+        for (size_t i = 0; i < benches.size(); ++i) {
+            const auto &prof = benches[i];
+            const Measurement &m = refResults[i];
             if (!m.ok)
                 fatal("reference run failed for %s", prof.name.c_str());
             reference[prof.name] = metricIsDcache
@@ -33,29 +91,28 @@ regWindowSweep(const std::vector<unsigned> &physRegs,
         }
     }
 
-    std::map<std::string, std::vector<double>> series;
+    std::vector<SeriesSpec> specs;
     for (RenamerKind kind : regWindowArchs()) {
-        std::vector<double> row;
-        for (unsigned p : physRegs) {
-            std::vector<double> normalized;
-            bool operable = true;
-            for (const auto &prof : benches) {
-                const Measurement m =
-                    analysis::runBench(prof, kind, p, opts);
-                if (!m.ok) {
-                    operable = false;
-                    break;
-                }
-                const double value = metricIsDcache
-                    ? analysis::totalDcacheAccesses(prof, kind, m)
-                    : analysis::executionTime(prof, kind, m);
-                normalized.push_back(value / reference[prof.name]);
-            }
-            row.push_back(operable ? analysis::mean(normalized) : -1.0);
-        }
-        series[archLabel(kind)] = std::move(row);
+        SeriesSpec spec;
+        spec.label = archLabel(kind);
+        spec.kind = kind;
+        spec.windowed = analysis::usesWindowedBinary(kind);
+        spec.stopOnFirstThread = false;
+        for (const auto &prof : benches)
+            spec.workloads.push_back({prof.name});
+        specs.push_back(std::move(spec));
     }
-    return series;
+    return sweepSeries(
+        specs, physRegs, opts,
+        [&](const SeriesSpec &spec,
+            const std::vector<std::string> &benchNames,
+            const Measurement &m) {
+            const auto &prof = wload::profileByName(benchNames.front());
+            const double value = metricIsDcache
+                ? analysis::totalDcacheAccesses(prof, spec.kind, m)
+                : analysis::executionTime(prof, spec.kind, m);
+            return value / reference.at(prof.name);
+        });
 }
 
 } // namespace vca::bench
@@ -139,10 +196,14 @@ printCycleAccounting(const std::vector<cpu::RenamerKind> &archs,
 {
     std::printf("\n== Cycle accounting: %s @ %u phys regs ==\n",
                 benchName.c_str(), physRegs);
+    std::vector<SweepPoint> points;
+    for (RenamerKind kind : archs)
+        points.push_back(
+            analysis::makePoint(benchName, kind, physRegs, opts));
+    const auto results = analysis::SweepRunner::global().run(points);
     bool header = false;
-    for (RenamerKind kind : archs) {
-        const Measurement m = analysis::runBench(
-            wload::profileByName(benchName), kind, physRegs, opts);
+    for (size_t i = 0; i < archs.size(); ++i) {
+        const Measurement &m = results[i];
         if (!header && m.ok) {
             std::printf("%-12s", "arch");
             for (const auto &[name, frac] : m.cycleBreakdown)
@@ -150,7 +211,7 @@ printCycleAccounting(const std::vector<cpu::RenamerKind> &archs,
             std::printf("   (%% of cycles)\n");
             header = true;
         }
-        std::printf("%-12s", archLabel(kind));
+        std::printf("%-12s", archLabel(archs[i]));
         if (!m.ok) {
             std::printf(" %9s\n", "n/a");
             continue;
@@ -181,46 +242,45 @@ singleThreadReference(const analysis::RunOptions &opts)
         analysis::RunOptions refOpts = opts;
         refOpts.stopOnFirstThread = false;
         refOpts.numThreads = 1;
-        for (const auto &prof : wload::spec2000Profiles()) {
-            const auto m = analysis::runBench(
-                prof, cpu::RenamerKind::Baseline, 256, refOpts);
-            if (!m.ok)
+        const auto &profiles = wload::spec2000Profiles();
+        std::vector<SweepPoint> points;
+        for (const auto &prof : profiles) {
+            points.push_back(analysis::makePoint(
+                prof.name, cpu::RenamerKind::Baseline, 256, refOpts));
+        }
+        const auto results = analysis::SweepRunner::global().run(points);
+        for (size_t i = 0; i < profiles.size(); ++i) {
+            const auto &prof = profiles[i];
+            if (!results[i].ok)
                 fatal("single-thread reference failed for %s",
                       prof.name.c_str());
             refs[prof.name] = analysis::executionTime(
-                prof, cpu::RenamerKind::Baseline, m);
+                prof, cpu::RenamerKind::Baseline, results[i]);
         }
     }
     return refs;
 }
 
-namespace {
-
-analysis::Measurement
-runSmtWorkload(const std::vector<std::string> &benches,
-               cpu::RenamerKind kind, unsigned physRegs,
-               bool windowedBinaries, const analysis::RunOptions &base)
+analysis::SweepPoint
+smtPoint(const std::vector<std::string> &benches, RenamerKind kind,
+         unsigned physRegs, bool windowedBinaries,
+         const analysis::RunOptions &baseOpts)
 {
-    std::vector<const isa::Program *> programs;
-    for (const std::string &name : benches) {
-        programs.push_back(wload::cachedProgram(
-            wload::profileByName(name), windowedBinaries));
-    }
-    analysis::RunOptions opts = base;
-    opts.stopOnFirstThread = true;
-    return analysis::runTiming(programs, kind, physRegs, opts);
+    SweepPoint point;
+    point.benches = benches;
+    point.windowed = windowedBinaries;
+    point.kind = kind;
+    point.physRegs = physRegs;
+    point.opts = baseOpts;
+    point.opts.stopOnFirstThread = true;
+    return point;
 }
 
-} // namespace
-
 double
-weightedSpeedup(const std::vector<std::string> &benches,
-                cpu::RenamerKind kind, unsigned physRegs,
-                bool windowedBinaries,
-                const analysis::RunOptions &baseOpts)
+weightedSpeedupFrom(const std::vector<std::string> &benches,
+                    bool windowedBinaries, const Measurement &m,
+                    const analysis::RunOptions &baseOpts)
 {
-    const auto m = runSmtWorkload(benches, kind, physRegs,
-                                  windowedBinaries, baseOpts);
     if (!m.ok)
         return -1.0;
     const auto &refs = singleThreadReference(baseOpts);
@@ -239,13 +299,20 @@ weightedSpeedup(const std::vector<std::string> &benches,
 }
 
 double
-cacheAccessMetric(const std::vector<std::string> &benches,
-                  cpu::RenamerKind kind, unsigned physRegs,
-                  bool windowedBinaries,
-                  const analysis::RunOptions &baseOpts)
+weightedSpeedup(const std::vector<std::string> &benches,
+                RenamerKind kind, unsigned physRegs,
+                bool windowedBinaries,
+                const analysis::RunOptions &baseOpts)
 {
-    const auto m = runSmtWorkload(benches, kind, physRegs,
-                                  windowedBinaries, baseOpts);
+    const Measurement m = analysis::SweepRunner::global().runPoint(
+        smtPoint(benches, kind, physRegs, windowedBinaries, baseOpts));
+    return weightedSpeedupFrom(benches, windowedBinaries, m, baseOpts);
+}
+
+double
+cacheAccessMetricFrom(const std::vector<std::string> &benches,
+                      bool windowedBinaries, const Measurement &m)
+{
     if (!m.ok)
         return -1.0;
     double work = 0;
@@ -256,6 +323,17 @@ cacheAccessMetric(const std::vector<std::string> &benches,
                     analysis::pathLength(prof, windowedBinaries));
     }
     return work > 0 ? m.dcacheAccesses / work : -1.0;
+}
+
+double
+cacheAccessMetric(const std::vector<std::string> &benches,
+                  RenamerKind kind, unsigned physRegs,
+                  bool windowedBinaries,
+                  const analysis::RunOptions &baseOpts)
+{
+    const Measurement m = analysis::SweepRunner::global().runPoint(
+        smtPoint(benches, kind, physRegs, windowedBinaries, baseOpts));
+    return cacheAccessMetricFrom(benches, windowedBinaries, m);
 }
 
 } // namespace vca::bench

@@ -15,11 +15,13 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "analysis/experiment.hh"
+#include "analysis/runner.hh"
 #include "analysis/workloads.hh"
 #include "sim/logging.hh"
 
@@ -126,6 +128,40 @@ void printCycleAccounting(const std::vector<cpu::RenamerKind> &archs,
                           const std::string &benchName = "crafty");
 
 /**
+ * The shared sweep loop behind every figure: one curve (a SeriesSpec)
+ * is an architecture/ABI and its workload list, and the series value
+ * at each register-file size is the mean of a per-workload metric.
+ * All (spec x size x workload) measurements run as ONE batch on the
+ * parallel sweep runner (analysis::SweepRunner::global(), memoized on
+ * disk); only metric evaluation and formatting stay serial.
+ */
+struct SeriesSpec
+{
+    std::string label;            ///< row name in the printed series
+    cpu::RenamerKind kind;
+    bool windowed;                ///< which binary ABI the points run
+    bool stopOnFirstThread;       ///< SMT methodology (Section 3.2)
+    std::vector<std::vector<std::string>> workloads; ///< 1 entry/thread
+};
+
+/** Per-workload metric; negative marks the point inoperable. */
+using WorkloadMetric = std::function<double(
+    const SeriesSpec &spec, const std::vector<std::string> &benches,
+    const analysis::Measurement &m)>;
+
+/**
+ * Measure every (spec, size, workload) point in one parallel batch and
+ * reduce to metric[spec.label][sizeIndex]: the mean across the spec's
+ * workloads, or -1 when any workload is inoperable (!Measurement::ok
+ * or a negative metric).
+ */
+std::map<std::string, std::vector<double>>
+sweepSeries(const std::vector<SeriesSpec> &specs,
+            const std::vector<unsigned> &physRegs,
+            const analysis::RunOptions &opts,
+            const WorkloadMetric &metric);
+
+/**
  * Sweep the register-window architectures over physical register file
  * sizes. Returns metric[arch][sizeIndex] where the metric is computed
  * per benchmark, normalized to the baseline reference, and averaged
@@ -153,6 +189,12 @@ analysis::WorkloadSelection benchWorkloads();
 const std::map<std::string, double> &singleThreadReference(
     const analysis::RunOptions &opts);
 
+/** The sweep point one SMT workload measurement runs. */
+analysis::SweepPoint smtPoint(const std::vector<std::string> &benches,
+                              cpu::RenamerKind kind, unsigned physRegs,
+                              bool windowedBinaries,
+                              const analysis::RunOptions &baseOpts);
+
 /**
  * Weighted speedup of one multiprogrammed workload: the sum over
  * threads of refExecTime / smtExecTime, where execution time is
@@ -164,6 +206,12 @@ double weightedSpeedup(const std::vector<std::string> &benches,
                        bool windowedBinaries,
                        const analysis::RunOptions &baseOpts);
 
+/** weightedSpeedup() from an already-run workload measurement. */
+double weightedSpeedupFrom(const std::vector<std::string> &benches,
+                           bool windowedBinaries,
+                           const analysis::Measurement &m,
+                           const analysis::RunOptions &baseOpts);
+
 /**
  * Cache-traffic metric for one workload: measured data-cache accesses
  * per unit of completed architectural work (sum over threads of
@@ -174,6 +222,11 @@ double cacheAccessMetric(const std::vector<std::string> &benches,
                          cpu::RenamerKind kind, unsigned physRegs,
                          bool windowedBinaries,
                          const analysis::RunOptions &baseOpts);
+
+/** cacheAccessMetric() from an already-run workload measurement. */
+double cacheAccessMetricFrom(const std::vector<std::string> &benches,
+                             bool windowedBinaries,
+                             const analysis::Measurement &m);
 
 } // namespace vca::bench
 

@@ -37,43 +37,27 @@ main()
         std::printf("  2T: %s + %s\n", w[0].c_str(), w[1].c_str());
     }
 
-    std::map<std::string, std::vector<double>> series;
-    struct Config
-    {
-        const char *label;
-        cpu::RenamerKind kind;
-        const std::vector<std::vector<std::string>> *workloads;
+    // Figure 7 is SMT without windows: both machines run the
+    // non-windowed binaries (VCA still virtualizes the thread
+    // contexts). The whole grid goes through the sweep runner as one
+    // parallel, cache-memoized batch.
+    const std::vector<SeriesSpec> specs = {
+        {"baseline 2T", cpu::RenamerKind::Baseline, false, true,
+         workloads.twoThread},
+        {"baseline 4T", cpu::RenamerKind::Baseline, false, true,
+         workloads.fourThread},
+        {"vca 2T", cpu::RenamerKind::Vca, false, true,
+         workloads.twoThread},
+        {"vca 4T", cpu::RenamerKind::Vca, false, true,
+         workloads.fourThread},
     };
-    const std::vector<Config> configs = {
-        {"baseline 2T", cpu::RenamerKind::Baseline, &workloads.twoThread},
-        {"baseline 4T", cpu::RenamerKind::Baseline,
-         &workloads.fourThread},
-        {"vca 2T", cpu::RenamerKind::Vca, &workloads.twoThread},
-        {"vca 4T", cpu::RenamerKind::Vca, &workloads.fourThread},
-    };
-
-    for (const Config &cfg : configs) {
-        std::vector<double> row;
-        for (unsigned p : sizes) {
-            std::vector<double> speedups;
-            bool operable = true;
-            for (const auto &w : *cfg.workloads) {
-                // Figure 7 is SMT without windows: both machines run
-                // the non-windowed binaries (VCA still virtualizes the
-                // thread contexts).
-                const double s = weightedSpeedup(w, cfg.kind, p,
-                                                 /*windowed=*/false,
-                                                 opts);
-                if (s < 0) {
-                    operable = false;
-                    break;
-                }
-                speedups.push_back(s);
-            }
-            row.push_back(operable ? analysis::mean(speedups) : -1.0);
-        }
-        series[cfg.label] = std::move(row);
-    }
+    const auto series = sweepSeries(
+        specs, sizes, opts,
+        [&opts](const SeriesSpec &spec,
+                const std::vector<std::string> &w,
+                const analysis::Measurement &m) {
+            return weightedSpeedupFrom(w, spec.windowed, m, opts);
+        });
 
     printSeries("Figure 7: SMT weighted speedup "
                 "(vs 1T baseline @ 256)",

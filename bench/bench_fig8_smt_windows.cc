@@ -32,57 +32,58 @@ main()
     for (const auto &prof : wload::regWindowProfiles())
         oneThread.push_back({prof.name});
 
-    struct Config
-    {
-        const char *label;
-        cpu::RenamerKind kind;
-        bool windowed;
-        const std::vector<std::vector<std::string>> *workloads;
+    // The whole grid runs through the sweep runner as one parallel,
+    // cache-memoized batch; every workload runs with the paper's
+    // stop-on-first-thread SMT methodology (also for the 1T curves,
+    // where it is equivalent).
+    const std::vector<SeriesSpec> specs = {
+        {"baseline 1T", cpu::RenamerKind::Baseline, false, true,
+         oneThread},
+        {"baseline 2T", cpu::RenamerKind::Baseline, false, true,
+         workloads.twoThread},
+        {"baseline 4T", cpu::RenamerKind::Baseline, false, true,
+         workloads.fourThread},
+        {"vca 1T", cpu::RenamerKind::Vca, true, true, oneThread},
+        {"vca 2T", cpu::RenamerKind::Vca, true, true,
+         workloads.twoThread},
+        {"vca 4T", cpu::RenamerKind::Vca, true, true,
+         workloads.fourThread},
     };
-    const std::vector<Config> configs = {
-        {"baseline 1T", cpu::RenamerKind::Baseline, false, &oneThread},
-        {"baseline 2T", cpu::RenamerKind::Baseline, false,
-         &workloads.twoThread},
-        {"baseline 4T", cpu::RenamerKind::Baseline, false,
-         &workloads.fourThread},
-        {"vca 1T", cpu::RenamerKind::Vca, true, &oneThread},
-        {"vca 2T", cpu::RenamerKind::Vca, true, &workloads.twoThread},
-        {"vca 4T", cpu::RenamerKind::Vca, true, &workloads.fourThread},
-    };
-
-    std::map<std::string, std::vector<double>> series;
-    for (const Config &cfg : configs) {
-        std::vector<double> row;
-        for (unsigned p : sizes) {
-            std::vector<double> speedups;
-            bool operable = true;
-            for (const auto &w : *cfg.workloads) {
-                const double s = weightedSpeedup(w, cfg.kind, p,
-                                                 cfg.windowed, opts);
-                if (s < 0) {
-                    operable = false;
-                    break;
-                }
-                speedups.push_back(s);
-            }
-            row.push_back(operable ? analysis::mean(speedups) : -1.0);
-        }
-        series[cfg.label] = std::move(row);
-    }
+    const auto series = sweepSeries(
+        specs, sizes, opts,
+        [&opts](const SeriesSpec &spec,
+                const std::vector<std::string> &w,
+                const analysis::Measurement &m) {
+            return weightedSpeedupFrom(w, spec.windowed, m, opts);
+        });
 
     printSeries("Figure 8: SMT + register window weighted speedup "
                 "(vs 1T baseline @ 256)",
                 "weighted speedup", sizes, series);
 
-    // Section 4.3 cache-access accounting on the 4T workloads.
-    std::vector<double> vcaFlat, vcaWin, base448;
+    // Section 4.3 cache-access accounting on the 4T workloads: three
+    // configurations per workload, again as one runner batch (the two
+    // configurations shared with the Figure 8 grid are cache hits).
+    std::vector<analysis::SweepPoint> acctPoints;
     for (const auto &w : workloads.fourThread) {
-        const double f = cacheAccessMetric(w, cpu::RenamerKind::Vca, 192,
-                                           false, opts);
-        const double v = cacheAccessMetric(w, cpu::RenamerKind::Vca, 192,
-                                           true, opts);
-        const double b = cacheAccessMetric(
-            w, cpu::RenamerKind::Baseline, 448, false, opts);
+        acctPoints.push_back(
+            smtPoint(w, cpu::RenamerKind::Vca, 192, false, opts));
+        acctPoints.push_back(
+            smtPoint(w, cpu::RenamerKind::Vca, 192, true, opts));
+        acctPoints.push_back(
+            smtPoint(w, cpu::RenamerKind::Baseline, 448, false, opts));
+    }
+    const auto acctResults =
+        analysis::SweepRunner::global().run(acctPoints);
+    std::vector<double> vcaFlat, vcaWin, base448;
+    for (size_t i = 0; i < workloads.fourThread.size(); ++i) {
+        const auto &w = workloads.fourThread[i];
+        const double f =
+            cacheAccessMetricFrom(w, false, acctResults[3 * i]);
+        const double v =
+            cacheAccessMetricFrom(w, true, acctResults[3 * i + 1]);
+        const double b =
+            cacheAccessMetricFrom(w, false, acctResults[3 * i + 2]);
         if (f > 0 && v > 0 && b > 0) {
             vcaFlat.push_back(f);
             vcaWin.push_back(v);

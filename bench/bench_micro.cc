@@ -5,6 +5,11 @@
  * whole-pipeline throughput per architecture. These guard the
  * simulator's performance (the figure sweeps run hundreds of detailed
  * simulations) rather than reproducing a paper result.
+ *
+ * The microbenchmark loops deliberately bypass the sweep runner and
+ * its result cache: they measure the simulator's wall-clock speed, so
+ * memoization would measure nothing. The cycle-accounting epilogue
+ * does go through the runner like every other bench.
  */
 
 #include <benchmark/benchmark.h>

@@ -1,6 +1,7 @@
 #include "analysis/experiment.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <numeric>
@@ -12,6 +13,35 @@ namespace vca::analysis {
 
 using cpu::RenamerKind;
 
+namespace {
+
+std::atomic<std::uint64_t> runTimingCalls{0};
+
+void
+applyOverrides(cpu::CpuParams &params, const ParamOverrides &ov)
+{
+    if (ov.vcaTableAssoc)
+        params.vcaTableAssoc = ov.vcaTableAssoc;
+    if (ov.astqEntries)
+        params.astqEntries = ov.astqEntries;
+    if (ov.rsidEntries)
+        params.rsidEntries = ov.rsidEntries;
+    if (ov.vcaRenamePorts)
+        params.vcaRenamePorts = ov.vcaRenamePorts;
+    if (ov.vcaCheckpointRecovery >= 0)
+        params.vcaCheckpointRecovery = ov.vcaCheckpointRecovery != 0;
+    if (ov.vcaDeadValueHints >= 0)
+        params.vcaDeadValueHints = ov.vcaDeadValueHints != 0;
+}
+
+} // namespace
+
+std::uint64_t
+runTimingCallCount()
+{
+    return runTimingCalls.load();
+}
+
 bool
 usesWindowedBinary(RenamerKind kind)
 {
@@ -22,10 +52,14 @@ Measurement
 runTiming(const std::vector<const isa::Program *> &programs,
           RenamerKind kind, unsigned physRegs, const RunOptions &opts)
 {
+    runTimingCalls.fetch_add(1, std::memory_order_relaxed);
     Measurement m;
     cpu::CpuParams params = cpu::CpuParams::preset(
         kind, physRegs, static_cast<unsigned>(programs.size()));
     params.dcachePorts = opts.dcachePorts;
+    applyOverrides(params, opts.overrides);
+    if (opts.seed)
+        params.rngSeed = opts.seed;
 
     try {
         cpu::OooCpu cpu(params, programs);
@@ -60,6 +94,15 @@ runTiming(const std::vector<const isa::Program *> &programs,
             {"window", ca.windowShift.value() / cycles},
             {"frontend", ca.frontendStall.value() / cycles},
         };
+        // Raw counters the ablation benches drill into. Only present
+        // on configurations that register them (the VCA renamer).
+        const auto *group = static_cast<const stats::StatGroup *>(&cpu);
+        for (const char *name :
+             {"stalls_table_conflict", "stalls_astq"}) {
+            if (const auto *s = dynamic_cast<const stats::Scalar *>(
+                    group->find(name)))
+                m.counters.emplace_back(name, s->value());
+        }
     } catch (const FatalError &e) {
         m.ok = false;
         m.error = e.what();

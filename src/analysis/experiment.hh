@@ -27,6 +27,33 @@
 
 namespace vca::analysis {
 
+/**
+ * Optional deviations from the CpuParams::preset() configuration, for
+ * the ablation studies. Zero / -1 means "keep the preset value", so a
+ * default-constructed instance changes nothing. Kept as a flat POD so
+ * sweep points hash and serialize trivially.
+ */
+struct ParamOverrides
+{
+    unsigned vcaTableAssoc = 0;
+    unsigned astqEntries = 0;
+    unsigned rsidEntries = 0;
+    unsigned vcaRenamePorts = 0;
+    int vcaCheckpointRecovery = -1; ///< -1 preset, else 0/1
+    int vcaDeadValueHints = -1;     ///< -1 preset, else 0/1
+
+    bool
+    operator==(const ParamOverrides &o) const
+    {
+        return vcaTableAssoc == o.vcaTableAssoc &&
+               astqEntries == o.astqEntries &&
+               rsidEntries == o.rsidEntries &&
+               vcaRenamePorts == o.vcaRenamePorts &&
+               vcaCheckpointRecovery == o.vcaCheckpointRecovery &&
+               vcaDeadValueHints == o.vcaDeadValueHints;
+    }
+};
+
 struct RunOptions
 {
     InstCount warmupInsts = 20'000;
@@ -36,6 +63,16 @@ struct RunOptions
     /** Stop the measured interval when the first thread reaches the
      *  budget (the paper's SMT methodology). */
     bool stopOnFirstThread = false;
+    /** Ablation deviations from the preset configuration. */
+    ParamOverrides overrides;
+    /**
+     * Seed for the core's tie-break RNG (0 = library default). The
+     * sweep runner derives it from the point's content hash, so a
+     * job's randomness can never depend on which pool thread runs it
+     * or in what order — the guarantee behind bit-identical parallel
+     * sweeps.
+     */
+    std::uint64_t seed = 0;
 };
 
 struct Measurement
@@ -54,6 +91,24 @@ struct Measurement
     /** Commit-stall attribution: (bucket name, fraction of cycles),
      *  from OooCpu's cycle_accounting group. Fractions sum to 1. */
     std::vector<std::pair<std::string, double>> cycleBreakdown;
+    /** Named raw counters the benches drill into (e.g. the VCA
+     *  rename-stall scalars). Only counters that exist on the
+     *  configuration appear. */
+    std::vector<std::pair<std::string, double>> counters;
+
+    bool
+    operator==(const Measurement &o) const
+    {
+        return ok == o.ok && error == o.error && cycles == o.cycles &&
+               insts == o.insts && ipc == o.ipc && cpi == o.cpi &&
+               dcacheAccesses == o.dcacheAccesses &&
+               dcacheAccPerInst == o.dcacheAccPerInst &&
+               threadCpi == o.threadCpi &&
+               threadDcachePerInst == o.threadDcachePerInst &&
+               threadInsts == o.threadInsts &&
+               cycleBreakdown == o.cycleBreakdown &&
+               counters == o.counters;
+    }
 };
 
 /** Run a timing measurement for an arbitrary program/thread set. */
@@ -93,6 +148,13 @@ double totalDcacheAccesses(const wload::BenchProfile &profile,
 
 /** Arithmetic mean (figures average across benchmarks). */
 double mean(const std::vector<double> &xs);
+
+/**
+ * Process-wide count of runTiming() invocations (thread-safe). The
+ * cache tests use it to prove that a warm-cache sweep performs zero
+ * detailed simulations.
+ */
+std::uint64_t runTimingCallCount();
 
 } // namespace vca::analysis
 

@@ -1,0 +1,499 @@
+#include "analysis/runner.hh"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "sim/thread_pool.hh"
+#include "trace/json.hh"
+#include "wload/generator.hh"
+#include "wload/profile.hh"
+
+namespace vca::analysis {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------
+// Point identity
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Shortest-exact formatting so keys are stable and doubles lossless. */
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+void
+appendProfile(std::ostream &os, const wload::BenchProfile &p)
+{
+    os << "{name=" << p.name << ";fp=" << p.isFloat
+       << ";funcs=" << p.numFuncs << ";fanout=" << p.callFanout
+       << ";span=" << p.callSpan << ";body=" << p.bodyOps
+       << ";locals=" << p.avgLocals << ";leaf=" << fmtDouble(p.leafFrac)
+       << ";trip=" << p.loopTripMean
+       << ";rbr=" << fmtDouble(p.randomBranchFrac)
+       << ";foot=" << p.footprintBytes
+       << ";mem=" << fmtDouble(p.memOpFrac)
+       << ";chase=" << fmtDouble(p.pointerChaseFrac)
+       << ";fpfrac=" << fmtDouble(p.fpFrac)
+       << ";target=" << p.targetDynInsts << ";seed=" << p.seed
+       << ";callheavy=" << p.callHeavy << "}";
+}
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+splitmix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+SweepPoint
+makePoint(const std::string &bench, cpu::RenamerKind kind,
+          unsigned physRegs, const RunOptions &opts)
+{
+    SweepPoint p;
+    p.benches = {bench};
+    p.windowed = usesWindowedBinary(kind);
+    p.kind = kind;
+    p.physRegs = physRegs;
+    p.opts = opts;
+    return p;
+}
+
+std::string
+pointKey(const SweepPoint &point)
+{
+    std::ostringstream os;
+    os << "v=" << kSimVersionTag
+       << ";arch=" << cpu::renamerKindName(point.kind)
+       << ";regs=" << point.physRegs << ";windowed=" << point.windowed
+       << ";warmup=" << point.opts.warmupInsts
+       << ";measure=" << point.opts.measureInsts
+       << ";ports=" << point.opts.dcachePorts
+       << ";threads=" << point.opts.numThreads
+       << ";stopfirst=" << point.opts.stopOnFirstThread;
+    const ParamOverrides &ov = point.opts.overrides;
+    os << ";ov=" << ov.vcaTableAssoc << "," << ov.astqEntries << ","
+       << ov.rsidEntries << "," << ov.vcaRenamePorts << ","
+       << ov.vcaCheckpointRecovery << "," << ov.vcaDeadValueHints;
+    os << ";benches=";
+    for (const std::string &name : point.benches)
+        appendProfile(os, wload::profileByName(name));
+    return os.str();
+}
+
+std::uint64_t
+pointHash(const SweepPoint &point)
+{
+    return fnv1a(pointKey(point));
+}
+
+std::uint64_t
+pointSeed(const SweepPoint &point)
+{
+    // Finalize with splitmix64 so seeds are well distributed even for
+    // points whose keys share long prefixes; never 0 (0 means "use the
+    // library default" in RunOptions).
+    const std::uint64_t seed = splitmix64(pointHash(point));
+    return seed ? seed : 1;
+}
+
+// ---------------------------------------------------------------------
+// Measurement (de)serialization
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+writeMeasurement(trace::JsonWriter &w, const Measurement &m)
+{
+    w.beginObject();
+    w.key("ok").boolean(m.ok);
+    w.key("error").string(m.error);
+    w.key("cycles").number(std::uint64_t(m.cycles));
+    w.key("insts").number(std::uint64_t(m.insts));
+    w.key("ipc").number(m.ipc);
+    w.key("cpi").number(m.cpi);
+    w.key("dcache_accesses").number(m.dcacheAccesses);
+    w.key("dcache_acc_per_inst").number(m.dcacheAccPerInst);
+    w.key("thread_cpi").beginArray();
+    for (double v : m.threadCpi)
+        w.number(v);
+    w.endArray();
+    w.key("thread_dcache_per_inst").beginArray();
+    for (double v : m.threadDcachePerInst)
+        w.number(v);
+    w.endArray();
+    w.key("thread_insts").beginArray();
+    for (InstCount v : m.threadInsts)
+        w.number(std::uint64_t(v));
+    w.endArray();
+    w.key("cycle_breakdown").beginObject();
+    for (const auto &[name, frac] : m.cycleBreakdown)
+        w.key(name).number(frac);
+    w.endObject();
+    w.key("counters").beginObject();
+    for (const auto &[name, value] : m.counters)
+        w.key(name).number(value);
+    w.endObject();
+    w.endObject();
+}
+
+double
+numberField(const trace::JsonValue &obj, const char *name)
+{
+    const trace::JsonValue *v = obj.find(name);
+    if (!v || !v->isNumber())
+        fatal("measurement JSON: missing number '%s'", name);
+    return v->asNumber();
+}
+
+Measurement
+measurementFromValue(const trace::JsonValue &v)
+{
+    if (!v.isObject())
+        fatal("measurement JSON: not an object");
+    Measurement m;
+    const trace::JsonValue *ok = v.find("ok");
+    const trace::JsonValue *error = v.find("error");
+    if (!ok || !error)
+        fatal("measurement JSON: missing ok/error");
+    m.ok = ok->asBool();
+    m.error = error->asString();
+    m.cycles = static_cast<Cycle>(numberField(v, "cycles"));
+    m.insts = static_cast<InstCount>(numberField(v, "insts"));
+    m.ipc = numberField(v, "ipc");
+    m.cpi = numberField(v, "cpi");
+    m.dcacheAccesses = numberField(v, "dcache_accesses");
+    m.dcacheAccPerInst = numberField(v, "dcache_acc_per_inst");
+    const auto array = [&v](const char *name) -> const trace::JsonValue & {
+        const trace::JsonValue *a = v.find(name);
+        if (!a || !a->isArray())
+            fatal("measurement JSON: missing array '%s'", name);
+        return *a;
+    };
+    const trace::JsonValue &tc = array("thread_cpi");
+    for (size_t i = 0; i < tc.size(); ++i)
+        m.threadCpi.push_back(tc.at(i).asNumber());
+    const trace::JsonValue &td = array("thread_dcache_per_inst");
+    for (size_t i = 0; i < td.size(); ++i)
+        m.threadDcachePerInst.push_back(td.at(i).asNumber());
+    const trace::JsonValue &ti = array("thread_insts");
+    for (size_t i = 0; i < ti.size(); ++i)
+        m.threadInsts.push_back(
+            static_cast<InstCount>(ti.at(i).asNumber()));
+    const auto object = [&v](const char *name) -> const trace::JsonValue & {
+        const trace::JsonValue *o = v.find(name);
+        if (!o || !o->isObject())
+            fatal("measurement JSON: missing object '%s'", name);
+        return *o;
+    };
+    for (const auto &[name, value] : object("cycle_breakdown").members())
+        m.cycleBreakdown.emplace_back(name, value.asNumber());
+    for (const auto &[name, value] : object("counters").members())
+        m.counters.emplace_back(name, value.asNumber());
+    return m;
+}
+
+} // namespace
+
+std::string
+measurementToJson(const Measurement &m)
+{
+    std::ostringstream os;
+    trace::JsonWriter w(os);
+    writeMeasurement(w, m);
+    return os.str();
+}
+
+Measurement
+measurementFromJson(const std::string &text)
+{
+    return measurementFromValue(trace::JsonValue::parse(text));
+}
+
+// ---------------------------------------------------------------------
+// ResultCache
+// ---------------------------------------------------------------------
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+ResultCache::defaultDir()
+{
+    if (const char *env = std::getenv("VCA_CACHE_DIR"))
+        return env; // empty string disables the cache
+    return ".vca-cache";
+}
+
+std::string
+ResultCache::pathFor(const SweepPoint &point) const
+{
+    char name[32];
+    std::snprintf(name, sizeof name, "%016llx.json",
+                  static_cast<unsigned long long>(pointHash(point)));
+    return dir_ + "/" + name;
+}
+
+bool
+ResultCache::load(const SweepPoint &point, Measurement &out) const
+{
+    if (!enabled())
+        return false;
+    const std::string path = pathFor(point);
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    try {
+        const trace::JsonValue doc = trace::JsonValue::parse(buf.str());
+        const trace::JsonValue *version = doc.find("version");
+        const trace::JsonValue *key = doc.find("key");
+        const trace::JsonValue *meas = doc.find("measurement");
+        if (!version || !key || !meas)
+            fatal("missing version/key/measurement");
+        if (version->asString() != kSimVersionTag)
+            return false; // stale simulator version
+        if (key->asString() != pointKey(point))
+            return false; // hash collision
+        out = measurementFromValue(*meas);
+        return true;
+    } catch (const FatalError &e) {
+        warn("ignoring corrupt cache entry %s: %s", path.c_str(),
+             e.what());
+        return false;
+    }
+}
+
+void
+ResultCache::store(const SweepPoint &point, const Measurement &m) const
+{
+    if (!enabled())
+        return;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        warn("cannot create cache dir %s: %s", dir_.c_str(),
+             ec.message().c_str());
+        return;
+    }
+    const std::string path = pathFor(point);
+    // Unique temp name per writer, then an atomic rename: concurrent
+    // processes computing the same point cannot interleave writes.
+    std::ostringstream tmpName;
+    tmpName << path << ".tmp." << std::this_thread::get_id();
+    const std::string tmp = tmpName.str();
+    {
+        std::ofstream os(tmp);
+        if (!os) {
+            warn("cannot write cache entry %s", tmp.c_str());
+            return;
+        }
+        trace::JsonWriter w(os);
+        w.beginObject();
+        w.key("version").string(kSimVersionTag);
+        w.key("key").string(pointKey(point));
+        w.key("measurement");
+        writeMeasurement(w, m);
+        w.endObject();
+        os << '\n';
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("cannot commit cache entry %s: %s", path.c_str(),
+             ec.message().c_str());
+        fs::remove(tmp, ec);
+    }
+}
+
+// ---------------------------------------------------------------------
+// SweepRunner
+// ---------------------------------------------------------------------
+
+SweepRunner::SweepRunner(const SweepConfig &config)
+    : stats::StatGroup("sweep"),
+      pointsTotal(this, "points_total", "sweep points submitted"),
+      cacheHits(this, "cache_hits", "points served from the cache"),
+      cacheMisses(this, "cache_misses", "points requiring simulation"),
+      pointsFailed(this, "points_failed",
+                   "simulated points that cannot operate"),
+      sweepSeconds(this, "sweep_seconds", "wall-clock spent in run()"),
+      pointsPerSec(this, "points_per_sec", "lifetime sweep throughput",
+                   [this] {
+                       const double s = sweepSeconds.value();
+                       return s > 0 ? pointsTotal.value() / s : 0.0;
+                   }),
+      config_(config),
+      cache_(config.cacheDir)
+{
+    if (config_.jobs) {
+        ownedPool_ = std::make_unique<ThreadPool>(config_.jobs);
+        pool_ = ownedPool_.get();
+    } else {
+        pool_ = &ThreadPool::global();
+    }
+}
+
+SweepRunner::~SweepRunner() = default;
+
+SweepRunner &
+SweepRunner::global()
+{
+    static SweepRunner runner;
+    return runner;
+}
+
+Measurement
+SweepRunner::executePoint(const SweepPoint &point) const
+{
+    RunOptions opts = point.opts;
+    opts.seed = pointSeed(point);
+    std::vector<const isa::Program *> programs;
+    programs.reserve(point.benches.size());
+    for (const std::string &name : point.benches) {
+        programs.push_back(wload::cachedProgram(
+            wload::profileByName(name), point.windowed));
+    }
+    return runTiming(programs, point.kind, point.physRegs, opts);
+}
+
+std::vector<Measurement>
+SweepRunner::run(const std::vector<SweepPoint> &points)
+{
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<Measurement> results(points.size());
+
+    // Coalesce identical points: simulate (or load) each config once.
+    struct Work
+    {
+        const SweepPoint *point;
+        std::vector<size_t> slots;
+    };
+    std::vector<Work> unique;
+    {
+        std::map<std::string, size_t> byKey;
+        for (size_t i = 0; i < points.size(); ++i) {
+            const std::string key = pointKey(points[i]);
+            auto [it, inserted] = byKey.emplace(key, unique.size());
+            if (inserted)
+                unique.push_back(Work{&points[i], {}});
+            unique[it->second].slots.push_back(i);
+        }
+    }
+    pointsTotal += static_cast<double>(points.size());
+
+    struct Latch
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        size_t remaining = 0;
+    } latch;
+    std::uint64_t hits = 0, misses = 0, failed = 0;
+    std::mutex statsMutex;
+
+    std::vector<const Work *> toRun;
+    for (const Work &w : unique) {
+        Measurement m;
+        if (cache_.load(*w.point, m)) {
+            ++hits;
+            for (size_t slot : w.slots)
+                results[slot] = m;
+        } else {
+            ++misses;
+            toRun.push_back(&w);
+        }
+    }
+    latch.remaining = toRun.size();
+
+    for (const Work *w : toRun) {
+        pool_->submit([this, w, &results, &latch, &statsMutex,
+                       &failed] {
+            Measurement m;
+            bool cacheable = true;
+            try {
+                m = executePoint(*w->point);
+            } catch (const std::exception &e) {
+                // runTiming absorbs FatalError itself; anything that
+                // reaches here is a simulator bug — report it as an
+                // inoperable point but never memoize it.
+                m.ok = false;
+                m.error = e.what();
+                cacheable = false;
+            }
+            if (cacheable)
+                cache_.store(*w->point, m);
+            for (size_t slot : w->slots)
+                results[slot] = m;
+            if (!m.ok) {
+                std::lock_guard<std::mutex> lock(statsMutex);
+                ++failed;
+            }
+            std::lock_guard<std::mutex> lock(latch.mutex);
+            if (--latch.remaining == 0)
+                latch.cv.notify_all();
+        });
+    }
+    {
+        std::unique_lock<std::mutex> lock(latch.mutex);
+        latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+    }
+
+    cacheHits += static_cast<double>(hits);
+    cacheMisses += static_cast<double>(misses);
+    pointsFailed += static_cast<double>(failed);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    sweepSeconds += seconds;
+
+    const char *report = std::getenv("VCA_SWEEP_STATS");
+    if (report && *report) {
+        std::fprintf(stderr,
+                     "sweep: %zu points (%zu unique): %llu cache hits, "
+                     "%llu simulated, %llu inoperable, %.2fs (%.1f "
+                     "points/s)\n",
+                     points.size(), unique.size(),
+                     (unsigned long long)hits, (unsigned long long)misses,
+                     (unsigned long long)failed, seconds,
+                     seconds > 0 ? points.size() / seconds : 0.0);
+    }
+    return results;
+}
+
+Measurement
+SweepRunner::runPoint(const SweepPoint &point)
+{
+    return run({point}).front();
+}
+
+} // namespace vca::analysis

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Parallel sweep engine with an on-disk result cache.
+ *
+ * Every figure/table reproduction is a set of independent timing
+ * measurements — (architecture, physical-register count, workload,
+ * run options) points. The SweepRunner executes a batch of such
+ * points on a work-stealing thread pool and memoizes each point's
+ * Measurement in a JSON file keyed by a content hash of the full point
+ * configuration, the workload profiles behind it, and the simulator
+ * version tag (kSimVersionTag). Re-running an unchanged sweep is pure
+ * cache hits: zero detailed simulations.
+ *
+ * Determinism: the timing model is deterministic, and every point's
+ * RunOptions::seed is derived from its own content hash (never from a
+ * shared generator), so results are bit-identical regardless of the
+ * worker count (VCA_JOBS) or execution order. tests/test_golden.cc
+ * pins this down.
+ *
+ * Environment:
+ *   VCA_JOBS        worker threads (default hardware_concurrency)
+ *   VCA_CACHE_DIR   cache directory; empty string disables the cache
+ *                   (default ".vca-cache")
+ *   VCA_SWEEP_STATS print a per-batch hit/miss/throughput summary to
+ *                   stderr when set and non-empty
+ *
+ * Bump kSimVersionTag whenever a change affects simulated numbers —
+ * it invalidates every cached measurement at once.
+ */
+
+#ifndef VCA_ANALYSIS_RUNNER_HH
+#define VCA_ANALYSIS_RUNNER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "stats/statistics.hh"
+
+namespace vca {
+class ThreadPool;
+}
+
+namespace vca::analysis {
+
+/** Cache-invalidation tag: bump on any change to simulated numbers. */
+inline constexpr const char *kSimVersionTag = "vca-sim-v1";
+
+/**
+ * One sweep job: a workload (one bundled benchmark name per hardware
+ * thread), the architecture that runs it, and the run options.
+ */
+struct SweepPoint
+{
+    std::vector<std::string> benches; ///< registry names, one/thread
+    bool windowed = false;            ///< run the windowed binaries
+    cpu::RenamerKind kind = cpu::RenamerKind::Baseline;
+    unsigned physRegs = 256;
+    RunOptions opts;
+};
+
+/** Single-benchmark point with the ABI implied by the architecture. */
+SweepPoint makePoint(const std::string &bench, cpu::RenamerKind kind,
+                     unsigned physRegs, const RunOptions &opts);
+
+/**
+ * Canonical description of a point: every field of the point and of
+ * each referenced workload profile, plus kSimVersionTag. Two points
+ * with equal keys measure the same thing.
+ */
+std::string pointKey(const SweepPoint &point);
+
+/** FNV-1a content hash of pointKey(). Names the cache file. */
+std::uint64_t pointHash(const SweepPoint &point);
+
+/** Per-point RNG seed: a splitmix64 finalization of the hash. */
+std::uint64_t pointSeed(const SweepPoint &point);
+
+/** Serialize a Measurement (lossless, including every double). */
+std::string measurementToJson(const Measurement &m);
+
+/** Inverse of measurementToJson; throws FatalError on bad input. */
+Measurement measurementFromJson(const std::string &text);
+
+/**
+ * On-disk Measurement store: one "<hash>.json" file per point under
+ * dir, written atomically (temp file + rename), validated on load
+ * against the full key string so hash collisions and stale version
+ * tags read as misses. An empty dir disables the cache entirely.
+ */
+class ResultCache
+{
+  public:
+    explicit ResultCache(std::string dir);
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /** True and fills out on a valid cached entry for this point. */
+    bool load(const SweepPoint &point, Measurement &out) const;
+
+    /** Persist one point's measurement (best-effort; warns on I/O). */
+    void store(const SweepPoint &point, const Measurement &m) const;
+
+    /** The cache directory from VCA_CACHE_DIR (default .vca-cache). */
+    static std::string defaultDir();
+
+  private:
+    std::string pathFor(const SweepPoint &point) const;
+
+    std::string dir_;
+};
+
+struct SweepConfig
+{
+    /** Worker threads; 0 = the shared global pool (VCA_JOBS). */
+    unsigned jobs = 0;
+    /** Cache directory; empty disables. */
+    std::string cacheDir = ResultCache::defaultDir();
+};
+
+/**
+ * Executes batches of sweep points. Results come back in submission
+ * order; duplicate points within a batch simulate once. Progress and
+ * cache effectiveness are exposed as a StatGroup ("sweep") and can be
+ * printed per batch with VCA_SWEEP_STATS=1.
+ */
+class SweepRunner : public stats::StatGroup
+{
+  public:
+    explicit SweepRunner(const SweepConfig &config = SweepConfig());
+    ~SweepRunner() override;
+
+    /** Run every point (cache first, then the pool); blocks. */
+    std::vector<Measurement> run(const std::vector<SweepPoint> &points);
+
+    /** Convenience: one point through the cache and pool. */
+    Measurement runPoint(const SweepPoint &point);
+
+    const ResultCache &cache() const { return cache_; }
+
+    // Lifetime counters across every batch this runner executed.
+    stats::Scalar pointsTotal;   ///< points submitted
+    stats::Scalar cacheHits;     ///< served from the on-disk cache
+    stats::Scalar cacheMisses;   ///< required a detailed simulation
+    stats::Scalar pointsFailed;  ///< completed with !Measurement::ok
+    stats::Scalar sweepSeconds;  ///< wall-clock across batches
+    stats::Formula pointsPerSec; ///< lifetime throughput
+
+    /**
+     * Shared instance on the global pool with default cache config;
+     * what the benches and vca-sim use so one process-wide place
+     * accumulates hit/miss statistics.
+     */
+    static SweepRunner &global();
+
+  private:
+    Measurement executePoint(const SweepPoint &point) const;
+
+    SweepConfig config_;
+    ResultCache cache_;
+    std::unique_ptr<ThreadPool> ownedPool_;
+    ThreadPool *pool_;
+};
+
+} // namespace vca::analysis
+
+#endif // VCA_ANALYSIS_RUNNER_HH

@@ -81,6 +81,7 @@ OooCpu::OooCpu(const CpuParams &params,
                           [this] { return committedTotal.value(); }),
       cycleAccounting(this),
       params_(params),
+      rng_(params.rngSeed),
       memSys_(params.memParams, this),
       bpred_(params.bpredParams, params.numThreads, this),
       regs_(params.physRegs)

@@ -33,6 +33,7 @@
 #include "isa/program.hh"
 #include "mem/cache.hh"
 #include "mem/sparse_memory.hh"
+#include "sim/rng.hh"
 #include "stats/statistics.hh"
 
 namespace vca::cpu {
@@ -98,6 +99,15 @@ class OooCpu : public stats::StatGroup
         return threads_.at(tid).committed;
     }
     Cycle currentCycle() const { return now_; }
+
+    /**
+     * The core's designated randomness source, seeded from
+     * CpuParams::rngSeed. Every stochastic tie-break a component might
+     * add must draw from here (never from shared or ambient state):
+     * the sweep runner seeds it per point, which is what keeps
+     * parallel sweeps bit-identical to serial ones.
+     */
+    Rng &rng() { return rng_; }
 
     Renamer &renamer() { return *renamer_; }
     mem::MemSystem &memSystem() { return memSys_; }
@@ -190,6 +200,7 @@ class OooCpu : public stats::StatGroup
     ThreadId pickFetchThread() const;
 
     CpuParams params_;
+    Rng rng_;
     std::vector<ThreadState> threads_;
 
     mem::MemSystem memSys_;

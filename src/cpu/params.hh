@@ -92,6 +92,15 @@ struct CpuParams
      */
     bool vcaDeadValueHints = false;
 
+    /**
+     * Seed for the core's tie-break RNG (see OooCpu::rng()). The
+     * timing model itself is deterministic — all randomness lives in
+     * the pre-seeded workloads — but any future stochastic component
+     * must draw from that per-core generator, seeded here, so that
+     * parallel sweep execution order can never leak into results.
+     */
+    std::uint64_t rngSeed = 0x9e3779b97f4a7c15ULL;
+
     mem::MemSystemParams memParams;
     bpred::BPredParams bpredParams;
 

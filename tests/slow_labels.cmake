@@ -1,0 +1,6 @@
+# Included by ctest after the gtest discovery scripts (see
+# TEST_INCLUDE_FILES in CMakeLists.txt). Adds the `slow` label to the
+# long-running tests; gtest_discover_tests cannot pass list-valued
+# properties through its PROPERTIES argument.
+set_tests_properties(Determinism.SameNumbersAtAnyJobCount
+    PROPERTIES LABELS "golden;slow")

@@ -8,10 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "analysis/cluster.hh"
 #include "analysis/experiment.hh"
 #include "analysis/pca.hh"
+#include "analysis/runner.hh"
 #include "analysis/simpoint.hh"
 #include "analysis/workloads.hh"
 #include "wload/asm_builder.hh"
@@ -194,6 +198,169 @@ TEST(Experiment, MeanHelper)
 {
     EXPECT_DOUBLE_EQ(mean({}), 0.0);
     EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+}
+
+// ---------------------------------------------------------------------
+// Sweep runner and result cache
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Fresh, empty cache directory under the system temp dir. */
+std::string
+freshCacheDir(const char *name)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() /
+                         (std::string("vca_test_cache_") + name);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+RunOptions
+tinyOptions()
+{
+    RunOptions opts;
+    opts.warmupInsts = 500;
+    opts.measureInsts = 4'000;
+    return opts;
+}
+
+} // namespace
+
+TEST(Runner, PointKeyCoversConfigAndVersion)
+{
+    const RunOptions opts = tinyOptions();
+    const auto a = makePoint("crafty", cpu::RenamerKind::Vca, 128, opts);
+    auto b = a;
+    EXPECT_EQ(pointKey(a), pointKey(b));
+    EXPECT_EQ(pointHash(a), pointHash(b));
+    EXPECT_NE(pointKey(a).find(kSimVersionTag), std::string::npos);
+    EXPECT_NE(pointKey(a).find("crafty"), std::string::npos);
+
+    b.physRegs = 129;
+    EXPECT_NE(pointKey(a), pointKey(b));
+    b = a;
+    b.opts.overrides.astqEntries = 2;
+    EXPECT_NE(pointKey(a), pointKey(b));
+
+    // The derived seed is deterministic, never 0 (0 = library
+    // default), and differs between distinct points.
+    EXPECT_EQ(pointSeed(a), pointSeed(a));
+    EXPECT_NE(pointSeed(a), 0u);
+    EXPECT_NE(pointSeed(a), pointSeed(b));
+}
+
+TEST(Runner, WarmCacheRunsZeroSimulations)
+{
+    setQuiet(true);
+    const std::string dir = freshCacheDir("warm");
+    std::vector<SweepPoint> points;
+    for (cpu::RenamerKind kind :
+         {cpu::RenamerKind::Baseline, cpu::RenamerKind::Vca})
+        for (unsigned regs : {64u, 128u})
+            points.push_back(makePoint("crafty", kind, regs,
+                                       tinyOptions()));
+
+    SweepConfig config;
+    config.jobs = 2;
+    config.cacheDir = dir;
+    SweepRunner cold(config);
+    const auto first = cold.run(points);
+    EXPECT_EQ(cold.cacheHits.value(), 0.0);
+    EXPECT_EQ(cold.cacheMisses.value(), double(points.size()));
+
+    // A second runner over the same directory must serve everything —
+    // including the inoperable baseline @ 64 point — from disk.
+    const std::uint64_t simsBefore = runTimingCallCount();
+    SweepRunner warm(config);
+    const auto second = warm.run(points);
+    EXPECT_EQ(runTimingCallCount(), simsBefore)
+        << "warm-cache sweep must not simulate";
+    EXPECT_EQ(warm.cacheHits.value(), double(points.size()));
+    EXPECT_EQ(warm.cacheMisses.value(), 0.0);
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i)
+        EXPECT_TRUE(first[i] == second[i]) << "point " << i;
+    EXPECT_FALSE(second[0].ok) << "baseline @ 64 stays inoperable";
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Runner, BatchDedupesIdenticalPoints)
+{
+    setQuiet(true);
+    const auto point =
+        makePoint("mesa", cpu::RenamerKind::Vca, 160, tinyOptions());
+    SweepConfig config;
+    config.jobs = 4;
+    config.cacheDir.clear(); // no cache: dedupe must do the saving
+    SweepRunner runner(config);
+    const std::uint64_t simsBefore = runTimingCallCount();
+    const auto results =
+        runner.run({point, point, point, point});
+    EXPECT_EQ(runTimingCallCount(), simsBefore + 1)
+        << "identical points in one batch simulate once";
+    ASSERT_EQ(results.size(), 4u);
+    ASSERT_TRUE(results[0].ok);
+    for (size_t i = 1; i < results.size(); ++i)
+        EXPECT_TRUE(results[i] == results[0]);
+}
+
+TEST(Runner, CorruptAndStaleCacheEntriesReadAsMisses)
+{
+    setQuiet(true);
+    const std::string dir = freshCacheDir("corrupt");
+    const auto point =
+        makePoint("gap", cpu::RenamerKind::Vca, 128, tinyOptions());
+
+    // A corrupt entry at the point's location must be re-simulated,
+    // not crash; the runner then repairs the entry.
+    std::filesystem::create_directories(dir);
+    char name[32];
+    std::snprintf(name, sizeof name, "%016llx.json",
+                  static_cast<unsigned long long>(pointHash(point)));
+    const std::string path = dir + "/" + name;
+    {
+        std::ofstream os(path);
+        os << "{ not json";
+    }
+    SweepConfig config;
+    config.cacheDir = dir;
+    SweepRunner runner(config);
+    const auto m = runner.runPoint(point);
+    EXPECT_TRUE(m.ok);
+    EXPECT_EQ(runner.cacheMisses.value(), 1.0);
+
+    // ... and a mismatched key (hash collision / stale tag stand-in)
+    // is also a miss rather than a wrong answer.
+    {
+        std::ofstream os(path);
+        os << "{\"version\": \"" << kSimVersionTag
+           << "\", \"key\": \"some other point\", "
+              "\"measurement\": " << measurementToJson(m) << "}";
+    }
+    const auto again = runner.runPoint(point);
+    EXPECT_TRUE(again.ok);
+    EXPECT_EQ(runner.cacheMisses.value(), 2.0);
+    EXPECT_TRUE(again == m) << "re-simulated point must reproduce";
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Runner, DisabledCacheNeverTouchesDisk)
+{
+    setQuiet(true);
+    SweepConfig config;
+    config.cacheDir.clear();
+    SweepRunner runner(config);
+    EXPECT_FALSE(runner.cache().enabled());
+    const auto point =
+        makePoint("twolf", cpu::RenamerKind::IdealWindow, 96,
+                  tinyOptions());
+    const std::uint64_t simsBefore = runTimingCallCount();
+    const auto a = runner.runPoint(point);
+    const auto b = runner.runPoint(point);
+    EXPECT_EQ(runTimingCallCount(), simsBefore + 2);
+    EXPECT_TRUE(a == b) << "determinism without the cache";
 }
 
 // ---------------------------------------------------------------------

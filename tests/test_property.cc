@@ -9,13 +9,23 @@
  *    architecture commits the same (pc, value) stream.
  *  - Configuration stress: extreme VCA geometries keep all internal
  *    invariants (validated after every run).
+ *  - Sweep-runner infrastructure: random thread-pool submission and
+ *    cancellation interleavings always drain without deadlock, and the
+ *    Measurement JSON round-trip used by the on-disk result cache is
+ *    lossless for arbitrary field values.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "analysis/runner.hh"
 #include "cpu/ooo_cpu.hh"
 #include "func/func_sim.hh"
 #include "sim/rng.hh"
+#include "sim/thread_pool.hh"
 #include "wload/generator.hh"
 #include "wload/profile.hh"
 
@@ -219,6 +229,127 @@ TEST(Determinism, TimingRunsAreExactlyRepeatable)
     const auto b = runOnce();
     EXPECT_EQ(a.first, b.first);
     EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+TEST(ThreadPoolProperty, RandomCancellationInterleavingsAlwaysDrain)
+{
+    // Random mixes of submission and cancellation against pools of
+    // every size: wait() must always return (no deadlock, no lost
+    // wakeup), every job not successfully cancelled runs exactly once,
+    // and every successfully cancelled job runs never.
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        for (const std::uint64_t seed : {1u, 2u, 3u}) {
+            Rng rng(seed * 0x9e37 + threads);
+            ThreadPool pool(threads);
+            constexpr size_t n = 400;
+            std::vector<std::atomic<unsigned>> runs(n);
+            std::vector<ThreadPool::JobId> ids(n);
+            std::vector<bool> cancelled(n, false);
+
+            for (size_t i = 0; i < n; ++i) {
+                ids[i] = pool.submit([&runs, i] {
+                    runs[i].fetch_add(1, std::memory_order_relaxed);
+                });
+                // Occasionally cancel a random earlier job; cancel()
+                // itself reports whether it won the race.
+                if (rng.chance(0.4)) {
+                    const size_t victim = rng.below(i + 1);
+                    if (!cancelled[victim] &&
+                        pool.cancel(ids[victim]))
+                        cancelled[victim] = true;
+                }
+            }
+            pool.wait();
+
+            size_t executed = 0, skipped = 0;
+            for (size_t i = 0; i < n; ++i) {
+                const unsigned r =
+                    runs[i].load(std::memory_order_relaxed);
+                ASSERT_LE(r, 1u) << "job " << i << " ran " << r
+                                 << " times";
+                if (cancelled[i]) {
+                    EXPECT_EQ(r, 0u)
+                        << "cancelled job " << i << " still ran";
+                    ++skipped;
+                } else {
+                    EXPECT_EQ(r, 1u) << "job " << i << " lost";
+                    ++executed;
+                }
+            }
+            EXPECT_EQ(executed + skipped, n);
+        }
+    }
+}
+
+TEST(ThreadPoolProperty, RecursiveSubmissionDrainsBeforeWaitReturns)
+{
+    // Jobs submitted from inside pool workers land on the submitting
+    // worker's own queue; wait() must still cover them.
+    for (const unsigned threads : {1u, 3u}) {
+        ThreadPool pool(threads);
+        std::atomic<unsigned> leaves{0};
+        constexpr unsigned fanout = 5;
+        for (unsigned i = 0; i < 20; ++i) {
+            pool.submit([&pool, &leaves] {
+                for (unsigned c = 0; c < fanout; ++c)
+                    pool.submit([&leaves] {
+                        leaves.fetch_add(1,
+                                         std::memory_order_relaxed);
+                    });
+            });
+        }
+        pool.wait();
+        EXPECT_EQ(leaves.load(), 20 * fanout);
+    }
+}
+
+TEST(CacheProperty, MeasurementJsonRoundTripIsLossless)
+{
+    // The on-disk cache stores Measurements through measurementToJson;
+    // a cache hit must be indistinguishable from a fresh simulation,
+    // so the round trip has to preserve every bit of every double
+    // (including the awkward ones) and every dynamic field.
+    const double awkward[] = {1.0 / 3.0,    0.1,   1e-300, 1e300,
+                              123456789.25, 0.0,   -0.0,   42.0,
+                              5e-324 /* min denormal */};
+    for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+        Rng rng(seed * 131 + 9);
+        analysis::Measurement m;
+        m.ok = rng.chance(0.8);
+        if (!m.ok)
+            m.error = "needs \"quotes\", back\\slashes\nand newlines";
+        m.cycles = rng.below(1'000'000'000);
+        m.insts = rng.below(1'000'000'000);
+        m.ipc = rng.uniform() * 8;
+        m.cpi = m.ipc > 0 ? 1 / m.ipc : 0;
+        m.dcacheAccesses = awkward[rng.below(std::size(awkward))];
+        m.dcacheAccPerInst = rng.uniform();
+        const size_t nThreads = 1 + rng.below(4);
+        for (size_t t = 0; t < nThreads; ++t) {
+            m.threadCpi.push_back(rng.uniform() * 10);
+            m.threadDcachePerInst.push_back(
+                awkward[rng.below(std::size(awkward))]);
+            m.threadInsts.push_back(rng.below(1'000'000));
+        }
+        const size_t nBuckets = rng.below(6);
+        for (size_t b = 0; b < nBuckets; ++b)
+            m.cycleBreakdown.emplace_back(
+                "bucket_" + std::to_string(b),
+                awkward[rng.below(std::size(awkward))]);
+        m.counters.emplace_back("stalls_table_conflict",
+                                rng.uniform() * 1e6);
+        m.counters.emplace_back("stalls_astq",
+                                awkward[rng.below(std::size(awkward))]);
+
+        const std::string json = analysis::measurementToJson(m);
+        const analysis::Measurement back =
+            analysis::measurementFromJson(json);
+        EXPECT_TRUE(m == back) << "seed " << seed << ": " << json;
+        // And the round trip is a fixed point: serializing again
+        // yields byte-identical JSON (what the determinism test
+        // compares across worker counts).
+        EXPECT_EQ(json, analysis::measurementToJson(back));
+    }
 }
 
 } // namespace

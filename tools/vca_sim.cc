@@ -14,17 +14,25 @@
  *   vca-sim --debug-flags=Commit,VcaCache --debug-file=run.log
  *   vca-sim --pipeview out.trace --stats-json stats.json \
  *           --interval 10000
+ *   vca-sim --sweep-regs=64,128,192,256 --arch=all --bench=crafty
  *   vca-sim --list-benches
+ *
+ * --sweep-regs switches to sweep mode: every (arch, size) point runs
+ * in parallel on the sweep runner (VCA_JOBS workers) and is memoized
+ * under VCA_CACHE_DIR (default .vca-cache/), so repeating a sweep is
+ * pure cache hits. See README "Running sweeps in parallel".
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 
 #include "analysis/experiment.hh"
+#include "analysis/runner.hh"
 #include "cpu/ooo_cpu.hh"
 #include "cpu/tracer.hh"
 #include "sim/options.hh"
@@ -100,6 +108,10 @@ simMain(int argc, char **argv)
     opts.add("interval", "0",
              "record an IPC/stall interval every N committed insts "
              "(exported via --stats-json)");
+    opts.add("sweep-regs", "",
+             "sweep mode: comma list of register file sizes, run in "
+             "parallel with on-disk memoization (see VCA_JOBS / "
+             "VCA_CACHE_DIR)");
     opts.add("list-benches", "false", "list bundled benchmarks and exit");
     opts.add("quiet", "true", "suppress warnings");
     opts.add("help", "false", "show this help");
@@ -143,15 +155,91 @@ simMain(int argc, char **argv)
         return 0;
     }
 
-    const cpu::RenamerKind kind = parseArch(opts.get("arch"));
-    const std::string windowsOpt = opts.get("windows");
-    const bool windowed = windowsOpt == "auto"
-        ? analysis::usesWindowedBinary(kind)
-        : (windowsOpt == "true" || windowsOpt == "1");
-
     const auto benchNames = splitCommas(opts.get("bench"));
     if (benchNames.empty())
         fatal("--bench must name at least one benchmark");
+    const std::string windowsOpt = opts.get("windows");
+
+    // Sweep mode: the (arch x size) grid goes through the parallel
+    // sweep runner, memoized on disk, instead of the single-run path.
+    if (!opts.get("sweep-regs").empty()) {
+        std::vector<unsigned> sizes;
+        for (const std::string &s : splitCommas(opts.get("sweep-regs")))
+            sizes.push_back(
+                static_cast<unsigned>(std::strtoul(s.c_str(), nullptr,
+                                                   10)));
+        std::vector<cpu::RenamerKind> archs;
+        if (opts.get("arch") == "all") {
+            archs = {cpu::RenamerKind::Baseline,
+                     cpu::RenamerKind::ConvWindow,
+                     cpu::RenamerKind::IdealWindow,
+                     cpu::RenamerKind::Vca};
+        } else {
+            archs = {parseArch(opts.get("arch"))};
+        }
+
+        analysis::RunOptions runOpts;
+        runOpts.warmupInsts = opts.getU64("warmup");
+        runOpts.measureInsts = opts.getU64("insts");
+        runOpts.dcachePorts =
+            static_cast<unsigned>(opts.getU64("dcache-ports"));
+        runOpts.numThreads = static_cast<unsigned>(benchNames.size());
+        runOpts.stopOnFirstThread = benchNames.size() > 1;
+        runOpts.overrides.astqEntries =
+            static_cast<unsigned>(opts.getU64("astq"));
+        runOpts.overrides.vcaTableAssoc =
+            static_cast<unsigned>(opts.getU64("table-assoc"));
+        runOpts.overrides.vcaDeadValueHints =
+            opts.getBool("dead-hints") ? 1 : -1;
+
+        std::vector<analysis::SweepPoint> points;
+        for (cpu::RenamerKind arch : archs) {
+            for (unsigned regs : sizes) {
+                analysis::SweepPoint p;
+                p.benches = benchNames;
+                p.windowed = windowsOpt == "auto"
+                    ? analysis::usesWindowedBinary(arch)
+                    : (windowsOpt == "true" || windowsOpt == "1");
+                p.kind = arch;
+                p.physRegs = regs;
+                p.opts = runOpts;
+                points.push_back(std::move(p));
+            }
+        }
+        auto &runner = analysis::SweepRunner::global();
+        const auto results = runner.run(points);
+
+        std::printf("== Sweep: %s, %zu thread(s) ==\n",
+                    opts.get("bench").c_str(), benchNames.size());
+        std::printf("%-16s", "arch");
+        for (unsigned regs : sizes)
+            std::printf(" %9u", regs);
+        std::printf("   (IPC)\n");
+        size_t idx = 0;
+        for (cpu::RenamerKind arch : archs) {
+            std::printf("%-16s", cpu::renamerKindName(arch));
+            for (size_t s = 0; s < sizes.size(); ++s) {
+                const auto &m = results[idx++];
+                if (m.ok)
+                    std::printf(" %9.4f", m.ipc);
+                else
+                    std::printf(" %9s", "n/a");
+            }
+            std::printf("\n");
+        }
+        std::printf("cache: %.0f hits, %.0f misses (%s)\n",
+                    runner.cacheHits.value(),
+                    runner.cacheMisses.value(),
+                    runner.cache().enabled()
+                        ? runner.cache().dir().c_str()
+                        : "disabled");
+        return 0;
+    }
+
+    const cpu::RenamerKind kind = parseArch(opts.get("arch"));
+    const bool windowed = windowsOpt == "auto"
+        ? analysis::usesWindowedBinary(kind)
+        : (windowsOpt == "true" || windowsOpt == "1");
 
     std::vector<const isa::Program *> programs;
     for (const std::string &name : benchNames) {
