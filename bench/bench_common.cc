@@ -2,7 +2,9 @@
 
 #include <fstream>
 
+#include "stats/host_stats.hh"
 #include "trace/json.hh"
+#include "trace/stats_json.hh"
 
 namespace vca::bench {
 
@@ -183,6 +185,10 @@ writeSeriesJson(const std::string &slug,
         w.endArray();
     }
     w.endObject();
+    // Host-throughput trajectory: cumulative detailed-simulation cost
+    // at the moment this bench's JSON is written (perf_compare.py
+    // diffs the sim_mips field across runs).
+    trace::writeJsonGroup(stats::HostStats::global(), w);
     w.endObject();
     os << '\n';
     inform("wrote %s", path.c_str());

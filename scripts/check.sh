@@ -37,6 +37,11 @@ run_config() {
 
 CTEST_ARGS=("$@")
 
+if command -v python3 >/dev/null; then
+    echo "== perf_compare selftest =="
+    python3 scripts/perf_compare.py --selftest
+fi
+
 run_config release "" -DCMAKE_BUILD_TYPE=Release
 run_config asan-ubsan unit \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \

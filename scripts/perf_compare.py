@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Compare simulator host throughput between two benchmark runs.
+
+Every figure bench writes a BENCH_<name>.json next to its other outputs
+(or into VCA_BENCH_JSON_DIR) containing a "host" group: wall-clock
+seconds, simulated instructions/cycles, and the derived sim_mips for
+every detailed simulation the bench ran. This script diffs those
+numbers between two such directories -- typically a baseline checkout
+and a candidate -- and fails when any bench's host-MIPS regressed by
+more than the allowed threshold.
+
+Usage:
+  perf_compare.py BASELINE_DIR CANDIDATE_DIR [--threshold FRAC]
+
+  --threshold FRAC  allowed fractional regression before the exit
+                    status turns nonzero (default 0.10 = 10%; host
+                    throughput is noisy, so leave headroom)
+  --selftest        run against synthesized inputs and exit; used by
+                    scripts/check.sh as a smoke test
+
+Exit status: 0 when no bench regressed beyond the threshold, 1 on a
+regression, 2 on usage/input errors.
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def load_host_mips(path):
+    """host.sim_mips from one BENCH_*.json, or None if absent/invalid."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"warning: skipping {path}: {e}", file=sys.stderr)
+        return None
+    host = doc.get("host")
+    if not isinstance(host, dict):
+        return None
+    mips = host.get("sim_mips")
+    if not isinstance(mips, (int, float)) or not math.isfinite(mips):
+        return None
+    return float(mips) if mips > 0 else None
+
+
+def collect(dirpath):
+    """Map bench name -> host MIPS for every BENCH_*.json in dirpath."""
+    out = {}
+    for path in sorted(Path(dirpath).glob("BENCH_*.json")):
+        mips = load_host_mips(path)
+        if mips is not None:
+            out[path.stem[len("BENCH_"):]] = mips
+    return out
+
+
+def compare(base, cand, threshold):
+    """Print the per-bench table; return names regressed past threshold."""
+    names = sorted(set(base) | set(cand))
+    if not names:
+        print("no BENCH_*.json with host stats found in either directory")
+        return []
+    width = max(len(n) for n in names)
+    print(f"{'bench':<{width}}  {'base MIPS':>10}  {'cand MIPS':>10}  "
+          f"{'speedup':>8}")
+    regressed = []
+    speedups = []
+    for name in names:
+        b, c = base.get(name), cand.get(name)
+        if b is None or c is None:
+            side = "baseline" if b is None else "candidate"
+            print(f"{name:<{width}}  -- only in one run "
+                  f"(missing from {side}) --")
+            continue
+        ratio = c / b
+        speedups.append(ratio)
+        flag = ""
+        if ratio < 1.0 - threshold:
+            regressed.append(name)
+            flag = "  REGRESSED"
+        print(f"{name:<{width}}  {b:>10.3f}  {c:>10.3f}  "
+              f"{ratio:>7.2f}x{flag}")
+    if speedups:
+        geomean = math.exp(sum(math.log(s) for s in speedups)
+                           / len(speedups))
+        print(f"{'geomean':<{width}}  {'':>10}  {'':>10}  "
+              f"{geomean:>7.2f}x")
+    return regressed
+
+
+def selftest():
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        basedir = Path(tmp, "base")
+        canddir = Path(tmp, "cand")
+        basedir.mkdir()
+        canddir.mkdir()
+
+        def write(d, name, mips):
+            doc = {"bench": name, "host": {"sim_mips": mips}}
+            Path(d, f"BENCH_{name}.json").write_text(json.dumps(doc))
+
+        write(basedir, "fast", 4.0)
+        write(canddir, "fast", 6.0)     # 1.5x speedup
+        write(basedir, "steady", 4.0)
+        write(canddir, "steady", 3.8)   # -5%: inside 10% threshold
+        write(basedir, "only_base", 4.0)
+        Path(canddir, "BENCH_junk.json").write_text("{ not json")
+
+        if compare(collect(basedir), collect(canddir), 0.10):
+            print("selftest: FAILED (false regression)", file=sys.stderr)
+            return 1
+
+        write(basedir, "slow", 4.0)
+        write(canddir, "slow", 2.0)     # -50%: must trip
+        if compare(collect(basedir), collect(canddir), 0.10) != ["slow"]:
+            print("selftest: FAILED (missed regression)", file=sys.stderr)
+            return 1
+
+        # A generous threshold forgives the same 50% drop.
+        if compare(collect(basedir), collect(canddir), 0.60):
+            print("selftest: FAILED (threshold ignored)", file=sys.stderr)
+            return 1
+
+    print("selftest: OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff host-MIPS between two BENCH_*.json directories")
+    ap.add_argument("baseline", nargs="?", help="directory of baseline "
+                    "BENCH_*.json files")
+    ap.add_argument("candidate", nargs="?", help="directory of candidate "
+                    "BENCH_*.json files")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    metavar="FRAC",
+                    help="allowed fractional regression (default 0.10)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="exercise the comparison on synthetic inputs")
+    args = ap.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.baseline or not args.candidate:
+        ap.error("baseline and candidate directories are required")
+    if not 0.0 <= args.threshold < 1.0:
+        ap.error("--threshold must be in [0, 1)")
+    for d in (args.baseline, args.candidate):
+        if not Path(d).is_dir():
+            print(f"error: {d} is not a directory", file=sys.stderr)
+            return 2
+
+    regressed = compare(collect(args.baseline), collect(args.candidate),
+                        args.threshold)
+    if regressed:
+        print(f"FAIL: {len(regressed)} bench(es) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(regressed)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <numeric>
 
 #include "func/func_sim.hh"
 #include "sim/logging.hh"
+#include "stats/host_stats.hh"
 
 namespace vca::analysis {
 
@@ -62,13 +64,25 @@ runTiming(const std::vector<const isa::Program *> &programs,
         params.rngSeed = opts.seed;
 
     try {
+        // Host-throughput accounting covers the whole detailed
+        // simulation (warmup + measured interval): that is the wall
+        // time a sweep point actually costs.
+        const auto hostStart = std::chrono::steady_clock::now();
         cpu::OooCpu cpu(params, programs);
         cpu.run(opts.warmupInsts, opts.warmupInsts * 200 + 100'000,
                 opts.stopOnFirstThread);
+        const InstCount warmupInsts = cpu.committedTotal.value();
+        const Cycle warmupCycles = cpu.currentCycle();
         cpu.resetStats();
         auto res = cpu.run(opts.measureInsts,
                            opts.measureInsts * 200 + 100'000,
                            opts.stopOnFirstThread);
+        const std::chrono::duration<double> hostElapsed =
+            std::chrono::steady_clock::now() - hostStart;
+        stats::HostStats::global().record(
+            hostElapsed.count(),
+            static_cast<double>(warmupInsts + res.totalInsts),
+            static_cast<double>(warmupCycles + res.cycles));
         m.ok = true;
         m.cycles = res.cycles;
         m.insts = res.totalInsts;

@@ -1,15 +1,20 @@
 #include "analysis/runner.hh"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
+
+#include <unistd.h>
 
 #include "sim/logging.hh"
 #include "sim/thread_pool.hh"
@@ -294,6 +299,114 @@ ResultCache::load(const SweepPoint &point, Measurement &out) const
     }
 }
 
+namespace {
+
+// ---------------------------------------------------------------------
+// Interrupt-safe temp-file cleanup.
+//
+// store() writes each entry to "<path>.tmp.<pid>.<tid>" and renames it
+// into place. A SIGINT in the middle of the write leaves a partial
+// temp file behind forever (load() never reads temp names, but a
+// mid-sweep ^C across a large sweep litters the cache directory).
+// Every in-flight temp path is registered in a fixed lock-free table;
+// the signal handler walks it, unlink()s whatever is still armed, and
+// re-raises with the default disposition so the exit status is
+// unchanged. Only async-signal-safe pieces are used in the handler:
+// lock-free atomic loads, unlink(), sigaction(), raise().
+// ---------------------------------------------------------------------
+
+class TmpFileRegistry
+{
+  public:
+    static constexpr int kSlots = 64;
+    static constexpr size_t kMaxPath = 512;
+
+    /**
+     * Claim a slot for an in-flight temp path. -1 when the table is
+     * full or the path too long: the writer proceeds unregistered and
+     * the worst case is one orphaned temp file.
+     */
+    int
+    acquire(const std::string &path)
+    {
+        if (path.size() >= kMaxPath)
+            return -1;
+        for (int i = 0; i < kSlots; ++i) {
+            bool expected = false;
+            if (slots_[i].busy.compare_exchange_strong(expected, true)) {
+                std::memcpy(slots_[i].path, path.c_str(),
+                            path.size() + 1);
+                slots_[i].armed.store(true, std::memory_order_release);
+                return i;
+            }
+        }
+        return -1;
+    }
+
+    void
+    release(int slot)
+    {
+        if (slot < 0)
+            return;
+        slots_[slot].armed.store(false, std::memory_order_release);
+        slots_[slot].busy.store(false, std::memory_order_release);
+    }
+
+    /** Called from the signal handler: async-signal-safe only. */
+    void
+    cleanupFromSignal()
+    {
+        for (int i = 0; i < kSlots; ++i)
+            if (slots_[i].armed.load(std::memory_order_acquire))
+                ::unlink(slots_[i].path);
+    }
+
+  private:
+    struct Slot
+    {
+        std::atomic<bool> busy{false};  ///< claimed by a writer
+        std::atomic<bool> armed{false}; ///< path valid; file may exist
+        char path[kMaxPath];
+    };
+    Slot slots_[kSlots];
+};
+
+TmpFileRegistry gTmpRegistry;
+
+void
+cacheCleanupHandler(int sig)
+{
+    gTmpRegistry.cleanupFromSignal();
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+/**
+ * Install the cleanup handler for SIGINT/SIGTERM once, on the first
+ * cache write. A disposition of SIG_IGN (e.g. under nohup) is
+ * respected and left alone.
+ */
+void
+installCacheCleanupHandler()
+{
+    static const bool done = [] {
+        for (int sig : {SIGINT, SIGTERM}) {
+            struct sigaction old = {};
+            if (sigaction(sig, nullptr, &old) == 0 &&
+                old.sa_handler == SIG_DFL) {
+                struct sigaction sa = {};
+                sa.sa_handler = &cacheCleanupHandler;
+                sigemptyset(&sa.sa_mask);
+                sigaction(sig, &sa, nullptr);
+            }
+        }
+        return true;
+    }();
+    (void)done;
+}
+
+} // namespace
+
 void
 ResultCache::store(const SweepPoint &point, const Measurement &m) const
 {
@@ -310,12 +423,16 @@ ResultCache::store(const SweepPoint &point, const Measurement &m) const
     // Unique temp name per writer, then an atomic rename: concurrent
     // processes computing the same point cannot interleave writes.
     std::ostringstream tmpName;
-    tmpName << path << ".tmp." << std::this_thread::get_id();
+    tmpName << path << ".tmp." << ::getpid() << "."
+            << std::this_thread::get_id();
     const std::string tmp = tmpName.str();
+    installCacheCleanupHandler();
+    const int slot = gTmpRegistry.acquire(tmp);
     {
         std::ofstream os(tmp);
         if (!os) {
             warn("cannot write cache entry %s", tmp.c_str());
+            gTmpRegistry.release(slot);
             return;
         }
         trace::JsonWriter w(os);
@@ -333,6 +450,7 @@ ResultCache::store(const SweepPoint &point, const Measurement &m) const
              ec.message().c_str());
         fs::remove(tmp, ec);
     }
+    gTmpRegistry.release(slot);
 }
 
 // ---------------------------------------------------------------------

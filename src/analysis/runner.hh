@@ -86,8 +86,11 @@ Measurement measurementFromJson(const std::string &text);
 /**
  * On-disk Measurement store: one "<hash>.json" file per point under
  * dir, written atomically (temp file + rename), validated on load
- * against the full key string so hash collisions and stale version
- * tags read as misses. An empty dir disables the cache entirely.
+ * against the full key string so hash collisions, stale version tags
+ * and truncated files all read as misses. An empty dir disables the
+ * cache entirely. A SIGINT/SIGTERM mid-write unlinks every in-flight
+ * temp file before the process dies (default disposition re-raised),
+ * so an interrupted sweep never litters the cache directory.
  */
 class ResultCache
 {

@@ -67,11 +67,11 @@ class RegStateArray
             freeList_.push_back(static_cast<PhysRegIndex>(p));
     }
 
-    PhysState &operator[](PhysRegIndex p) { return state_.at(check(p)); }
+    PhysState &operator[](PhysRegIndex p) { return state_[check(p)]; }
     const PhysState &
     operator[](PhysRegIndex p) const
     {
-        return state_.at(check(p));
+        return state_[check(p)];
     }
 
     unsigned numRegs() const { return state_.size(); }
@@ -91,11 +91,11 @@ class RegStateArray
     void
     pushFree(PhysRegIndex p)
     {
-        state_.at(check(p)).clear();
+        state_[check(p)].clear();
         freeList_.push_back(p);
     }
 
-    void touch(PhysRegIndex p) { state_.at(check(p)).lru = ++stamp_; }
+    void touch(PhysRegIndex p) { state_[check(p)].lru = ++stamp_; }
 
     /**
      * Pick a replacement victim approximating LRU with a clock hand.
@@ -150,10 +150,10 @@ class RegStateArray
     }
 
   private:
-    static size_t
-    check(PhysRegIndex p)
+    size_t
+    check(PhysRegIndex p) const
     {
-        if (p < 0)
+        if (p < 0 || static_cast<size_t>(p) >= state_.size())
             panic("invalid physical register index");
         return static_cast<size_t>(p);
     }

@@ -64,7 +64,11 @@ class RenameTable
     size_t
     setIndex(Addr addr) const
     {
-        return static_cast<size_t>((addr >> 3) % sets_);
+        // sets_ is a power of two in every paper configuration; fall
+        // back to modulo only for odd experimental geometries.
+        const size_t slot = static_cast<size_t>(addr >> 3);
+        return (sets_ & (sets_ - 1)) == 0 ? (slot & (sets_ - 1))
+                                          : (slot % sets_);
     }
 
     /** Find the entry mapping addr, or nullptr. */

@@ -56,7 +56,7 @@ VcaRenamer::setThreadContext(ThreadId tid, bool windowedAbi)
 Addr
 VcaRenamer::regAddress(ThreadId tid, RegClass cls, RegIndex idx) const
 {
-    const ThreadCtx &ctx = threads_.at(tid);
+    const ThreadCtx &ctx = threads_[tid];
     if (!ctx.windowedAbi)
         return ctx.gbp + Addr(isa::flatIndex(cls, idx)) * 8;
     if (isa::isWindowed(cls, idx))
@@ -309,7 +309,7 @@ VcaRenamer::rename(DynInst &inst, Cycle now)
 {
     (void)now;
     const isa::StaticInst &si = *inst.si;
-    ThreadCtx &ctx = threads_.at(inst.tid);
+    ThreadCtx &ctx = threads_[inst.tid];
     const Addr frame = layout::windowFrameBytes;
 
     // Stage 1: address generation (base pointer + register index).
@@ -351,12 +351,15 @@ VcaRenamer::rename(DynInst &inst, Cycle now)
         }
     }
 
-    // Stage 2: table lookups, transactionally.
-    std::vector<PhysRegIndex> refBumped;
+    // Stage 2: table lookups, transactionally. At most one pin per
+    // source operand needs rolling back, so a fixed array avoids a
+    // heap allocation on every rename.
+    PhysRegIndex refBumped[2];
+    unsigned numRefBumped = 0;
     TableEntry *createdEmptyEntry = nullptr;
     auto rollback = [&]() {
-        for (PhysRegIndex p : refBumped) {
-            PhysState &s = regState_[p];
+        for (unsigned i = 0; i < numRefBumped; ++i) {
+            PhysState &s = regState_[refBumped[i]];
             if (s.refCount == 0)
                 panic("rename rollback refcount underflow");
             --s.refCount;
@@ -439,7 +442,7 @@ VcaRenamer::rename(DynInst &inst, Cycle now)
         }
         PhysState &ps = regState_[phys];
         ps.refCount += 1; // consumer pin
-        refBumped.push_back(phys);
+        refBumped[numRefBumped++] = phys;
         regState_.touch(phys);
         inst.srcPhys[s] = phys;
         inst.srcAddr[s] = srcAddr[s];
@@ -562,7 +565,7 @@ VcaRenamer::commitInst(DynInst &inst)
     }
 
     if (params_.vcaDeadValueHints && si.isRet &&
-        threads_.at(inst.tid).windowedAbi &&
+        threads_[inst.tid].windowedAbi &&
         inst.srcAddr[0] != invalidAddr) {
         // ra occupies window slot 0, so its address is the departing
         // frame's base; everything in that frame is dead after the
@@ -634,7 +637,7 @@ VcaRenamer::squashInst(DynInst &inst)
     }
 
     if (inst.prevWbp != invalidAddr)
-        threads_.at(inst.tid).wbp = inst.prevWbp;
+        threads_[inst.tid].wbp = inst.prevWbp;
 }
 
 unsigned

@@ -55,19 +55,6 @@ ConvRenamer::logicalIndex(ThreadId tid, RegClass cls, RegIndex idx) const
     return static_cast<std::int32_t>(isa::flatIndex(cls, idx));
 }
 
-PhysRegIndex
-ConvRenamer::ratLookup(ThreadId tid, std::int32_t logical) const
-{
-    return rat_.at(tid).at(logical);
-}
-
-void
-ConvRenamer::ratWrite(ThreadId tid, std::int32_t logical,
-                      PhysRegIndex phys)
-{
-    rat_.at(tid).at(logical) = phys;
-}
-
 void
 ConvRenamer::freePhys(PhysRegIndex phys)
 {
@@ -77,39 +64,9 @@ ConvRenamer::freePhys(PhysRegIndex phys)
 bool
 ConvRenamer::rename(DynInst &inst, Cycle now)
 {
-    (void)now;
-    const isa::StaticInst &si = *inst.si;
-
-    if (si.hasDest && freeList_.empty()) {
-        ++renameStallsFreeList;
-        return false;
-    }
-
-    preRename(inst); // windowed: update speculative depth for call/ret
-
-    for (unsigned s = 0; s < si.numSrcs; ++s) {
-        if (!si.srcValid[s])
-            continue;
-        const std::int32_t l =
-            logicalIndex(inst.tid, si.src[s].cls, si.src[s].idx);
-        inst.srcPhys[s] = ratLookup(inst.tid, l);
-    }
-
-    if (si.hasDest) {
-        const std::int32_t l =
-            logicalIndex(inst.tid, si.dest.cls, si.dest.idx);
-        const PhysRegIndex phys = freeList_.back();
-        freeList_.pop_back();
-        inst.destLogical = l;
-        inst.prevDestPhys = ratLookup(inst.tid, l);
-        inst.destPhys = phys;
-        ratWrite(inst.tid, l, phys);
-        regs_.setReady(phys, false);
-    }
-
-    postRename(inst);
-    inst.renamed = true;
-    return true;
+    // Only reached when the dynamic type is ConvRenamer itself;
+    // WindowConvRenamer overrides rename() with its own instantiation.
+    return renameImpl<ConvRenamer>(inst, now);
 }
 
 CommitAction
@@ -191,6 +148,7 @@ WindowConvRenamer::WindowConvRenamer(const CpuParams &params,
     for (auto &t : threads_) {
         t.dirty.assign(numWindows_,
                        std::vector<bool>(isa::windowSlots, false));
+        setRenameDepth(t, 0);
     }
 }
 
@@ -209,35 +167,33 @@ WindowConvRenamer::logicalIndex(ThreadId tid, RegClass cls,
 {
     if (!isa::isWindowed(cls, idx))
         return static_cast<std::int32_t>(isa::globalSlot(cls, idx));
-    const auto &tw = threads_.at(tid);
-    const unsigned window =
-        static_cast<unsigned>(tw.renameDepth) % numWindows_;
-    return static_cast<std::int32_t>(
-        isa::globalSlots + window * isa::windowSlots +
-        isa::windowSlot(cls, idx));
+    // threads_[tid].windowBase caches the depth-derived window offset
+    // (see setRenameDepth), keeping the per-operand path modulo-free.
+    return threads_[tid].windowBase +
+           static_cast<std::int32_t>(isa::windowSlot(cls, idx));
 }
 
 void
 WindowConvRenamer::preRename(DynInst &inst)
 {
-    auto &tw = threads_.at(inst.tid);
+    auto &tw = threads_[inst.tid];
     if (inst.si->isCall) {
         // The destination (ra) is renamed in the callee's window.
         inst.prevDepth = tw.renameDepth;
-        ++tw.renameDepth;
+        setRenameDepth(tw, tw.renameDepth + 1);
     }
 }
 
 void
 WindowConvRenamer::postRename(DynInst &inst)
 {
-    auto &tw = threads_.at(inst.tid);
+    auto &tw = threads_[inst.tid];
     if (inst.si->isRet) {
         // Sources (ra) were read in the callee's window; the decrement
         // takes effect for younger instructions.
         inst.prevDepth = tw.renameDepth;
         if (tw.renameDepth > 0)
-            --tw.renameDepth;
+            setRenameDepth(tw, tw.renameDepth - 1);
     }
 }
 
@@ -245,14 +201,14 @@ void
 WindowConvRenamer::undoControl(DynInst &inst)
 {
     if (inst.prevDepth >= 0)
-        threads_.at(inst.tid).renameDepth = inst.prevDepth;
+        setRenameDepth(threads_[inst.tid], inst.prevDepth);
 }
 
 CommitAction
 WindowConvRenamer::commitInst(DynInst &inst)
 {
     CommitAction action = ConvRenamer::commitInst(inst);
-    auto &tw = threads_.at(inst.tid);
+    auto &tw = threads_[inst.tid];
     const isa::StaticInst &si = *inst.si;
 
     if (si.hasDest && !si.isCall &&

@@ -55,9 +55,67 @@ class ConvRenamer : public Renamer
     virtual void postRename(DynInst &inst) { (void)inst; }
     virtual void undoControl(DynInst &inst) { (void)inst; }
 
-    PhysRegIndex ratLookup(ThreadId tid, std::int32_t logical) const;
-    void ratWrite(ThreadId tid, std::int32_t logical, PhysRegIndex phys);
+    // Inline: one lookup per renamed operand. Construction sizes every
+    // per-thread table to logicalPerThread_ and logicalIndex() only
+    // produces indices inside it.
+    PhysRegIndex
+    ratLookup(ThreadId tid, std::int32_t logical) const
+    {
+        return rat_[tid][logical];
+    }
+    void
+    ratWrite(ThreadId tid, std::int32_t logical, PhysRegIndex phys)
+    {
+        rat_[tid][logical] = phys;
+    }
     void freePhys(PhysRegIndex phys);
+
+    /**
+     * Shared rename body. Statically bound to Derived's logicalIndex
+     * and window hooks (qualified calls, no virtual dispatch): each
+     * concrete renamer's rename() instantiates it with its own type,
+     * which lets the per-operand path inline. Semantics are identical
+     * to the previous virtual-dispatch version.
+     */
+    template <class Derived>
+    bool
+    renameImpl(DynInst &inst, Cycle now)
+    {
+        (void)now;
+        auto *self = static_cast<Derived *>(this);
+        const isa::StaticInst &si = *inst.si;
+
+        if (si.hasDest && freeList_.empty()) {
+            ++renameStallsFreeList;
+            return false;
+        }
+
+        self->Derived::preRename(inst);
+
+        for (unsigned s = 0; s < si.numSrcs; ++s) {
+            if (!si.srcValid[s])
+                continue;
+            const std::int32_t l = self->Derived::logicalIndex(
+                inst.tid, si.src[s].cls, si.src[s].idx);
+            inst.srcPhys[s] = ratLookup(inst.tid, l);
+        }
+
+        if (si.hasDest) {
+            const std::int32_t l = self->Derived::logicalIndex(
+                inst.tid, si.dest.cls, si.dest.idx);
+            const PhysRegIndex phys = freeList_.back();
+            freeList_.pop_back();
+            inst.destLogical = l;
+            inst.prevDestPhys = ratLookup(inst.tid, l);
+            inst.destPhys = phys;
+            ratWrite(inst.tid, l, phys);
+            regs_.setReady(phys, false);
+        }
+
+        self->Derived::postRename(inst);
+        inst.renamed = true;
+        return true;
+    }
 
     const CpuParams &params_;
     PhysRegFile &regs_;
@@ -76,6 +134,11 @@ class WindowConvRenamer : public ConvRenamer
     /** Windows that fit: max k with G + k*W + minRename <= physRegs. */
     static unsigned windowsForConfig(const CpuParams &params);
 
+    bool
+    rename(DynInst &inst, Cycle now) override
+    {
+        return renameImpl<WindowConvRenamer>(inst, now);
+    }
     CommitAction commitInst(DynInst &inst) override;
     void performTrap(ThreadId tid) override;
 
@@ -103,6 +166,10 @@ class WindowConvRenamer : public ConvRenamer
     void undoControl(DynInst &inst) override;
 
   private:
+    // renameImpl<WindowConvRenamer> (instantiated in the base) makes
+    // qualified calls into this class's protected hooks.
+    friend class ConvRenamer;
+
     /** Backing-memory address of window slot s at call depth d. */
     static Addr frameAddr(unsigned depth, unsigned slot);
 
@@ -111,6 +178,10 @@ class WindowConvRenamer : public ConvRenamer
         std::int32_t renameDepth = 0; ///< speculative (rename-stage)
         std::int32_t commitDepth = 0; ///< architectural
         std::int32_t oldestResident = 0;
+        // Cached globalSlots + (renameDepth % numWindows) * windowSlots
+        // so per-operand logicalIndex() needs no modulo; refreshed by
+        // setRenameDepth() whenever renameDepth changes.
+        std::int32_t windowBase = 0;
         // dirty[w][slot]: written since window copy w became current.
         std::vector<std::vector<bool>> dirty;
         enum class Trap { None, Overflow, Underflow } pendingTrap =
@@ -120,6 +191,16 @@ class WindowConvRenamer : public ConvRenamer
         // slot (the call's previous-mapping register).
         PhysRegIndex trapOldRaPhys = invalidPhysReg;
     };
+
+    void
+    setRenameDepth(ThreadWindows &tw, std::int32_t depth)
+    {
+        tw.renameDepth = depth;
+        tw.windowBase = static_cast<std::int32_t>(
+            isa::globalSlots +
+            (static_cast<unsigned>(depth) % numWindows_) *
+                isa::windowSlots);
+    }
 
     unsigned numWindows_ = 0;
     std::vector<mem::SparseMemory *> memories_;

@@ -132,6 +132,30 @@ OooCpu::OooCpu(const CpuParams &params,
 
     frontendDelay_ = params_.decodeDelay + renamer_->extraFrontendCycles();
     waiters_.resize(params_.physRegs);
+
+    // Pipeline queues: bounds come straight from the parameters the
+    // pipeline already enforces before every push.
+    for (ThreadState &ts : threads_) {
+        ts.fetchQueue.reset(params_.width * (frontendDelay_ + 3));
+        ts.rob.reset(params_.robSize);
+        ts.lq.reset(params_.lqSize);
+        ts.sq.reset(params_.sqSize);
+    }
+    storeBuffer_.reset(params_.storeBufferSize);
+
+    // Calendar horizon: the deepest completion any single event can
+    // schedule is a full miss chain (L1 + L2 + memory) plus the
+    // longest FU latency and the +1 issue offset; pad for slack. The
+    // overflow bucket keeps longer latencies correct regardless.
+    const Cycle horizon = params_.memParams.dl1.hitLatency +
+                          params_.memParams.l2.hitLatency +
+                          params_.memParams.memLatency + 64;
+    events_.reset(horizon);
+    transferEvents_.reset(horizon);
+
+    if (params_.statSampleInterval == 0)
+        params_.statSampleInterval = 1;
+    statSampleCountdown_ = params_.statSampleInterval;
 }
 
 OooCpu::~OooCpu() = default;
@@ -145,10 +169,7 @@ OooCpu::threadMemory(ThreadId tid)
 unsigned
 OooCpu::robOccupancy() const
 {
-    unsigned n = 0;
-    for (const ThreadState &t : threads_)
-        n += t.rob.size();
-    return n;
+    return robCount_;
 }
 
 unsigned
@@ -356,13 +377,13 @@ OooCpu::executeInst(DynInst *inst)
 void
 OooCpu::scheduleCompletion(DynInst *inst, Cycle when)
 {
-    events_[when].emplace_back(inst, inst->seq);
+    events_.schedule(when, {inst, inst->seq});
 }
 
 void
 OooCpu::wakeup(PhysRegIndex reg)
 {
-    auto &list = waiters_.at(reg);
+    auto &list = waiters_[reg];
     for (auto &[inst, seq] : list) {
         if (inst->seq != seq || inst->squashed)
             continue;
@@ -441,7 +462,7 @@ OooCpu::resolveControl(DynInst *inst)
 void
 OooCpu::squashThread(ThreadId tid, std::uint64_t afterSeq)
 {
-    ThreadState &ts = threads_.at(tid);
+    ThreadState &ts = threads_[tid];
     DPRINTFT(Squash, tid,
              "squash after seq=%llu (%zu frontend, %zu rob entries "
              "inspected)",
@@ -450,9 +471,8 @@ OooCpu::squashThread(ThreadId tid, std::uint64_t afterSeq)
 
     // Front-end entries are all younger than anything in the ROB:
     // undo their predictor effects youngest-first, then drop them.
-    for (auto it = ts.fetchQueue.rbegin(); it != ts.fetchQueue.rend();
-         ++it) {
-        DynInst *inst = it->inst;
+    for (size_t i = ts.fetchQueue.size(); i-- > 0;) {
+        DynInst *inst = ts.fetchQueue[i].inst;
         if (inst->hasBpCkpt)
             bpred_.restore(tid, inst->bpCkpt);
         inst->squashed = true;
@@ -465,6 +485,7 @@ OooCpu::squashThread(ThreadId tid, std::uint64_t afterSeq)
     while (!ts.rob.empty() && ts.rob.back()->seq > afterSeq) {
         DynInst *inst = ts.rob.back();
         ts.rob.pop_back();
+        --robCount_;
         if (inst->hasBpCkpt)
             bpred_.restore(tid, inst->bpCkpt);
         renamer_->squashInst(*inst);
@@ -495,30 +516,32 @@ OooCpu::processCompletions()
 {
     // Normal completions scheduled for this cycle, oldest first so a
     // mispredicting older branch squashes younger same-cycle events.
-    auto it = events_.find(now_);
-    if (it != events_.end()) {
-        auto list = std::move(it->second);
-        events_.erase(it);
-        std::sort(list.begin(), list.end(),
-                  [](const auto &x, const auto &y) {
-                      return x.second < y.second;
-                  });
-        for (auto &[inst, seq] : list) {
+    completionScratch_.clear();
+    events_.popAt(now_, completionScratch_);
+    if (!completionScratch_.empty()) {
+        const auto bySeq = [](const auto &x, const auto &y) {
+            return x.second < y.second;
+        };
+        // Events usually pop already seq-ordered (issue order follows
+        // seq order within a cycle); skip the sort when they do.
+        if (!std::is_sorted(completionScratch_.begin(),
+                            completionScratch_.end(), bySeq)) {
+            std::sort(completionScratch_.begin(),
+                      completionScratch_.end(), bySeq);
+        }
+        for (auto &[inst, seq] : completionScratch_) {
             if (inst->seq != seq || inst->squashed)
                 continue;
             completeInst(inst);
         }
     }
 
-    auto tit = transferEvents_.find(now_);
-    if (tit != transferEvents_.end()) {
-        auto ops = std::move(tit->second);
-        transferEvents_.erase(tit);
-        for (const TransferOp &op : ops) {
-            renamer_->transferDone(op);
-            if (!op.isStore && op.reg != invalidPhysReg)
-                wakeup(op.reg);
-        }
+    transferScratch_.clear();
+    transferEvents_.popAt(now_, transferScratch_);
+    for (const TransferOp &op : transferScratch_) {
+        renamer_->transferDone(op);
+        if (!op.isStore && op.reg != invalidPhysReg)
+            wakeup(op.reg);
     }
 }
 
@@ -567,10 +590,13 @@ OooCpu::commitStage()
                          inst->mispredicted ? " [mispredicted]" : "");
             }
 
-            for (const auto &listener : commitListeners_)
-                listener(*inst);
+            if (!commitListeners_.empty()) {
+                for (const auto &listener : commitListeners_)
+                    listener(*inst);
+            }
 
             ts.rob.pop_front();
+            --robCount_;
             ++ts.committed;
             ++committedTotal;
             --budget;
@@ -613,19 +639,39 @@ OooCpu::issueStage()
     unsigned fuUsed[9] = {};
 
     if (!readyList_.empty()) {
-        std::sort(readyList_.begin(), readyList_.end(),
-                  [](const auto &x, const auto &y) {
-                      return x.second < y.second;
-                  });
-        std::vector<std::pair<DynInst *, std::uint64_t>> remaining;
-        remaining.reserve(readyList_.size());
+        // The leftovers from last cycle (prefix of readySortedLen_
+        // entries) are already seq-sorted; only wakeups appended since
+        // need sorting, then a merge if the two runs interleave. The
+        // result is the same unique seq order a full sort produces.
+        const auto bySeq = [](const auto &x, const auto &y) {
+            return x.second < y.second;
+        };
+        if (readySortedLen_ < readyList_.size()) {
+            const auto mid = readyList_.begin() +
+                             static_cast<std::ptrdiff_t>(readySortedLen_);
+            std::sort(mid, readyList_.end(), bySeq);
+            if (mid != readyList_.begin() && bySeq(*mid, *(mid - 1))) {
+                mergeScratch_.clear();
+                std::merge(readyList_.begin(), mid, mid,
+                           readyList_.end(),
+                           std::back_inserter(mergeScratch_), bySeq);
+                readyList_.swap(mergeScratch_);
+            }
+        }
+        auto &remaining = readyScratch_;
+        remaining.clear();
 
-        for (auto &[inst, seq] : readyList_) {
+        for (auto it = readyList_.begin(); it != readyList_.end();
+             ++it) {
+            auto &[inst, seq] = *it;
             if (inst->seq != seq || inst->squashed || inst->issued)
                 continue;
             if (issueBudget == 0) {
-                remaining.emplace_back(inst, seq);
-                continue;
+                // Nothing further can issue: keep the tail wholesale.
+                // Stale records ride along and are filtered next cycle,
+                // exactly as the per-entry scan would have done.
+                remaining.insert(remaining.end(), it, readyList_.end());
+                break;
             }
             const isa::FuClass fu = inst->si->fu;
             const auto fuIdx = static_cast<unsigned>(fu);
@@ -640,7 +686,10 @@ OooCpu::issueStage()
                     remaining.emplace_back(inst, seq);
                     continue;
                 }
-                executeInst(inst); // address generation
+                // Address generation; idempotent, so retries (LSQ not
+                // disambiguated, port rejected) skip the recompute.
+                if (!inst->effAddrValid)
+                    executeInst(inst);
                 DynInst *forwardFrom = nullptr;
                 if (!loadReadyInLsq(inst, &forwardFrom)) {
                     remaining.emplace_back(inst, seq);
@@ -698,8 +747,11 @@ OooCpu::issueStage()
             scheduleCompletion(inst,
                                now_ + 1 + isa::fuLatency(inst->si->fu));
         }
-        readyList_ = std::move(remaining);
+        readyList_.swap(remaining);
     }
+    // Everything still queued is in seq order; wakeups appended after
+    // this point extend the unsorted suffix.
+    readySortedLen_ = readyList_.size();
 
     // Committed stores drain through remaining ports.
     while (memPorts > 0 && !storeBuffer_.empty()) {
@@ -728,14 +780,14 @@ OooCpu::issueStage()
             break;
         }
         --memPorts;
-        transferEvents_[now_ + access.latency].push_back(op);
+        transferEvents_.schedule(now_ + access.latency, op);
     }
 }
 
 bool
 OooCpu::loadReadyInLsq(DynInst *ld, DynInst **forwardFrom) const
 {
-    const ThreadState &ts = threads_.at(ld->tid);
+    const ThreadState &ts = threads_[ld->tid];
     DynInst *candidate = nullptr;
     for (DynInst *st : ts.sq) {
         if (st->seq > ld->seq)
@@ -757,7 +809,7 @@ OooCpu::insertIq(DynInst *inst)
         if (!inst->si->srcValid[s])
             continue;
         if (!regs_.isReady(inst->srcPhys[s])) {
-            waiters_.at(inst->srcPhys[s]).emplace_back(inst, inst->seq);
+            waiters_[inst->srcPhys[s]].emplace_back(inst, inst->seq);
             ++waiting;
         }
     }
@@ -840,6 +892,7 @@ OooCpu::renameStage()
                      inst->srcPhys[0], inst->srcPhys[1]);
             ts.fetchQueue.pop_front();
             ts.rob.push_back(inst);
+            ++robCount_;
             if (inst->isLoad())
                 ts.lq.push_back(inst);
             if (inst->isStore())
@@ -914,10 +967,13 @@ OooCpu::fetchStage()
         return;
     }
 
-    const unsigned lineBytes = params_.memParams.il1.lineBytes;
+    // il1.lineBytes is fatal-checked to be a power of two, so the
+    // line-boundary test is a mask compare instead of two divisions.
+    const Addr lineMask =
+        ~static_cast<Addr>(params_.memParams.il1.lineBytes - 1);
     Addr pc = ts.fetchPc;
     for (unsigned i = 0; i < params_.width; ++i) {
-        if (layout::pcToAddr(pc) / lineBytes != lineAddr / lineBytes)
+        if (((layout::pcToAddr(pc) ^ lineAddr) & lineMask) != 0)
             break; // stop at the cache-line boundary
 
         const isa::StaticInst &si = ts.program->inst(pc);
@@ -1015,8 +1071,11 @@ OooCpu::tick()
     ++now_;
     ++numCycles;
     trace::setTraceCycle(now_);
-    robOccupancyDist.sample(static_cast<double>(robOccupancy()));
-    iqOccupancyDist.sample(static_cast<double>(iqCount_));
+    if (--statSampleCountdown_ == 0) {
+        statSampleCountdown_ = params_.statSampleInterval;
+        robOccupancyDist.sample(static_cast<double>(robCount_));
+        iqOccupancyDist.sample(static_cast<double>(iqCount_));
+    }
     const double committedBefore = committedTotal.value();
     processCompletions();
     commitStage();

@@ -19,9 +19,7 @@
 #ifndef VCA_CPU_OOO_CPU_HH
 #define VCA_CPU_OOO_CPU_HH
 
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -33,6 +31,8 @@
 #include "isa/program.hh"
 #include "mem/cache.hh"
 #include "mem/sparse_memory.hh"
+#include "sim/event_queue.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/rng.hh"
 #include "stats/statistics.hh"
 
@@ -162,10 +162,13 @@ class OooCpu : public stats::StatGroup
         bool fetchHalted = false;
         bool done = false;
         InstCount committed = 0;
-        std::deque<FetchEntry> fetchQueue;
-        std::deque<DynInst *> rob;
-        std::deque<DynInst *> lq; ///< loads in program order
-        std::deque<DynInst *> sq; ///< stores in program order
+        // Fixed-capacity rings (sized from CpuParams in the ctor); the
+        // pipeline's own occupancy checks keep them within bounds, so
+        // fetch/commit/squash never touch the allocator.
+        RingBuffer<FetchEntry> fetchQueue;
+        RingBuffer<DynInst *> rob;
+        RingBuffer<DynInst *> lq; ///< loads in program order
+        RingBuffer<DynInst *> sq; ///< stores in program order
         Cycle renameBlockedUntil = 0;
     };
 
@@ -212,24 +215,36 @@ class OooCpu : public stats::StatGroup
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 1;
     unsigned frontendDelay_ = 0; ///< decodeDelay + renamer extra stages
+    unsigned robCount_ = 0; ///< sum of per-thread ROB sizes, maintained
+                            ///< incrementally (robOccupancy() reads it)
+    unsigned statSampleCountdown_ = 1; ///< cycles to the next
+                                       ///< occupancy-distribution sample
 
     // Instruction queue: ready list plus per-register waiter lists.
     // Entries carry the sequence number at insertion so records that
     // outlive a squash (the pool recycles DynInsts) are ignored.
     std::vector<std::pair<DynInst *, std::uint64_t>> readyList_;
+    std::vector<std::pair<DynInst *, std::uint64_t>> readyScratch_;
+    std::vector<std::pair<DynInst *, std::uint64_t>> mergeScratch_;
+    size_t readySortedLen_ = 0; ///< sorted-prefix length of readyList_
     std::vector<std::vector<std::pair<DynInst *, std::uint64_t>>>
         waiters_;
     unsigned iqCount_ = 0;
 
-    // Completion events: (inst, seq-at-schedule) per cycle.
-    std::map<Cycle, std::vector<std::pair<DynInst *, std::uint64_t>>>
-        events_;
+    // Completion events: (inst, seq-at-schedule), calendar-indexed by
+    // cycle. The ring horizon covers the deepest schedulable latency
+    // (full cache-miss chain plus FU latency); anything longer falls
+    // into the queue's overflow bucket.
+    CalendarQueue<std::pair<DynInst *, std::uint64_t>> events_;
     // Transfer (spill/fill) completion events.
-    std::map<Cycle, std::vector<TransferOp>> transferEvents_;
+    CalendarQueue<TransferOp> transferEvents_;
+    // Per-cycle pop scratch, reused to avoid allocation in tick().
+    std::vector<std::pair<DynInst *, std::uint64_t>> completionScratch_;
+    std::vector<TransferOp> transferScratch_;
     bool pendingTransferValid_ = false;
     TransferOp pendingTransfer_{}; ///< rejected by MSHRs; retry first
 
-    std::deque<StoreBufferEntry> storeBuffer_;
+    RingBuffer<StoreBufferEntry> storeBuffer_;
 
     unsigned commitRR_ = 0; ///< commit round-robin cursor
     unsigned renameRR_ = 0; ///< rename round-robin cursor

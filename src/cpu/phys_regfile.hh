@@ -30,33 +30,36 @@ class PhysRegFile
     std::uint64_t
     read(PhysRegIndex reg) const
     {
-        return values_.at(check(reg));
+        return values_[check(reg)];
     }
 
     void
     write(PhysRegIndex reg, std::uint64_t value)
     {
-        values_.at(check(reg)) = value;
+        values_[check(reg)] = value;
     }
 
-    bool isReady(PhysRegIndex reg) const { return ready_.at(check(reg)); }
+    bool isReady(PhysRegIndex reg) const { return ready_[check(reg)]; }
 
     void setReady(PhysRegIndex reg, bool r = true)
     {
-        ready_.at(check(reg)) = r;
+        ready_[check(reg)] = r;
     }
 
   private:
-    static size_t
-    check(PhysRegIndex reg)
+    // Rename hands out indices it validated against the file size, so
+    // reads/writes only guard the invalid-sentinel case; ready_ stores
+    // bytes, not vector<bool> bits, because the wakeup loop hammers it.
+    size_t
+    check(PhysRegIndex reg) const
     {
-        if (reg < 0)
+        if (reg < 0 || static_cast<size_t>(reg) >= values_.size())
             panic("physical register index %d invalid", int(reg));
         return static_cast<size_t>(reg);
     }
 
     std::vector<std::uint64_t> values_;
-    std::vector<bool> ready_;
+    std::vector<std::uint8_t> ready_;
 };
 
 } // namespace vca::cpu

@@ -18,12 +18,4 @@ Program::finalize()
               code.size());
 }
 
-const StaticInst &
-Program::inst(Addr pc) const
-{
-    if (pc < decoded_.size())
-        return decoded_[pc];
-    return haltInst_;
-}
-
 } // namespace vca::isa

@@ -112,8 +112,15 @@ class Program
 
     bool finalized() const { return decoded_.size() == code.size(); }
 
-    /** Decoded instruction at pc (Halt outside the image). */
-    const StaticInst &inst(Addr pc) const;
+    /** Decoded instruction at pc (Halt outside the image).
+     *  Inline: called once per fetched instruction. */
+    const StaticInst &
+    inst(Addr pc) const
+    {
+        if (pc < decoded_.size())
+            return decoded_[pc];
+        return haltInst_;
+    }
 
     size_t size() const { return code.size(); }
 

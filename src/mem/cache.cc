@@ -26,6 +26,10 @@ Cache::Cache(const CacheParams &params, Cache *next, unsigned memLatency,
     if (numLines == 0 || numLines % params_.assoc != 0)
         fatal("cache %s: size/line/assoc mismatch", params_.name.c_str());
     numSets_ = numLines / params_.assoc;
+    while ((Addr(1) << lineShift_) < params_.lineBytes)
+        ++lineShift_;
+    if ((numSets_ & (numSets_ - 1)) == 0)
+        setMask_ = numSets_ - 1;
     lines_.assign(numLines, Line{});
 }
 

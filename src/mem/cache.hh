@@ -80,8 +80,15 @@ class Cache : public stats::StatGroup
         Cycle lruStamp = 0;
     };
 
-    Addr lineAddr(Addr addr) const { return addr / params_.lineBytes; }
-    size_t setIndex(Addr line) const { return line % numSets_; }
+    // lineBytes is fatal-checked to be a power of two, and numSets_ is
+    // a power of two in every standard config, so both computations
+    // reduce to shift/mask on the hot path (modulo fallback otherwise).
+    Addr lineAddr(Addr addr) const { return addr >> lineShift_; }
+    size_t
+    setIndex(Addr line) const
+    {
+        return setMask_ ? (line & setMask_) : (line % numSets_);
+    }
 
     /** Latency for fetching a line from the next level downward. */
     Cycle fillLatency(Addr addr, bool write, Cycle now);
@@ -90,6 +97,8 @@ class Cache : public stats::StatGroup
     Cache *next_;
     unsigned memLatency_;
     size_t numSets_;
+    unsigned lineShift_ = 0;
+    Addr setMask_ = 0; ///< numSets_-1 when a power of two, else 0
     std::vector<Line> lines_; ///< numSets x assoc
     Cycle stamp_ = 0;
 

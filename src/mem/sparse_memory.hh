@@ -6,6 +6,15 @@
  * space. Pages are allocated on first touch and zero-filled, so reads of
  * untouched memory (e.g. down a mispredicted path) return 0 instead of
  * faulting.
+ *
+ * A small direct-mapped page-pointer cache sits in front of the page
+ * hash map: the functional interpreter, loadProgramData, and the VCA
+ * renamer's spill/fill traffic hit the same handful of pages over and
+ * over, and the cache turns the per-word unordered_map lookup into an
+ * index-compare-load. The cache holds raw word pointers, which is safe
+ * because pages are node-stored in the map (pointers survive rehash)
+ * and their backing vectors are sized once and never resized. clear()
+ * invalidates every cached pointer by bumping a generation counter.
  */
 
 #ifndef VCA_MEM_SPARSE_MEMORY_HH
@@ -31,9 +40,12 @@ class SparseMemory
     std::uint64_t
     read(Addr addr) const
     {
+        if (const std::uint64_t *words = cachedWords(addr))
+            return words[wordIndex(addr)];
         const Page *page = findPage(addr);
         if (!page)
-            return 0;
+            return 0; // never cache absence: a write may create the page
+        cacheWords(addr, *page);
         return (*page)[wordIndex(addr)];
     }
 
@@ -41,7 +53,12 @@ class SparseMemory
     void
     write(Addr addr, std::uint64_t value)
     {
+        if (std::uint64_t *words = cachedWords(addr)) {
+            words[wordIndex(addr)] = value;
+            return;
+        }
         Page &page = getPage(addr);
+        cacheWords(addr, page);
         page[wordIndex(addr)] = value;
     }
 
@@ -67,11 +84,26 @@ class SparseMemory
     /** Number of pages currently allocated (for tests / footprint). */
     size_t allocatedPages() const { return pages_.size(); }
 
-    /** Drop all contents. */
-    void clear() { pages_.clear(); }
+    /** Drop all contents (invalidates every cached page pointer). */
+    void
+    clear()
+    {
+        pages_.clear();
+        ++generation_;
+    }
 
   private:
     using Page = std::vector<std::uint64_t>;
+
+    /** Direct-mapped page-pointer cache slots (power of two). */
+    static constexpr unsigned cacheSlots = 16;
+
+    struct CacheSlot
+    {
+        Addr pageNum = 0;
+        std::uint64_t generation = 0; ///< valid iff == generation_
+        std::uint64_t *words = nullptr;
+    };
 
     static Addr pageNumber(Addr addr) { return addr >> pageShift; }
 
@@ -97,7 +129,29 @@ class SparseMemory
         return it->second;
     }
 
+    std::uint64_t *
+    cachedWords(Addr addr) const
+    {
+        const Addr pn = pageNumber(addr);
+        const CacheSlot &slot = cache_[pn & (cacheSlots - 1)];
+        if (slot.generation == generation_ && slot.pageNum == pn)
+            return slot.words;
+        return nullptr;
+    }
+
+    void
+    cacheWords(Addr addr, const Page &page) const
+    {
+        const Addr pn = pageNumber(addr);
+        CacheSlot &slot = cache_[pn & (cacheSlots - 1)];
+        slot.pageNum = pn;
+        slot.generation = generation_;
+        slot.words = const_cast<std::uint64_t *>(page.data());
+    }
+
     std::unordered_map<Addr, Page> pages_;
+    mutable CacheSlot cache_[cacheSlots];
+    std::uint64_t generation_ = 1;
 };
 
 } // namespace vca::mem

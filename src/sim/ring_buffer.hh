@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fixed-capacity ring buffer for the pipeline's in-order queues.
+ *
+ * The detailed core's fetch queue, ROB, load/store queues and store
+ * buffer are all bounded deques whose bounds come from CpuParams and
+ * are enforced by the pipeline before every push. std::deque pays for
+ * that generality with chunked heap allocation on the fetch/commit/
+ * squash hot paths; this ring buffer allocates its (power-of-two
+ * rounded) capacity once and never touches the allocator again.
+ *
+ * Indices grow monotonically and are masked on access, so size() is a
+ * plain subtraction and push/pop are a store and an increment. The
+ * structure deliberately mirrors the std::deque surface the pipeline
+ * used (push_back/pop_front/pop_back/front/back/clear/iteration) so
+ * the call sites read unchanged.
+ */
+
+#ifndef VCA_SIM_RING_BUFFER_HH
+#define VCA_SIM_RING_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vca {
+
+template <typename T>
+class RingBuffer
+{
+  public:
+    RingBuffer() = default;
+
+    explicit RingBuffer(size_t capacity) { reset(capacity); }
+
+    /**
+     * (Re)allocate for at least `capacity` elements and clear. The
+     * backing store rounds up to a power of two so masking replaces
+     * modulo on every access.
+     */
+    void
+    reset(size_t capacity)
+    {
+        size_t pow2 = 1;
+        while (pow2 < capacity)
+            pow2 <<= 1;
+        slots_.assign(pow2, T{});
+        mask_ = pow2 - 1;
+        head_ = tail_ = 0;
+    }
+
+    size_t size() const { return tail_ - head_; }
+    bool empty() const { return head_ == tail_; }
+    size_t capacity() const { return slots_.size(); }
+    bool full() const { return size() == slots_.size(); }
+
+    void clear() { head_ = tail_ = 0; }
+
+    void
+    push_back(const T &v)
+    {
+        if (full())
+            panic("RingBuffer: push_back on a full buffer (cap %zu)",
+                  capacity());
+        slots_[tail_++ & mask_] = v;
+    }
+
+    void
+    pop_front()
+    {
+        if (empty())
+            panic("RingBuffer: pop_front on an empty buffer");
+        ++head_;
+    }
+
+    void
+    pop_back()
+    {
+        if (empty())
+            panic("RingBuffer: pop_back on an empty buffer");
+        --tail_;
+    }
+
+    T &front() { return slots_[head_ & mask_]; }
+    const T &front() const { return slots_[head_ & mask_]; }
+    T &back() { return slots_[(tail_ - 1) & mask_]; }
+    const T &back() const { return slots_[(tail_ - 1) & mask_]; }
+
+    /** Logical index: 0 is the front (oldest) element. */
+    T &operator[](size_t i) { return slots_[(head_ + i) & mask_]; }
+    const T &
+    operator[](size_t i) const
+    {
+        return slots_[(head_ + i) & mask_];
+    }
+
+    /** Forward iteration, oldest to youngest (enough for range-for). */
+    class const_iterator
+    {
+      public:
+        const_iterator(const RingBuffer *rb, size_t pos)
+            : rb_(rb), pos_(pos) {}
+
+        const T &operator*() const { return (*rb_)[pos_]; }
+        const T *operator->() const { return &(*rb_)[pos_]; }
+        const_iterator &operator++() { ++pos_; return *this; }
+        bool
+        operator!=(const const_iterator &o) const
+        {
+            return pos_ != o.pos_;
+        }
+        bool
+        operator==(const const_iterator &o) const
+        {
+            return pos_ == o.pos_;
+        }
+
+      private:
+        const RingBuffer *rb_;
+        size_t pos_;
+    };
+
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const { return const_iterator(this, size()); }
+
+  private:
+    std::vector<T> slots_;
+    size_t mask_ = 0;
+    size_t head_ = 0;
+    size_t tail_ = 0;
+};
+
+} // namespace vca
+
+#endif // VCA_SIM_RING_BUFFER_HH

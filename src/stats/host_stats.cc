@@ -1,0 +1,45 @@
+#include "stats/host_stats.hh"
+
+namespace vca::stats {
+
+HostStats::HostStats(StatGroup *parent)
+    : StatGroup("host", parent),
+      simSeconds(this, "sim_seconds",
+                 "wall-clock seconds spent in detailed simulation"),
+      simInsts(this, "sim_insts",
+               "instructions committed by detailed simulation"),
+      simCycles(this, "sim_cycles", "cycles simulated in detail"),
+      simRuns(this, "sim_runs", "detailed simulations contributing"),
+      simMips(this, "sim_mips",
+              "simulated million instructions per host second",
+              [this] {
+                  const double s = simSeconds.value();
+                  return s > 0 ? simInsts.value() / s / 1e6 : 0.0;
+              }),
+      cyclesPerSec(this, "sim_cycles_per_sec",
+                   "simulated cycles per host second",
+                   [this] {
+                       const double s = simSeconds.value();
+                       return s > 0 ? simCycles.value() / s : 0.0;
+                   })
+{
+}
+
+void
+HostStats::record(double seconds, double insts, double cycles)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    simSeconds += seconds;
+    simInsts += insts;
+    simCycles += cycles;
+    ++simRuns;
+}
+
+HostStats &
+HostStats::global()
+{
+    static HostStats stats;
+    return stats;
+}
+
+} // namespace vca::stats

@@ -56,30 +56,6 @@ Distribution::Distribution(StatGroup *parent, std::string name,
 }
 
 void
-Distribution::sample(double v, std::uint64_t n)
-{
-    if (samples_ == 0) {
-        minSampled_ = v;
-        maxSampled_ = v;
-    } else {
-        minSampled_ = std::min(minSampled_, v);
-        maxSampled_ = std::max(maxSampled_, v);
-    }
-    samples_ += n;
-    sum_ += v * n;
-
-    if (v < min_) {
-        underflow_ += n;
-    } else if (v >= max_) {
-        overflow_ += n;
-    } else {
-        auto idx = static_cast<size_t>((v - min_) / bucketSize_);
-        idx = std::min(idx, counts_.size() - 1);
-        counts_[idx] += n;
-    }
-}
-
-void
 Distribution::print(std::ostream &os) const
 {
     printLine(os, name() + ".samples", static_cast<double>(samples_), desc());

@@ -13,6 +13,7 @@
 #ifndef VCA_STATS_STATISTICS_HH
 #define VCA_STATS_STATISTICS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <ostream>
@@ -113,7 +114,31 @@ class Distribution : public StatBase
     Distribution(StatGroup *parent, std::string name, std::string desc,
                  double min, double max, unsigned buckets);
 
-    void sample(double v, std::uint64_t n = 1);
+    // Inline: sampled every statSampleInterval cycles from the CPU's
+    // tick() hot path.
+    void
+    sample(double v, std::uint64_t n = 1)
+    {
+        if (samples_ == 0) {
+            minSampled_ = v;
+            maxSampled_ = v;
+        } else {
+            minSampled_ = std::min(minSampled_, v);
+            maxSampled_ = std::max(maxSampled_, v);
+        }
+        samples_ += n;
+        sum_ += v * n;
+
+        if (v < min_) {
+            underflow_ += n;
+        } else if (v >= max_) {
+            overflow_ += n;
+        } else {
+            auto idx = static_cast<size_t>((v - min_) / bucketSize_);
+            idx = std::min(idx, counts_.size() - 1);
+            counts_[idx] += n;
+        }
+    }
 
     std::uint64_t totalSamples() const { return samples_; }
     double mean() const { return samples_ ? sum_ / samples_ : 0.0; }

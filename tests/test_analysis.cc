@@ -346,6 +346,52 @@ TEST(Runner, CorruptAndStaleCacheEntriesReadAsMisses)
     std::filesystem::remove_all(dir);
 }
 
+TEST(Runner, TruncatedCacheEntryIsAMiss)
+{
+    setQuiet(true);
+    const std::string dir = freshCacheDir("truncated");
+    const auto point =
+        makePoint("gap", cpu::RenamerKind::Vca, 128, tinyOptions());
+    SweepConfig config;
+    config.cacheDir = dir;
+    SweepRunner writer(config);
+    const auto m = writer.runPoint(point);
+    ASSERT_TRUE(m.ok);
+
+    // A completed sweep leaves exactly the committed entry — no
+    // in-flight ".tmp.*" files.
+    char name[32];
+    std::snprintf(name, sizeof name, "%016llx.json",
+                  static_cast<unsigned long long>(pointHash(point)));
+    const std::string path = dir + "/" + name;
+    size_t entries = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir)) {
+        ++entries;
+        EXPECT_EQ(e.path().string(), path)
+            << "unexpected leftover " << e.path();
+    }
+    EXPECT_EQ(entries, 1u);
+
+    // Chop the entry mid-JSON, as an interrupted writer of the final
+    // path would have. load() must report a miss (not a crash, not a
+    // garbage measurement) and the runner must re-simulate.
+    const auto size = std::filesystem::file_size(path);
+    ASSERT_GT(size, 16u);
+    std::filesystem::resize_file(path, size / 2);
+    Measurement out;
+    EXPECT_FALSE(writer.cache().load(point, out))
+        << "truncated cache entry must read as a miss";
+    SweepRunner reader(config);
+    const auto again = reader.runPoint(point);
+    EXPECT_EQ(reader.cacheMisses.value(), 1.0);
+    EXPECT_TRUE(again == m) << "re-simulated point must reproduce";
+
+    // The miss repaired the entry: a valid load now succeeds.
+    EXPECT_TRUE(reader.cache().load(point, out));
+    EXPECT_TRUE(out == m);
+    std::filesystem::remove_all(dir);
+}
+
 TEST(Runner, DisabledCacheNeverTouchesDisk)
 {
     setQuiet(true);

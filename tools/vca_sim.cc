@@ -24,6 +24,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -36,6 +37,7 @@
 #include "cpu/ooo_cpu.hh"
 #include "cpu/tracer.hh"
 #include "sim/options.hh"
+#include "stats/host_stats.hh"
 #include "trace/debug_flags.hh"
 #include "trace/interval_stats.hh"
 #include "trace/stats_json.hh"
@@ -108,6 +110,9 @@ simMain(int argc, char **argv)
     opts.add("interval", "0",
              "record an IPC/stall interval every N committed insts "
              "(exported via --stats-json)");
+    opts.add("stat-sample-interval", "1",
+             "sample ROB/IQ occupancy distributions every N cycles "
+             "(1 = exact; larger trades histogram detail for speed)");
     opts.add("sweep-regs", "",
              "sweep mode: comma list of register file sizes, run in "
              "parallel with on-disk memoization (see VCA_JOBS / "
@@ -233,6 +238,13 @@ simMain(int argc, char **argv)
                     runner.cache().enabled()
                         ? runner.cache().dir().c_str()
                         : "disabled");
+        const auto &host = stats::HostStats::global();
+        if (host.simRuns.value() > 0) {
+            std::printf("host: seconds=%.3f mips=%.3f "
+                        "cycles_per_sec=%.0f runs=%.0f\n",
+                        host.simSeconds.value(), host.simMips.value(),
+                        host.cyclesPerSec.value(), host.simRuns.value());
+        }
         return 0;
     }
 
@@ -258,8 +270,11 @@ simMain(int argc, char **argv)
             static_cast<unsigned>(opts.getU64("table-assoc"));
     }
     params.vcaDeadValueHints = opts.getBool("dead-hints");
+    params.statSampleInterval =
+        static_cast<unsigned>(opts.getU64("stat-sample-interval"));
 
     try {
+        const auto hostStart = std::chrono::steady_clock::now();
         cpu::OooCpu cpu(params, programs);
         if (opts.getU64("trace") > 0) {
             cpu::TraceOptions traceOpts;
@@ -277,9 +292,11 @@ simMain(int argc, char **argv)
         }
         const InstCount warmup = opts.getU64("warmup");
         const InstCount insts = opts.getU64("insts");
+        double warmupCommitted = 0;
         if (warmup) {
             cpu.run(warmup, warmup * 200 + 100'000,
                     programs.size() > 1);
+            warmupCommitted = cpu.committedTotal.value();
             cpu.resetStats();
         }
         // The interval recorder attaches after warm-up so interval 0
@@ -304,8 +321,17 @@ simMain(int argc, char **argv)
         }
         const auto res = cpu.run(insts, insts * 200 + 100'000,
                                  programs.size() > 1);
+        const std::chrono::duration<double> hostElapsed =
+            std::chrono::steady_clock::now() - hostStart;
         if (intervals)
             intervals->finish(cpu.currentCycle());
+
+        // Host throughput for this invocation (warmup included: that
+        // is the wall cost of the simulation).
+        stats::HostStats hostStats;
+        hostStats.record(hostElapsed.count(),
+                         warmupCommitted + cpu.committedTotal.value(),
+                         static_cast<double>(cpu.currentCycle()));
 
         std::printf("arch=%s regs=%u threads=%zu windowed=%d\n",
                     cpu::renamerKindName(kind), params.physRegs,
@@ -332,10 +358,15 @@ simMain(int argc, char **argv)
                         100 * ca.windowShift.value() / cyc,
                         100 * ca.frontendStall.value() / cyc);
         }
+        std::printf("host: seconds=%.3f mips=%.3f cycles_per_sec=%.0f\n",
+                    hostStats.simSeconds.value(),
+                    hostStats.simMips.value(),
+                    hostStats.cyclesPerSec.value());
         if (opts.getBool("stats")) {
             std::printf("\n-- statistics --\n");
             std::ostringstream os;
             cpu.dump(os);
+            hostStats.dump(os);
             std::fputs(os.str().c_str(), stdout);
         }
         if (!opts.get("stats-json").empty()) {
@@ -358,6 +389,7 @@ simMain(int argc, char **argv)
             w.key("ipc").number(res.ipc);
             w.endObject();
             trace::writeJsonGroup(cpu, w);
+            trace::writeJsonGroup(hostStats, w);
             if (intervals)
                 intervals->writeJson(w);
             w.endObject();
