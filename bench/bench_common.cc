@@ -5,6 +5,7 @@
 #include "stats/host_stats.hh"
 #include "trace/json.hh"
 #include "trace/stats_json.hh"
+#include "wload/profile.hh"
 
 namespace vca::bench {
 
@@ -121,6 +122,55 @@ regWindowSweep(const std::vector<unsigned> &physRegs,
 
 namespace vca::bench {
 
+namespace {
+
+/**
+ * Register-cache fill classification for the reference VCA
+ * configuration (crafty @ 192 physical registers), exported into every
+ * BENCH_*.json. Measured once per process with the telemetry analyzer
+ * attached; the run goes straight to runBench (never through the sweep
+ * cache) and telemetry runs skip host-MIPS accounting, so neither the
+ * memoized sweep results nor the perf trajectory see it.
+ */
+struct RegCacheSummary
+{
+    bool ok = false;
+    double fillsCompulsory = 0;
+    double fillsCapacity = 0;
+    double fillsConflict = 0;
+    double shadowHits = 0;
+};
+
+const RegCacheSummary &
+regCacheSummary()
+{
+    static const RegCacheSummary summary = [] {
+        RegCacheSummary s;
+        analysis::RunOptions opts = defaultOptions();
+        opts.regTelemetry = true;
+        const analysis::Measurement m =
+            analysis::runBench(wload::profileByName("crafty"),
+                               cpu::RenamerKind::Vca, 192, opts);
+        if (!m.ok)
+            return s;
+        for (const auto &[name, value] : m.counters) {
+            if (name == "fills_compulsory")
+                s.fillsCompulsory = value;
+            else if (name == "fills_capacity")
+                s.fillsCapacity = value;
+            else if (name == "fills_conflict")
+                s.fillsConflict = value;
+            else if (name == "shadow_hits")
+                s.shadowHits = value;
+        }
+        s.ok = true;
+        return s;
+    }();
+    return summary;
+}
+
+} // namespace
+
 void
 writeSeriesCsv(const std::string &slug,
                const std::vector<unsigned> &physRegs,
@@ -185,6 +235,19 @@ writeSeriesJson(const std::string &slug,
         w.endArray();
     }
     w.endObject();
+    // 3C register-cache fill classification of the reference VCA
+    // configuration, for regression tracking of the shadow models.
+    if (const RegCacheSummary &rc = regCacheSummary(); rc.ok) {
+        w.key("reg_cache").beginObject();
+        w.key("arch").string("vca");
+        w.key("bench").string("crafty");
+        w.key("phys_regs").number(std::uint64_t(192));
+        w.key("fills_compulsory").number(rc.fillsCompulsory);
+        w.key("fills_capacity").number(rc.fillsCapacity);
+        w.key("fills_conflict").number(rc.fillsConflict);
+        w.key("shadow_hits").number(rc.shadowHits);
+        w.endObject();
+    }
     // Host-throughput trajectory: cumulative detailed-simulation cost
     // at the moment this bench's JSON is written (perf_compare.py
     // diffs the sim_mips field across runs).

@@ -2,15 +2,25 @@
 # Full verification sweep: build and test the Release configuration and
 # an AddressSanitizer/UBSan configuration.
 #
-# The Release configuration runs every ctest label (unit + golden,
-# including the slow determinism sweep). The sanitizer configuration
-# runs only -L unit: the golden suite asserts exact cycle counts that
-# are identical across configurations anyway, and simulating the sweep
-# twice more under ASan adds minutes for no extra signal.
+# The Release configuration runs every ctest label (unit + golden +
+# observability, including the slow determinism sweep). The sanitizer
+# configuration runs only -L unit: the golden suite asserts exact cycle
+# counts that are identical across configurations anyway, and
+# simulating the sweep twice more under ASan adds minutes for no extra
+# signal.
+#
+# A third configuration builds with -DVCA_NTELEMETRY=ON (every
+# telemetry hook compiled out) and gates the host-MIPS overhead of the
+# compiled-in-but-disabled telemetry against it via perf_compare.py.
 #
 # Usage: scripts/check.sh [extra ctest args...]
-#   CHECK_JOBS=N        parallelism (default: nproc)
-#   CHECK_BUILD_DIR=dir build-tree root (default: build-check)
+#   CHECK_JOBS=N            parallelism (default: nproc)
+#   CHECK_BUILD_DIR=dir     build-tree root (default: build-check)
+#   CHECK_TELEM_GATE=0      skip the telemetry-overhead gate
+#   CHECK_TELEM_THRESHOLD=F allowed fractional host-MIPS cost of the
+#                           disabled telemetry hooks (default 0.05:
+#                           the design target is 2%, the gate leaves
+#                           headroom for host noise)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -46,5 +56,35 @@ run_config release "" -DCMAKE_BUILD_TYPE=Release
 run_config asan-ubsan unit \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DVCA_SANITIZE=address,undefined
+
+# Telemetry-overhead gate: the probe hooks compiled in but *disabled*
+# must not cost measurable host throughput. Build a configuration with
+# the hooks removed entirely (-DVCA_NTELEMETRY=ON), run the same bench
+# in both trees with the sweep cache disabled, and diff host MIPS.
+if [[ "${CHECK_TELEM_GATE:-1}" != 0 ]] && command -v python3 >/dev/null
+then
+    echo "== configure notelemetry =="
+    cmake -B "$root/notelemetry" -S . -DCMAKE_BUILD_TYPE=Release \
+          -DVCA_NTELEMETRY=ON >/dev/null
+    echo "== build notelemetry (telemetry-overhead gate) =="
+    cmake --build "$root/notelemetry" -j "$jobs" --target \
+          bench_fig6_single_port
+    cmake --build "$root/release" -j "$jobs" --target \
+          bench_fig6_single_port
+    echo "== telemetry-overhead gate =="
+    gate="$root/telem-gate"
+    rm -rf "$gate"
+    mkdir -p "$gate/base" "$gate/cand"
+    telem_insts="${CHECK_TELEM_INSTS:-60000}"
+    for side in base cand; do
+        tree=release
+        [[ "$side" == base ]] && tree=notelemetry
+        VCA_CACHE_DIR= VCA_BENCH_JSON_DIR="$gate/$side" \
+            VCA_WARMUP_INSTS=2000 VCA_MEASURE_INSTS="$telem_insts" \
+            "$root/$tree/bench/bench_fig6_single_port" >/dev/null
+    done
+    python3 scripts/perf_compare.py "$gate/base" "$gate/cand" \
+            --threshold "${CHECK_TELEM_THRESHOLD:-0.05}"
+fi
 
 echo "== all configurations passed =="

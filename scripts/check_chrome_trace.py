@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file written by vca-sim.
+
+Checks the structural invariants any trace-event consumer (Perfetto,
+chrome://tracing) relies on:
+
+  - the file is valid JSON with a non-empty "traceEvents" array;
+  - every event has name/ph/pid/tid (and ts for non-metadata events);
+  - per (pid, tid) track, timestamps are non-decreasing;
+  - B/E duration events balance on every track;
+  - metadata (ph == "M") precedes all timeline events.
+
+Usage: check_chrome_trace.py TRACE.json [--min-events N]
+Exit status: 0 valid, 1 invalid, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_chrome_trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def check(path, min_events):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{path}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(f"{path}: no traceEvents array")
+    if len(events) < min_events:
+        return fail(f"{path}: only {len(events)} events "
+                    f"(expected >= {min_events})")
+
+    last_ts = {}
+    depth = {}
+    saw_timeline = False
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(f"event {i}: not an object")
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in ev:
+                return fail(f"event {i}: missing {field!r}")
+        ph = ev["ph"]
+        if ph == "M":
+            if saw_timeline:
+                return fail(f"event {i}: metadata after timeline events")
+            continue
+        saw_timeline = True
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            return fail(f"event {i}: missing numeric ts")
+        track = (ev["pid"], ev["tid"])
+        if track in last_ts and ts < last_ts[track]:
+            return fail(f"event {i}: ts {ts} < {last_ts[track]} "
+                        f"on track {track}")
+        last_ts[track] = ts
+        if ph == "B":
+            depth[track] = depth.get(track, 0) + 1
+        elif ph == "E":
+            depth[track] = depth.get(track, 0) - 1
+            if depth[track] < 0:
+                return fail(f"event {i}: E without matching B "
+                            f"on track {track}")
+    unbalanced = {t: d for t, d in depth.items() if d != 0}
+    if unbalanced:
+        return fail(f"unbalanced B/E on tracks: {unbalanced}")
+
+    print(f"check_chrome_trace: OK: {path}: {len(events)} events, "
+          f"{len(last_ts)} tracks")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate a Chrome trace-event JSON file")
+    ap.add_argument("trace", help="trace JSON file to validate")
+    ap.add_argument("--min-events", type=int, default=1, metavar="N",
+                    help="minimum number of events (default 1)")
+    args = ap.parse_args()
+    return check(args.trace, args.min_events)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,8 +29,19 @@ import sys
 from pathlib import Path
 
 
+class MissingHostStats(Exception):
+    """A well-formed BENCH_*.json without a usable host-stats block."""
+
+
 def load_host_mips(path):
-    """host.sim_mips from one BENCH_*.json, or None if absent/invalid."""
+    """host.sim_mips from one BENCH_*.json, or None if skippable.
+
+    Unreadable/unparseable files are warned about and skipped (they are
+    someone else's garbage); a file that parses but has no host-stats
+    block raises MissingHostStats -- that means the bench was built
+    without host accounting and the comparison would be silently empty,
+    which main() turns into exit status 2.
+    """
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -39,10 +50,16 @@ def load_host_mips(path):
         return None
     host = doc.get("host")
     if not isinstance(host, dict):
-        return None
+        raise MissingHostStats(
+            f"{path}: no \"host\" stats block -- the bench that wrote "
+            f"this file did not record host throughput (re-run it with "
+            f"host stats enabled)")
     mips = host.get("sim_mips")
     if not isinstance(mips, (int, float)) or not math.isfinite(mips):
-        return None
+        raise MissingHostStats(
+            f"{path}: \"host\" block has no numeric sim_mips field")
+    # sim_mips == 0 is a warm-cache run (zero detailed simulations):
+    # nothing to compare, but not an input error.
     return float(mips) if mips > 0 else None
 
 
@@ -114,6 +131,38 @@ def selftest():
             print("selftest: FAILED (false regression)", file=sys.stderr)
             return 1
 
+        # Valid JSON without a host block must be a hard error (exit 2
+        # via MissingHostStats), not a silent skip.
+        nohost = Path(canddir, "BENCH_nohost.json")
+        nohost.write_text(json.dumps({"bench": "nohost"}))
+        try:
+            collect(canddir)
+        except MissingHostStats:
+            pass
+        else:
+            print("selftest: FAILED (missing host block not detected)",
+                  file=sys.stderr)
+            return 1
+        nohost.write_text(json.dumps(
+            {"bench": "nohost", "host": {"wall_seconds": 1.0}}))
+        try:
+            collect(canddir)
+        except MissingHostStats:
+            pass
+        else:
+            print("selftest: FAILED (missing sim_mips not detected)",
+                  file=sys.stderr)
+            return 1
+        nohost.unlink()
+
+        # Warm-cache runs (sim_mips == 0) are skippable, not errors.
+        write(canddir, "warm", 0.0)
+        if "warm" in collect(canddir):
+            print("selftest: FAILED (warm-cache run not skipped)",
+                  file=sys.stderr)
+            return 1
+        Path(canddir, "BENCH_warm.json").unlink()
+
         write(basedir, "slow", 4.0)
         write(canddir, "slow", 2.0)     # -50%: must trip
         if compare(collect(basedir), collect(canddir), 0.10) != ["slow"]:
@@ -154,8 +203,13 @@ def main():
             print(f"error: {d} is not a directory", file=sys.stderr)
             return 2
 
-    regressed = compare(collect(args.baseline), collect(args.candidate),
-                        args.threshold)
+    try:
+        base = collect(args.baseline)
+        cand = collect(args.candidate)
+    except MissingHostStats as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    regressed = compare(base, cand, args.threshold)
     if regressed:
         print(f"FAIL: {len(regressed)} bench(es) regressed more than "
               f"{args.threshold:.0%}: {', '.join(regressed)}",

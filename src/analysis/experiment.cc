@@ -10,6 +10,7 @@
 #include "func/func_sim.hh"
 #include "sim/logging.hh"
 #include "stats/host_stats.hh"
+#include "telemetry/reg_cache_analyzer.hh"
 
 namespace vca::analysis {
 
@@ -69,6 +70,9 @@ runTiming(const std::vector<const isa::Program *> &programs,
         // time a sweep point actually costs.
         const auto hostStart = std::chrono::steady_clock::now();
         cpu::OooCpu cpu(params, programs);
+        std::unique_ptr<telemetry::RegCacheAnalyzer> analyzer;
+        if (opts.regTelemetry)
+            analyzer = telemetry::attachRegCacheAnalyzer(cpu);
         cpu.run(opts.warmupInsts, opts.warmupInsts * 200 + 100'000,
                 opts.stopOnFirstThread);
         const InstCount warmupInsts = cpu.committedTotal.value();
@@ -79,10 +83,14 @@ runTiming(const std::vector<const isa::Program *> &programs,
                            opts.stopOnFirstThread);
         const std::chrono::duration<double> hostElapsed =
             std::chrono::steady_clock::now() - hostStart;
-        stats::HostStats::global().record(
-            hostElapsed.count(),
-            static_cast<double>(warmupInsts + res.totalInsts),
-            static_cast<double>(warmupCycles + res.cycles));
+        // Telemetry runs carry observer overhead by design; keep them
+        // out of the host-throughput trajectory.
+        if (!opts.regTelemetry) {
+            stats::HostStats::global().record(
+                hostElapsed.count(),
+                static_cast<double>(warmupInsts + res.totalInsts),
+                static_cast<double>(warmupCycles + res.cycles));
+        }
         m.ok = true;
         m.cycles = res.cycles;
         m.insts = res.totalInsts;
@@ -116,6 +124,16 @@ runTiming(const std::vector<const isa::Program *> &programs,
             if (const auto *s = dynamic_cast<const stats::Scalar *>(
                     group->find(name)))
                 m.counters.emplace_back(name, s->value());
+        }
+        if (analyzer) {
+            m.counters.emplace_back("fills_compulsory",
+                                    analyzer->fillsCompulsory.value());
+            m.counters.emplace_back("fills_capacity",
+                                    analyzer->fillsCapacity.value());
+            m.counters.emplace_back("fills_conflict",
+                                    analyzer->fillsConflict.value());
+            m.counters.emplace_back("shadow_hits",
+                                    analyzer->shadowHits.value());
         }
     } catch (const FatalError &e) {
         m.ok = false;

@@ -73,6 +73,14 @@ struct RunOptions
      * sweeps.
      */
     std::uint64_t seed = 0;
+    /**
+     * Attach the register-cache telemetry analyzer (src/telemetry/)
+     * for the measured interval. The shadow models are pure observers
+     * — simulated numbers are bit-identical either way — but such
+     * runs skip host-MIPS accounting so observation never pollutes
+     * the performance trajectory scripts/perf_compare.py tracks.
+     */
+    bool regTelemetry = false;
 };
 
 struct Measurement

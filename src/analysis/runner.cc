@@ -18,6 +18,8 @@
 
 #include "sim/logging.hh"
 #include "sim/thread_pool.hh"
+#include "stats/host_stats.hh"
+#include "telemetry/chrome_trace.hh"
 #include "trace/json.hh"
 #include "wload/generator.hh"
 #include "wload/profile.hh"
@@ -109,6 +111,12 @@ pointKey(const SweepPoint &point)
     os << ";ov=" << ov.vcaTableAssoc << "," << ov.astqEntries << ","
        << ov.rsidEntries << "," << ov.vcaRenamePorts << ","
        << ov.vcaCheckpointRecovery << "," << ov.vcaDeadValueHints;
+    // Appended only when set so every pre-existing key (and therefore
+    // every derived seed and cached result) is byte-identical. A
+    // telemetry point is a distinct cache entry: its Measurement
+    // carries extra counters.
+    if (point.opts.regTelemetry)
+        os << ";telem=1";
     os << ";benches=";
     for (const std::string &name : point.benches)
         appendProfile(os, wload::profileByName(name));
@@ -481,6 +489,11 @@ SweepRunner::SweepRunner(const SweepConfig &config)
     }
 }
 
+namespace {
+/** pid of the host-time track group in Chrome traces. */
+constexpr int kHostTracePid = 100;
+} // namespace
+
 SweepRunner::~SweepRunner() = default;
 
 SweepRunner &
@@ -489,6 +502,133 @@ SweepRunner::global()
     static SweepRunner runner;
     return runner;
 }
+
+void
+SweepRunner::setTraceWriter(telemetry::ChromeTraceWriter *writer)
+{
+    std::lock_guard<std::mutex> lock(traceMutex_);
+    traceWriter_ = writer;
+    hostLanes_.clear();
+    if (writer) {
+        writer->setProcessName(kHostTracePid, "sweep host time");
+        writer->setThreadName(kHostTracePid, 0, "sweep main");
+    }
+}
+
+int
+SweepRunner::hostLaneFor(telemetry::ChromeTraceWriter &writer)
+{
+    std::lock_guard<std::mutex> lock(traceMutex_);
+    auto [it, inserted] = hostLanes_.emplace(
+        std::this_thread::get_id(),
+        static_cast<int>(hostLanes_.size()) + 1);
+    if (inserted) {
+        writer.setThreadName(kHostTracePid, it->second,
+                             "worker " + std::to_string(it->second));
+    }
+    return it->second;
+}
+
+namespace {
+
+/** Short human label for trace slices and progress reporting. */
+std::string
+pointLabel(const SweepPoint &point)
+{
+    std::string benches;
+    for (const std::string &name : point.benches) {
+        if (!benches.empty())
+            benches += "+";
+        benches += name;
+    }
+    return benches + "/" + cpu::renamerKindName(point.kind) + "/" +
+           std::to_string(point.physRegs);
+}
+
+/**
+ * Live sweep progress on stderr, opt-in via VCA_PROGRESS=1. On a TTY
+ * the line rewrites in place; piped output gets occasional plain
+ * lines instead. Aggregate host MIPS comes from the process-wide
+ * HostStats accumulator the workers feed.
+ */
+struct SweepProgress
+{
+    bool enabled = false;
+    bool tty = false;
+    size_t total = 0;    ///< unique points in this batch
+    size_t cached = 0;
+    size_t toSimulate = 0;
+    std::mutex mutex;
+    size_t running = 0;
+    size_t simulated = 0;
+    size_t lastPrinted = SIZE_MAX;
+
+    void
+    init(size_t uniquePoints, size_t cacheHits)
+    {
+        const char *pv = std::getenv("VCA_PROGRESS");
+        enabled = pv && *pv && std::strcmp(pv, "0") != 0;
+        if (!enabled)
+            return;
+        tty = isatty(fileno(stderr)) != 0;
+        total = uniquePoints;
+        cached = cacheHits;
+        toSimulate = uniquePoints - cacheHits;
+        render(false);
+    }
+
+    void
+    onStart()
+    {
+        if (!enabled)
+            return;
+        std::lock_guard<std::mutex> lock(mutex);
+        ++running;
+        if (tty)
+            render(false);
+    }
+
+    void
+    onFinish()
+    {
+        if (!enabled)
+            return;
+        std::lock_guard<std::mutex> lock(mutex);
+        --running;
+        ++simulated;
+        // Piped output: only ~10 lines per batch.
+        const size_t step = std::max<size_t>(1, toSimulate / 10);
+        if (tty || simulated % step == 0 || simulated == toSimulate)
+            render(false);
+    }
+
+    void
+    finish()
+    {
+        if (!enabled)
+            return;
+        std::lock_guard<std::mutex> lock(mutex);
+        render(true);
+    }
+
+    void
+    render(bool final)
+    {
+        const size_t done = cached + simulated;
+        if (!tty && !final && done == lastPrinted)
+            return;
+        lastPrinted = done;
+        const double mips = stats::HostStats::global().simMips.value();
+        std::fprintf(stderr,
+                     "%ssweep: %zu/%zu done (%zu cached), %zu running, "
+                     "%.1f MIPS%s",
+                     tty ? "\r\x1b[K" : "", done, total, cached, running,
+                     mips, tty && !final ? "" : "\n");
+        std::fflush(stderr);
+    }
+};
+
+} // namespace
 
 Measurement
 SweepRunner::executePoint(const SweepPoint &point) const
@@ -538,11 +678,22 @@ SweepRunner::run(const std::vector<SweepPoint> &points)
     std::uint64_t hits = 0, misses = 0, failed = 0;
     std::mutex statsMutex;
 
+    telemetry::ChromeTraceWriter *tw;
+    {
+        std::lock_guard<std::mutex> lock(traceMutex_);
+        tw = traceWriter_;
+    }
+
     std::vector<const Work *> toRun;
     for (const Work &w : unique) {
         Measurement m;
+        const double hitStart = tw ? tw->hostNowUs() : 0;
         if (cache_.load(*w.point, m)) {
             ++hits;
+            if (tw) {
+                tw->slice(kHostTracePid, 0, "hit " + pointLabel(*w.point),
+                          hitStart, tw->hostNowUs() - hitStart);
+            }
             for (size_t slot : w.slots)
                 results[slot] = m;
         } else {
@@ -552,9 +703,15 @@ SweepRunner::run(const std::vector<SweepPoint> &points)
     }
     latch.remaining = toRun.size();
 
+    SweepProgress progress;
+    progress.init(unique.size(), hits);
+
     for (const Work *w : toRun) {
-        pool_->submit([this, w, &results, &latch, &statsMutex,
-                       &failed] {
+        pool_->submit([this, w, &results, &latch, &statsMutex, &failed,
+                       tw, &progress] {
+            progress.onStart();
+            const int lane = tw ? hostLaneFor(*tw) : 0;
+            const double simStart = tw ? tw->hostNowUs() : 0;
             Measurement m;
             bool cacheable = true;
             try {
@@ -567,6 +724,11 @@ SweepRunner::run(const std::vector<SweepPoint> &points)
                 m.error = e.what();
                 cacheable = false;
             }
+            if (tw) {
+                tw->slice(kHostTracePid, lane,
+                          "sim " + pointLabel(*w->point), simStart,
+                          tw->hostNowUs() - simStart);
+            }
             if (cacheable)
                 cache_.store(*w->point, m);
             for (size_t slot : w->slots)
@@ -575,6 +737,7 @@ SweepRunner::run(const std::vector<SweepPoint> &points)
                 std::lock_guard<std::mutex> lock(statsMutex);
                 ++failed;
             }
+            progress.onFinish();
             std::lock_guard<std::mutex> lock(latch.mutex);
             if (--latch.remaining == 0)
                 latch.cv.notify_all();
@@ -584,6 +747,7 @@ SweepRunner::run(const std::vector<SweepPoint> &points)
         std::unique_lock<std::mutex> lock(latch.mutex);
         latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
     }
+    progress.finish();
 
     cacheHits += static_cast<double>(hits);
     cacheMisses += static_cast<double>(misses);

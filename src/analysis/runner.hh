@@ -31,8 +31,11 @@
 #ifndef VCA_ANALYSIS_RUNNER_HH
 #define VCA_ANALYSIS_RUNNER_HH
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/experiment.hh"
@@ -40,6 +43,10 @@
 
 namespace vca {
 class ThreadPool;
+}
+
+namespace vca::telemetry {
+class ChromeTraceWriter;
 }
 
 namespace vca::analysis {
@@ -158,13 +165,28 @@ class SweepRunner : public stats::StatGroup
      */
     static SweepRunner &global();
 
+    /**
+     * Emit host-time Chrome trace tracks for subsequent batches: one
+     * lane per pool worker thread with a slice per simulated point,
+     * and cache-hit slices on the submitting thread's lane. Pass
+     * nullptr to stop. The writer must outlive every run() while set.
+     */
+    void setTraceWriter(telemetry::ChromeTraceWriter *writer);
+
   private:
     Measurement executePoint(const SweepPoint &point) const;
+
+    /** Stable lane id for the calling thread (0 = submitting thread). */
+    int hostLaneFor(telemetry::ChromeTraceWriter &writer);
 
     SweepConfig config_;
     ResultCache cache_;
     std::unique_ptr<ThreadPool> ownedPool_;
     ThreadPool *pool_;
+
+    telemetry::ChromeTraceWriter *traceWriter_ = nullptr;
+    std::mutex traceMutex_;
+    std::map<std::thread::id, int> hostLanes_;
 };
 
 } // namespace vca::analysis

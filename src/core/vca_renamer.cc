@@ -78,6 +78,7 @@ VcaRenamer::beginCycle(Cycle now)
     cycleReadAddrs_.clear();
     portsUsed_ = 0;
     astq_.beginCycle();
+    VCA_TELEMETRY_PROBE(probe_, onCycle(now));
 }
 
 void
@@ -119,6 +120,7 @@ VcaRenamer::enqueueSpill(PhysRegIndex reg)
     memoryFor(s.addr, 0).write(s.addr, regs_.read(reg));
     s.dirty = false;
     ++spills;
+    VCA_TELEMETRY_PROBE(probe_, onSpill(s.addr));
     DPRINTF(VcaCache, "spill p%d -> addr 0x%llx", int(reg),
             (unsigned long long)s.addr);
     if (!ideal_) {
@@ -156,6 +158,7 @@ VcaRenamer::flushRsid(int rsidVictim)
             memoryFor(s.addr, 0).write(s.addr, regs_.read(e->front));
             s.dirty = false;
             ++spills;
+            VCA_TELEMETRY_PROBE(probe_, onSpill(s.addr));
             if (!ideal_) {
                 astq_.enqueueForce(
                     {true, s.addr, invalidPhysReg,
@@ -377,6 +380,7 @@ VcaRenamer::rename(DynInst &inst, Cycle now)
         PhysRegIndex phys = invalidPhysReg;
         if (entry) {
             ++tableHits;
+            VCA_TELEMETRY_PROBE(probe_, onAccess(srcAddr[s]));
             phys = entry->front;
             if (phys == invalidPhysReg)
                 panic("valid rename-table entry with no front register");
@@ -426,6 +430,7 @@ VcaRenamer::rename(DynInst &inst, Cycle now)
             entry->front = phys;
             entry->commit = phys;
             ++fills;
+            VCA_TELEMETRY_PROBE(probe_, onFill(srcAddr[s]));
             DPRINTFT(VcaCache, inst.tid, "fill p%d <- addr 0x%llx",
                      int(phys), (unsigned long long)srcAddr[s]);
             if (ideal_) {
@@ -497,6 +502,7 @@ VcaRenamer::rename(DynInst &inst, Cycle now)
         regState_.touch(phys);
         regs_.setReady(phys, false);
         entry->front = phys;
+        VCA_TELEMETRY_PROBE(probe_, onAccess(destAddr));
         if (!ideal_)
             ++portsUsed_;
     }

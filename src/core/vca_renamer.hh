@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/astq.hh"
+#include "core/reg_cache_probe.hh"
 #include "core/rename_table.hh"
 #include "core/rsid_table.hh"
 #include "core/reg_state.hh"
@@ -66,6 +67,24 @@ class VcaRenamer : public cpu::Renamer
 
     const RenameTable &table() const { return table_; }
     const RegStateArray &regState() const { return regState_; }
+    const cpu::CpuParams &params() const { return params_; }
+    bool ideal() const { return ideal_; }
+
+    /**
+     * Attach (or detach, with nullptr) a telemetry probe observing the
+     * register-cache access stream. Not owned. Compiled out entirely
+     * under VCA_NTELEMETRY; when compiled in but detached the cost is
+     * one predictable branch per observed event.
+     */
+    void
+    attachProbe(RegCacheProbe *probe)
+    {
+#ifndef VCA_NTELEMETRY
+        probe_ = probe;
+#else
+        (void)probe;
+#endif
+    }
 
     // Statistics.
     stats::Scalar fills;
@@ -130,6 +149,10 @@ class VcaRenamer : public cpu::Renamer
     // combined and use a single port, Section 3).
     std::vector<Addr> cycleReadAddrs_;
     unsigned portsUsed_ = 0;
+
+#ifndef VCA_NTELEMETRY
+    RegCacheProbe *probe_ = nullptr;
+#endif
 };
 
 } // namespace vca::core

@@ -602,6 +602,7 @@ OooCpu::commitStage()
             --budget;
 
             const bool halted = inst->si->isHalt;
+            const bool wasCall = inst->si->isCall;
             const std::uint64_t seq = inst->seq;
             // Trapping instructions are calls/returns: execution must
             // resume at their actual control-flow target.
@@ -616,6 +617,9 @@ OooCpu::commitStage()
             }
 
             if (action.windowTrap) {
+                emitSimEvent(wasCall ? SimEvent::Kind::WindowOverflow
+                                     : SimEvent::Kind::WindowUnderflow,
+                             static_cast<ThreadId>(t), 0);
                 // Flush everything younger, run the handler, restart
                 // fetch after the trapping call/return.
                 squashThread(static_cast<ThreadId>(t), seq);
@@ -781,6 +785,9 @@ OooCpu::issueStage()
         }
         --memPorts;
         transferEvents_.schedule(now_ + access.latency, op);
+        emitSimEvent(op.isStore ? SimEvent::Kind::Spill
+                                : SimEvent::Kind::Fill,
+                     op.tid, op.addr);
     }
 }
 

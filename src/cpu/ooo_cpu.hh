@@ -126,6 +126,33 @@ class OooCpu : public stats::StatGroup
         commitListeners_.push_back(std::move(listener));
     }
 
+    /**
+     * Rare pipeline events observable by telemetry listeners: window
+     * overflow/underflow traps at commit and accepted spill/fill
+     * transfer issues. Deliberately NOT per-instruction — emission
+     * sites sit on cold paths and cost one empty() test when no
+     * listener is registered (nothing at all under VCA_NTELEMETRY).
+     */
+    struct SimEvent
+    {
+        enum class Kind
+        {
+            WindowOverflow,  ///< commit-time trap on a call
+            WindowUnderflow, ///< commit-time trap on a return
+            Spill,           ///< store transfer issued to the cache
+            Fill,            ///< load transfer issued to the cache
+        };
+        Kind kind;
+        ThreadId tid;
+        Cycle cycle;
+        Addr addr; ///< transfer address (0 for window traps)
+    };
+
+    void addSimEventListener(std::function<void(const SimEvent &)> listener)
+    {
+        simEventListeners_.push_back(std::move(listener));
+    }
+
     // Statistics (public; benches read them).
     stats::Scalar numCycles;
     stats::Scalar committedTotal;
@@ -251,6 +278,23 @@ class OooCpu : public stats::StatGroup
     bool renamerRefusedThisCycle_ = false; ///< for stall attribution
 
     std::vector<std::function<void(const DynInst &)>> commitListeners_;
+    std::vector<std::function<void(const SimEvent &)>> simEventListeners_;
+
+    void
+    emitSimEvent(SimEvent::Kind kind, ThreadId tid, Addr addr)
+    {
+#ifndef VCA_NTELEMETRY
+        if (simEventListeners_.empty())
+            return;
+        const SimEvent ev{kind, tid, now_, addr};
+        for (const auto &listener : simEventListeners_)
+            listener(ev);
+#else
+        (void)kind;
+        (void)tid;
+        (void)addr;
+#endif
+    }
 };
 
 } // namespace vca::cpu

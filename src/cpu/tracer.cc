@@ -61,7 +61,8 @@ makePipeRecord(const OooCpu &cpu, const DynInst &inst)
 }
 
 void
-attachPipeTracer(OooCpu &cpu, std::ostream &os, InstCount maxInsts)
+attachPipeTracer(OooCpu &cpu, std::ostream &os, InstCount maxInsts,
+                 bool instants)
 {
     auto writer = std::make_shared<trace::PipeTraceWriter>(os);
     cpu.addCommitListener(
@@ -69,6 +70,58 @@ attachPipeTracer(OooCpu &cpu, std::ostream &os, InstCount maxInsts)
             if (maxInsts && writer->recordsWritten() >= maxInsts)
                 return;
             writer->write(makePipeRecord(cpu, inst));
+        });
+    if (!instants)
+        return;
+    // Telemetry marks share the writer so instants land between (never
+    // inside) instruction records in commit order. Spill/fill issues
+    // are too frequent to mark individually; aggregate per window.
+    struct TransferWindow
+    {
+        Cycle start = 0;
+        Cycle end = 0;
+        unsigned spills = 0;
+        unsigned fills = 0;
+    };
+    auto window = std::make_shared<TransferWindow>();
+    constexpr Cycle kWindowCycles = 64;
+    cpu.addSimEventListener(
+        [writer, window, maxInsts](const OooCpu::SimEvent &ev) {
+            using Kind = OooCpu::SimEvent::Kind;
+            if (maxInsts && writer->recordsWritten() >= maxInsts)
+                return;
+            switch (ev.kind) {
+              case Kind::WindowOverflow:
+                writer->instant("window_overflow", ev.cycle);
+                return;
+              case Kind::WindowUnderflow:
+                writer->instant("window_underflow", ev.cycle);
+                return;
+              case Kind::Spill:
+              case Kind::Fill:
+                break;
+            }
+            if (window->end == 0) {
+                window->start = ev.cycle;
+                window->end = ev.cycle + kWindowCycles;
+            }
+            while (ev.cycle >= window->end) {
+                if (window->spills + window->fills) {
+                    writer->instant(
+                        "transfers spills=" +
+                            std::to_string(window->spills) +
+                            " fills=" + std::to_string(window->fills),
+                        window->start);
+                }
+                window->spills = 0;
+                window->fills = 0;
+                window->start = window->end;
+                window->end += kWindowCycles;
+            }
+            if (ev.kind == Kind::Spill)
+                ++window->spills;
+            else
+                ++window->fills;
         });
 }
 

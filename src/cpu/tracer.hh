@@ -43,10 +43,14 @@ trace::PipeRecord makePipeRecord(const OooCpu &cpu, const DynInst &inst);
  * Attach an O3PipeView pipeline tracer: every committed instruction
  * emits its fetch/rename/dispatch/issue/complete/retire timestamps to
  * the stream (render with tools/vca_pipeview or gem5's
- * o3-pipeview.py). The stream must outlive the core.
+ * o3-pipeview.py). With @p instants set, telemetry marks (window
+ * overflow/underflow traps, aggregated spill/fill transfer windows)
+ * are interleaved as "O3PipeView:instant:<tick>:<label>" records,
+ * which parsePipeTrace-based tools count and skip. The stream must
+ * outlive the core.
  */
 void attachPipeTracer(OooCpu &cpu, std::ostream &os,
-                      InstCount maxInsts = 0);
+                      InstCount maxInsts = 0, bool instants = false);
 
 } // namespace vca::cpu
 

@@ -1,0 +1,202 @@
+#include "telemetry/chrome_trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace vca::telemetry {
+
+namespace {
+
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+renderNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[32];
+    // Timestamps are integral microseconds in practice; keep them
+    // compact but preserve sub-microsecond precision when present.
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+}
+
+} // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::string path)
+    : path_(std::move(path)), epoch_(std::chrono::steady_clock::now())
+{
+}
+
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    finish();
+}
+
+void
+ChromeTraceWriter::push(Event ev)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_)
+        return;
+    events_.push_back(std::move(ev));
+}
+
+void
+ChromeTraceWriter::begin(int pid, int tid, const std::string &name,
+                         double ts, std::string args)
+{
+    push({pid, tid, ts, 'B', name, std::move(args)});
+}
+
+void
+ChromeTraceWriter::end(int pid, int tid, double ts)
+{
+    push({pid, tid, ts, 'E', "", ""});
+}
+
+void
+ChromeTraceWriter::slice(int pid, int tid, const std::string &name,
+                         double ts, double dur, std::string args)
+{
+    begin(pid, tid, name, ts, std::move(args));
+    end(pid, tid, ts + (dur < 0 ? 0 : dur));
+}
+
+void
+ChromeTraceWriter::instant(int pid, int tid, const std::string &name,
+                           double ts, std::string args)
+{
+    push({pid, tid, ts, 'i', name, std::move(args)});
+}
+
+void
+ChromeTraceWriter::counter(int pid, int tid, const std::string &name,
+                           double ts,
+                           const std::vector<std::pair<std::string, double>>
+                               &values)
+{
+    std::string args = "{";
+    bool first = true;
+    for (const auto &[k, v] : values) {
+        if (!first)
+            args += ",";
+        first = false;
+        args += "\"" + escapeJson(k) + "\":" + renderNumber(v);
+    }
+    args += "}";
+    push({pid, tid, ts, 'C', name, std::move(args)});
+}
+
+void
+ChromeTraceWriter::setProcessName(int pid, const std::string &name)
+{
+    push({pid, 0, 0.0, 'M', "process_name",
+          "{\"name\":\"" + escapeJson(name) + "\"}"});
+}
+
+void
+ChromeTraceWriter::setThreadName(int pid, int tid, const std::string &name)
+{
+    push({pid, tid, 0.0, 'M', "thread_name",
+          "{\"name\":\"" + escapeJson(name) + "\"}"});
+}
+
+double
+ChromeTraceWriter::hostNowUs() const
+{
+    using namespace std::chrono;
+    return static_cast<double>(
+        duration_cast<microseconds>(steady_clock::now() - epoch_).count());
+}
+
+std::uint64_t
+ChromeTraceWriter::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+bool
+ChromeTraceWriter::finish()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_)
+        return true;
+    finished_ = true;
+
+    // Metadata first, then (pid, tid, ts); stable so same-timestamp
+    // B/E pairs keep insertion order and nest correctly.
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const Event &a, const Event &b) {
+                         const bool am = a.ph == 'M';
+                         const bool bm = b.ph == 'M';
+                         if (am != bm)
+                             return am;
+                         if (a.pid != b.pid)
+                             return a.pid < b.pid;
+                         if (a.tid != b.tid)
+                             return a.tid < b.tid;
+                         return a.ts < b.ts;
+                     });
+
+    std::ofstream os(path_, std::ios::binary);
+    if (!os) {
+        warn("chrome-trace: cannot open '%s' for writing", path_.c_str());
+        return false;
+    }
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    for (const Event &ev : events_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"name\":\"" << escapeJson(ev.name) << "\",\"ph\":\""
+           << ev.ph << "\",\"ts\":" << renderNumber(ev.ts)
+           << ",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid;
+        if (ev.ph == 'i')
+            os << ",\"s\":\"t\"";
+        if (!ev.args.empty())
+            os << ",\"args\":" << ev.args;
+        os << "}";
+    }
+    os << "\n]}\n";
+    os.flush();
+    if (!os) {
+        warn("chrome-trace: write to '%s' failed", path_.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace vca::telemetry

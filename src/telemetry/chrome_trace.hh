@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Chrome trace-event (Perfetto-loadable) JSON writer.
+ *
+ * Buffers trace events in memory and writes a single
+ * `{"traceEvents": [...]}` JSON object on finish().  Events carry the
+ * standard fields (name, ph, ts, pid, tid, optional args); timestamps
+ * are microseconds as doubles.  We use two timebases in one file:
+ * simulated tracks map one cycle to one microsecond, host tracks use
+ * real microseconds since the writer's construction — they live under
+ * different pids so Perfetto renders them as separate process groups.
+ *
+ * finish() stable-sorts by (pid, tid, ts).  Insertion order breaks
+ * ties, which is what makes nesting work: push the outer B before the
+ * inner B and the inner E before the outer E and equal-timestamp
+ * pairs stay properly nested.
+ *
+ * Thread-safe: sweep worker threads append concurrently.
+ */
+
+#ifndef VCA_TELEMETRY_CHROME_TRACE_HH
+#define VCA_TELEMETRY_CHROME_TRACE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vca::telemetry {
+
+class ChromeTraceWriter
+{
+  public:
+    /** @param path output file, written on finish(). */
+    explicit ChromeTraceWriter(std::string path);
+    ~ChromeTraceWriter();
+
+    ChromeTraceWriter(const ChromeTraceWriter &) = delete;
+    ChromeTraceWriter &operator=(const ChromeTraceWriter &) = delete;
+
+    /** Begin a duration slice.  @p args, when non-empty, must be a
+     *  rendered JSON object (e.g. R"({"pc":12})"). */
+    void begin(int pid, int tid, const std::string &name, double ts,
+               std::string args = "");
+    /** End the innermost open slice on (pid, tid). */
+    void end(int pid, int tid, double ts);
+    /** Convenience: a complete B/E pair. */
+    void slice(int pid, int tid, const std::string &name, double ts,
+               double dur, std::string args = "");
+    /** Thread-scoped instant event. */
+    void instant(int pid, int tid, const std::string &name, double ts,
+                 std::string args = "");
+    /** Counter track sample; values render into the event args. */
+    void counter(int pid, int tid, const std::string &name, double ts,
+                 const std::vector<std::pair<std::string, double>> &values);
+
+    void setProcessName(int pid, const std::string &name);
+    void setThreadName(int pid, int tid, const std::string &name);
+
+    /** Microseconds of host time since this writer was constructed. */
+    double hostNowUs() const;
+
+    /** Sort and write the file.  Idempotent; returns false (after a
+     *  warn) if the file could not be written. */
+    bool finish();
+
+    std::uint64_t eventCount() const;
+    const std::string &path() const { return path_; }
+
+  private:
+    struct Event
+    {
+        int pid;
+        int tid;
+        double ts;
+        char ph;
+        std::string name;
+        std::string args; ///< rendered JSON object, may be empty
+    };
+
+    void push(Event ev);
+
+    std::string path_;
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mutex_;
+    std::vector<Event> events_;
+    bool finished_ = false;
+};
+
+} // namespace vca::telemetry
+
+#endif // VCA_TELEMETRY_CHROME_TRACE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Bridges the CPU's observation hooks onto the Chrome trace writer.
+ *
+ * Simulated-time tracks reuse the same commit-listener data the
+ * O3PipeView tracer consumes: every committed instruction becomes a
+ * nested slice stack (outer = lifetime fetch->retire, inner = one
+ * slice per pipeline phase) on a per-thread pool of lanes, so
+ * overlapping in-flight instructions render side by side in Perfetto
+ * exactly like a pipeline diagram.  Window overflow/underflow traps
+ * become instant events and VCA spill/fill traffic becomes a counter
+ * track with burst instants.
+ *
+ * One simulated cycle maps to one microsecond of trace time.
+ */
+
+#ifndef VCA_TELEMETRY_PIPELINE_TRACE_HH
+#define VCA_TELEMETRY_PIPELINE_TRACE_HH
+
+#include "sim/types.hh"
+#include "telemetry/chrome_trace.hh"
+
+namespace vca::cpu {
+class OooCpu;
+} // namespace vca::cpu
+
+namespace vca::telemetry {
+
+struct ChromeSimTraceOptions
+{
+    /** Stop emitting per-instruction slices after this many committed
+     *  instructions (0 = no cap).  Instants and counters continue. */
+    InstCount maxInsts = 0;
+    /** Aggregation window for the spill/fill counter track. */
+    unsigned burstWindowCycles = 64;
+    /** Transfers within one window that qualify as a burst instant. */
+    unsigned burstInstantThreshold = 8;
+    /** pid of the simulated-time process group in the trace. */
+    int pid = 1;
+    /** Lanes per simulated thread before slices double up. */
+    unsigned maxLanesPerThread = 32;
+};
+
+/**
+ * Attach simulated-time Chrome tracks to @p cpu.  The writer must
+ * outlive the CPU.  Composes with other commit listeners (pipeview,
+ * interval stats, co-simulation).
+ */
+void attachChromeSimTracer(cpu::OooCpu &cpu, ChromeTraceWriter &writer,
+                           ChromeSimTraceOptions opts = {});
+
+} // namespace vca::telemetry
+
+#endif // VCA_TELEMETRY_PIPELINE_TRACE_HH

@@ -30,6 +30,14 @@ PipeTraceWriter::write(const PipeRecord &rec)
     ++written_;
 }
 
+void
+PipeTraceWriter::instant(const std::string &label, Cycle when)
+{
+    os_ << "O3PipeView:instant:" << when * scale_ << ":" << label
+        << "\n";
+    ++instants_;
+}
+
 namespace {
 
 /** Split a line on ':' into at most maxParts fields (last keeps ':'). */
@@ -59,7 +67,8 @@ toU64(const std::string &s)
 
 bool
 parsePipeTrace(std::istream &is, std::vector<PipeRecord> &out,
-               std::string *error, Cycle ticksPerCycle)
+               std::string *error, Cycle ticksPerCycle,
+               std::uint64_t *unknownRecords)
 {
     const Cycle scale = ticksPerCycle ? ticksPerCycle : 1;
     PipeRecord cur;
@@ -92,11 +101,24 @@ parsePipeTrace(std::istream &is, std::vector<PipeRecord> &out,
             open = true;
             continue;
         }
+        const auto parts = splitColon(body, 4);
+        const std::string &stage = parts[0];
+        const bool known =
+            stage == "decode" || stage == "rename" ||
+            stage == "dispatch" || stage == "issue" ||
+            stage == "complete" || stage == "retire";
+        if (!known) {
+            // Newer writers interleave extra record types (e.g.
+            // "instant:<tick>:<label>" telemetry marks, which may fall
+            // between records): count and skip so old traces and new
+            // ones parse alike.
+            if (unknownRecords)
+                ++*unknownRecords;
+            continue;
+        }
         if (!open)
             return fail("stage line outside a record: " + line);
 
-        const auto parts = splitColon(body, 4);
-        const std::string &stage = parts[0];
         const Cycle tick = parts.size() > 1 ? toU64(parts[1]) / scale : 0;
         if (stage == "decode") {
             cur.decode = tick;
@@ -116,8 +138,6 @@ parsePipeTrace(std::istream &is, std::vector<PipeRecord> &out,
             }
             out.push_back(cur);
             open = false;
-        } else {
-            return fail("unknown stage '" + stage + "'");
         }
     }
     if (open)

@@ -69,22 +69,38 @@ class PipeTraceWriter
 
     void write(const PipeRecord &rec);
 
+    /**
+     * Emit a standalone instant record between instruction records:
+     *
+     *   O3PipeView:instant:<tick>:<label>
+     *
+     * Used for telemetry marks (window traps, spill/fill bursts).
+     * parsePipeTrace counts and skips these — like any record type it
+     * does not know — so the traces stay loadable by older tools.
+     */
+    void instant(const std::string &label, Cycle when);
+
     std::uint64_t recordsWritten() const { return written_; }
+    std::uint64_t instantsWritten() const { return instants_; }
 
   private:
     std::ostream &os_;
     Cycle scale_;
     std::uint64_t written_ = 0;
+    std::uint64_t instants_ = 0;
 };
 
 /**
  * Parse an O3PipeView trace back into records (tools, tests).
  * Unrelated lines are skipped; a malformed record sets *error and
- * returns false. Ticks are divided by ticksPerCycle.
+ * returns false. Ticks are divided by ticksPerCycle. O3PipeView lines
+ * of unknown record type (e.g. "instant" telemetry marks) are skipped
+ * and counted into *unknownRecords when given.
  */
 bool parsePipeTrace(std::istream &is, std::vector<PipeRecord> &out,
                     std::string *error = nullptr,
-                    Cycle ticksPerCycle = 1000);
+                    Cycle ticksPerCycle = 1000,
+                    std::uint64_t *unknownRecords = nullptr);
 
 } // namespace vca::trace
 

@@ -1,0 +1,28 @@
+# Smoke test: vca-sim --chrome-trace on a tiny workload must produce a
+# trace that passes scripts/check_chrome_trace.py (valid trace-event
+# JSON, monotone per-track timestamps, balanced B/E slices).
+#
+# Invoked by ctest (see CMakeLists.txt) with:
+#   VCA_SIM   path to the vca-sim binary
+#   PYTHON3   python3 interpreter
+#   CHECKER   scripts/check_chrome_trace.py
+#   OUT       scratch path for the trace JSON
+
+execute_process(
+    COMMAND "${VCA_SIM}" --bench=crafty --arch=vca --regs=192
+            --warmup=2000 --insts=20000 --stats=false
+            --reg-telemetry=true "--chrome-trace=${OUT}"
+    RESULT_VARIABLE sim_rc)
+if(NOT sim_rc EQUAL 0)
+    message(FATAL_ERROR "vca-sim --chrome-trace failed (rc=${sim_rc})")
+endif()
+
+execute_process(
+    COMMAND "${PYTHON3}" "${CHECKER}" "${OUT}" --min-events 100
+    RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+            "chrome trace failed validation (rc=${check_rc})")
+endif()
+
+file(REMOVE "${OUT}")

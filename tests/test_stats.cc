@@ -106,6 +106,58 @@ TEST(Stats, GroupResetRecurses)
     EXPECT_DOUBLE_EQ(b.value(), 0.0);
 }
 
+TEST(Stats, ResetAuditRestoresConstructedState)
+{
+    // Audit that a recursive resetStats() returns EVERY stat kind to
+    // its just-constructed observable state. A straggler field that
+    // survives reset (e.g. a histogram's min/max watermark) would leak
+    // warm-up samples into the measured interval.
+    StatGroup root("root");
+    StatGroup child("child", &root);
+    Scalar s(&root, "s", "");
+    Average a(&child, "a", "");
+    Distribution d(&child, "d", "", 0, 8, 4);
+    Formula f(&root, "f", "", [&] { return s.value() + 7.0; });
+
+    s += 3;
+    a.sample(2);
+    a.sample(10);
+    d.sample(-5);  // underflow + min watermark
+    d.sample(99);  // overflow + max watermark
+    d.sample(3);
+    EXPECT_DOUBLE_EQ(f.value(), 10.0);
+
+    root.resetStats();
+
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.count(), 0u);
+
+    EXPECT_EQ(d.totalSamples(), 0u);
+    EXPECT_EQ(d.underflows(), 0u);
+    EXPECT_EQ(d.overflows(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.minSampled(), 0.0);
+    EXPECT_DOUBLE_EQ(d.maxSampled(), 0.0);
+    for (unsigned i = 0; i < d.numBuckets(); ++i)
+        EXPECT_EQ(d.bucketCount(i), 0u);
+    // Bucket geometry is configuration, not data: reset keeps it.
+    EXPECT_DOUBLE_EQ(d.bucketMin(), 0.0);
+    EXPECT_DOUBLE_EQ(d.bucketMax(), 8.0);
+    EXPECT_EQ(d.numBuckets(), 4u);
+
+    // Formulas are derived, so reset leaves the function in place and
+    // the value tracks its (now reset) inputs.
+    EXPECT_DOUBLE_EQ(f.value(), 7.0);
+
+    // The first sample after a reset re-seeds the watermarks instead
+    // of min/maxing against stale zeros.
+    d.sample(5);
+    EXPECT_DOUBLE_EQ(d.minSampled(), 5.0);
+    EXPECT_DOUBLE_EQ(d.maxSampled(), 5.0);
+    EXPECT_EQ(d.bucketCount(2), 1u);
+}
+
 TEST(Stats, FindLocatesStat)
 {
     StatGroup root("root");

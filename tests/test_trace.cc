@@ -189,6 +189,29 @@ TEST_F(TraceTest, PipeTraceRoundTrips)
     EXPECT_TRUE(rec.monotonic());
 }
 
+TEST_F(TraceTest, InstantRecordsAreCountedAndSkipped)
+{
+    std::ostringstream os;
+    trace::PipeTraceWriter writer(os);
+    writer.instant("window_overflow", 95);
+    writer.write(sampleRecord());
+    writer.instant("transfers spills=3 fills=2", 120);
+    EXPECT_EQ(writer.instantsWritten(), 2u);
+    EXPECT_NE(os.str().find("O3PipeView:instant:95000:window_overflow"),
+              std::string::npos);
+
+    std::istringstream is(os.str());
+    std::vector<trace::PipeRecord> parsed;
+    std::string error;
+    std::uint64_t unknown = 0;
+    ASSERT_TRUE(trace::parsePipeTrace(is, parsed, &error, 1000,
+                                      &unknown))
+        << error;
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(unknown, 2u) << "instants count as unknown record types";
+    EXPECT_EQ(parsed[0].seq, 12u);
+}
+
 TEST_F(TraceTest, MonotonicRejectsReorderedStages)
 {
     trace::PipeRecord rec = sampleRecord();

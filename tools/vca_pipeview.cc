@@ -103,10 +103,18 @@ main(int argc, char **argv)
 
     std::vector<trace::PipeRecord> records;
     std::string error;
+    std::uint64_t unknownRecords = 0;
     if (!trace::parsePipeTrace(*in, records, &error,
-                               opts.getU64("ticks-per-cycle"))) {
+                               opts.getU64("ticks-per-cycle"),
+                               &unknownRecords)) {
         std::fprintf(stderr, "error: %s\n", error.c_str());
         return 1;
+    }
+    if (unknownRecords) {
+        std::fprintf(stderr,
+                     "warning: skipped %llu unknown O3PipeView record "
+                     "line(s) (e.g. telemetry instants)\n",
+                     (unsigned long long)unknownRecords);
     }
     if (records.empty()) {
         std::fprintf(stderr, "no O3PipeView records in input\n");

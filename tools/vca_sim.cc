@@ -38,6 +38,9 @@
 #include "cpu/tracer.hh"
 #include "sim/options.hh"
 #include "stats/host_stats.hh"
+#include "telemetry/chrome_trace.hh"
+#include "telemetry/pipeline_trace.hh"
+#include "telemetry/reg_cache_analyzer.hh"
 #include "trace/debug_flags.hh"
 #include "trace/interval_stats.hh"
 #include "trace/stats_json.hh"
@@ -105,6 +108,20 @@ simMain(int argc, char **argv)
              "write an O3PipeView pipeline trace to this file");
     opts.add("pipeview-insts", "0",
              "cap the pipeline trace at N instructions (0 = all)");
+    opts.add("pipeview-instants", "true",
+             "interleave telemetry instant records (window traps, "
+             "spill/fill windows) into the pipeline trace");
+    opts.add("chrome-trace", "",
+             "write a Chrome trace-event (Perfetto) timeline to this "
+             "file: simulated-time pipeline tracks, or host-time sweep "
+             "worker tracks in --sweep-regs mode");
+    opts.add("chrome-trace-insts", "20000",
+             "cap Chrome-trace instruction slices at N committed "
+             "instructions (0 = all)");
+    opts.add("reg-telemetry", "false",
+             "attach the register-cache analyzer (reg_cache stat "
+             "group: compulsory/capacity/conflict fills, occupancy, "
+             "burst histograms)");
     opts.add("stats-json", "",
              "write the statistics tree as JSON to this file");
     opts.add("interval", "0",
@@ -196,6 +213,7 @@ simMain(int argc, char **argv)
             static_cast<unsigned>(opts.getU64("table-assoc"));
         runOpts.overrides.vcaDeadValueHints =
             opts.getBool("dead-hints") ? 1 : -1;
+        runOpts.regTelemetry = opts.getBool("reg-telemetry");
 
         std::vector<analysis::SweepPoint> points;
         for (cpu::RenamerKind arch : archs) {
@@ -212,7 +230,21 @@ simMain(int argc, char **argv)
             }
         }
         auto &runner = analysis::SweepRunner::global();
+        std::unique_ptr<telemetry::ChromeTraceWriter> chromeWriter;
+        if (!opts.get("chrome-trace").empty()) {
+            chromeWriter = std::make_unique<telemetry::ChromeTraceWriter>(
+                opts.get("chrome-trace"));
+            runner.setTraceWriter(chromeWriter.get());
+        }
         const auto results = runner.run(points);
+        if (chromeWriter) {
+            runner.setTraceWriter(nullptr);
+            if (chromeWriter->finish()) {
+                inform("wrote chrome trace %s (%llu events)",
+                       chromeWriter->path().c_str(),
+                       (unsigned long long)chromeWriter->eventCount());
+            }
+        }
 
         std::printf("== Sweep: %s, %zu thread(s) ==\n",
                     opts.get("bench").c_str(), benchNames.size());
@@ -288,7 +320,25 @@ simMain(int argc, char **argv)
                 fatal("cannot open --pipeview '%s'",
                       opts.get("pipeview").c_str());
             cpu::attachPipeTracer(cpu, pipeFile,
-                                  opts.getU64("pipeview-insts"));
+                                  opts.getU64("pipeview-insts"),
+                                  opts.getBool("pipeview-instants"));
+        }
+        std::unique_ptr<telemetry::ChromeTraceWriter> chromeWriter;
+        if (!opts.get("chrome-trace").empty()) {
+            chromeWriter = std::make_unique<telemetry::ChromeTraceWriter>(
+                opts.get("chrome-trace"));
+            telemetry::ChromeSimTraceOptions simTraceOpts;
+            simTraceOpts.maxInsts = opts.getU64("chrome-trace-insts");
+            telemetry::attachChromeSimTracer(cpu, *chromeWriter,
+                                             simTraceOpts);
+        }
+        std::unique_ptr<telemetry::RegCacheAnalyzer> regAnalyzer;
+        if (opts.getBool("reg-telemetry")) {
+            regAnalyzer = telemetry::attachRegCacheAnalyzer(cpu);
+            if (!regAnalyzer)
+                warn("--reg-telemetry: architecture '%s' has no "
+                     "register cache to analyze",
+                     cpu::renamerKindName(kind));
         }
         const InstCount warmup = opts.getU64("warmup");
         const InstCount insts = opts.getU64("insts");
@@ -332,6 +382,20 @@ simMain(int argc, char **argv)
         hostStats.record(hostElapsed.count(),
                          warmupCommitted + cpu.committedTotal.value(),
                          static_cast<double>(cpu.currentCycle()));
+
+        if (chromeWriter) {
+            // One host-time lane so the simulated tracks have a
+            // wall-clock anchor alongside them.
+            chromeWriter->setProcessName(100, "host time");
+            chromeWriter->setThreadName(100, 0, "vca-sim");
+            chromeWriter->slice(100, 0, "simulate", 0,
+                                hostElapsed.count() * 1e6);
+            if (chromeWriter->finish()) {
+                inform("wrote chrome trace %s (%llu events)",
+                       chromeWriter->path().c_str(),
+                       (unsigned long long)chromeWriter->eventCount());
+            }
+        }
 
         std::printf("arch=%s regs=%u threads=%zu windowed=%d\n",
                     cpu::renamerKindName(kind), params.physRegs,
