@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "analysis/explain.hh"
 #include "stats/host_stats.hh"
 #include "trace/json.hh"
 #include "trace/stats_json.hh"
@@ -169,6 +170,29 @@ regCacheSummary()
     return summary;
 }
 
+/**
+ * Commit-stall attribution of the reference VCA configuration
+ * (crafty @ 192 physical registers), exported into every
+ * BENCH_*.json as absolute per-bucket cycles. Runs through the
+ * shared sweep cache — the same point the figure benches already
+ * measure — so it is normally a pure cache hit. perf_compare.py
+ * diffs the block across base/candidate runs and a regression
+ * report names the buckets whose cycles moved (its top-3 causes).
+ */
+const analysis::ExplainInput &
+cycleTaxonomySummary()
+{
+    static const analysis::ExplainInput input = [] {
+        const analysis::Measurement m =
+            analysis::SweepRunner::global().runPoint(
+                analysis::makePoint("crafty", cpu::RenamerKind::Vca,
+                                    192, defaultOptions()));
+        return analysis::explainInputFromMeasurement(
+            "reference", "bench=crafty arch=vca regs=192", m);
+    }();
+    return input;
+}
+
 } // namespace
 
 void
@@ -246,6 +270,22 @@ writeSeriesJson(const std::string &slug,
         w.key("fills_capacity").number(rc.fillsCapacity);
         w.key("fills_conflict").number(rc.fillsConflict);
         w.key("shadow_hits").number(rc.shadowHits);
+        w.endObject();
+    }
+    // Commit-stall attribution of the reference VCA configuration,
+    // in absolute cycles, for differential regression explanation.
+    if (const analysis::ExplainInput &tax = cycleTaxonomySummary();
+        tax.cycles > 0) {
+        w.key("cycle_taxonomy").beginObject();
+        w.key("arch").string("vca");
+        w.key("bench").string("crafty");
+        w.key("phys_regs").number(std::uint64_t(192));
+        w.key("cycles").number(tax.cycles);
+        w.key("insts").number(tax.insts);
+        w.key("leaves").beginObject();
+        for (const auto &[name, cycles] : tax.leaves)
+            w.key(name).number(cycles);
+        w.endObject();
         w.endObject();
     }
     // Host-throughput trajectory: cumulative detailed-simulation cost

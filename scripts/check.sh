@@ -50,6 +50,8 @@ CTEST_ARGS=("$@")
 if command -v python3 >/dev/null; then
     echo "== perf_compare selftest =="
     python3 scripts/perf_compare.py --selftest
+    echo "== check_stats_schema selftest =="
+    python3 scripts/check_stats_schema.py --selftest
 fi
 
 run_config release "" -DCMAKE_BUILD_TYPE=Release
@@ -58,9 +60,10 @@ run_config asan-ubsan unit \
     -DVCA_SANITIZE=address,undefined
 
 # Telemetry-overhead gate: the probe hooks compiled in but *disabled*
-# must not cost measurable host throughput. Build a configuration with
-# the hooks removed entirely (-DVCA_NTELEMETRY=ON), run the same bench
-# in both trees with the sweep cache disabled, and diff host MIPS.
+# plus the always-on hierarchical cycle-taxonomy accounting must not
+# cost measurable host throughput. Build a configuration with both
+# removed entirely (-DVCA_NTELEMETRY=ON), run the same bench in both
+# trees with the sweep cache disabled, and diff host MIPS.
 if [[ "${CHECK_TELEM_GATE:-1}" != 0 ]] && command -v python3 >/dev/null
 then
     echo "== configure notelemetry =="

@@ -7,7 +7,9 @@ chrome://tracing) relies on:
   - the file is valid JSON with a non-empty "traceEvents" array;
   - every event has name/ph/pid/tid (and ts for non-metadata events);
   - per (pid, tid) track, timestamps are non-decreasing;
-  - B/E duration events balance on every track;
+  - B/E duration events balance on every track, and every E closes
+    the innermost open B of the same name (proper nesting);
+  - complete events (ph == "X") carry a numeric, non-negative dur;
   - metadata (ph == "M") precedes all timeline events.
 
 Usage: check_chrome_trace.py TRACE.json [--min-events N]
@@ -39,7 +41,7 @@ def check(path, min_events):
                     f"(expected >= {min_events})")
 
     last_ts = {}
-    depth = {}
+    open_names = {}  # (pid, tid) -> stack of open B-event names
     saw_timeline = False
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
@@ -62,15 +64,27 @@ def check(path, min_events):
                         f"on track {track}")
         last_ts[track] = ts
         if ph == "B":
-            depth[track] = depth.get(track, 0) + 1
+            open_names.setdefault(track, []).append(ev["name"])
         elif ph == "E":
-            depth[track] = depth.get(track, 0) - 1
-            if depth[track] < 0:
+            stack = open_names.get(track, [])
+            if not stack:
                 return fail(f"event {i}: E without matching B "
                             f"on track {track}")
-    unbalanced = {t: d for t, d in depth.items() if d != 0}
+            opened = stack.pop()
+            # E events may be anonymous (the writer omits the name);
+            # when one is named it must close a B of the same name.
+            if ev["name"] and opened != ev["name"]:
+                return fail(f"event {i}: E {ev['name']!r} closes "
+                            f"open B {opened!r} on track {track} "
+                            f"(improper nesting)")
+        elif ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return fail(f"event {i}: X event with missing or "
+                            f"negative dur ({dur!r})")
+    unbalanced = {t: s for t, s in open_names.items() if s}
     if unbalanced:
-        return fail(f"unbalanced B/E on tracks: {unbalanced}")
+        return fail(f"unclosed B events on tracks: {unbalanced}")
 
     print(f"check_chrome_trace: OK: {path}: {len(events)} events, "
           f"{len(last_ts)} tracks")

@@ -1,0 +1,289 @@
+#!/usr/bin/env python3
+"""Validate a vca-sim --stats-json document against the current schema.
+
+The document schema is versioned by the "schemaVersion" root key
+(src/trace/stats_json.hh, kStatsJsonSchemaVersion). This validator
+checks the structural contract the downstream tools (vca-explain,
+plot scripts, regression tracking) rely on:
+
+  - schemaVersion == 2 and the config/summary/cpu root blocks exist
+    with the right field types;
+  - the flat six-bucket cycle accounting partitions cpu.cycles
+    exactly (commit_active + mem_stall + exec_stall + rename_freelist
+    + window_shift + frontend == cycles);
+  - the hierarchical taxonomy partitions cpu.cycles exactly, at the
+    machine level and independently per hardware-thread subtree; an
+    all-zero taxonomy is tolerated (VCA_NTELEMETRY build) because the
+    group is registered either way to keep the schema stable;
+  - intervals (when present) have strictly increasing committed_cum,
+    non-negative cycle spans, and a "partial" flag that may only be
+    set on the final record.
+
+Usage:
+  check_stats_schema.py FILE.json [FILE2.json ...]
+  check_stats_schema.py --selftest
+
+Exit status: 0 when every file validates, 1 on a validation failure,
+2 on usage/input errors.
+"""
+
+import json
+import sys
+
+EXPECTED_VERSION = 2
+
+FLAT_BUCKETS = ("commit_active", "mem_stall", "exec_stall",
+                "rename_freelist", "window_shift", "frontend")
+
+
+def fail(errors, msg):
+    errors.append(msg)
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def taxonomy_leaf_sum(group, skip_threads=True):
+    """Sum every scalar under a taxonomy (sub)group, recursively."""
+    total = 0.0
+    for name, value in group.items():
+        if skip_threads and name.startswith("thread"):
+            continue
+        if is_num(value):
+            total += value
+        elif isinstance(value, dict):
+            total += taxonomy_leaf_sum(value, skip_threads=False)
+    return total
+
+
+def validate(doc, where):
+    """Return a list of error strings (empty when the doc is valid)."""
+    errors = []
+    if not isinstance(doc, dict):
+        return [f"{where}: document is not a JSON object"]
+
+    version = doc.get("schemaVersion")
+    if version != EXPECTED_VERSION:
+        fail(errors, f"{where}: schemaVersion is {version!r}, "
+                     f"expected {EXPECTED_VERSION}")
+
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        fail(errors, f"{where}: missing config object")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        fail(errors, f"{where}: missing summary object")
+    else:
+        for key in ("cycles", "insts", "ipc"):
+            if not is_num(summary.get(key)):
+                fail(errors, f"{where}: summary.{key} is not a number")
+
+    cpu = doc.get("cpu")
+    if not isinstance(cpu, dict):
+        fail(errors, f"{where}: missing cpu stats group")
+        return errors
+    cycles = cpu.get("cycles")
+    if not is_num(cycles):
+        fail(errors, f"{where}: cpu.cycles is not a number")
+        return errors
+    if isinstance(summary, dict) and summary.get("cycles") != cycles:
+        fail(errors, f"{where}: summary.cycles ({summary.get('cycles')})"
+                     f" != cpu.cycles ({cycles})")
+
+    accounting = cpu.get("cycle_accounting")
+    if not isinstance(accounting, dict):
+        fail(errors, f"{where}: missing cpu.cycle_accounting group")
+        return errors
+    flat_sum = 0.0
+    for bucket in FLAT_BUCKETS:
+        value = accounting.get(bucket)
+        if not is_num(value):
+            fail(errors, f"{where}: cycle_accounting.{bucket} is not "
+                         f"a number")
+            return errors
+        flat_sum += value
+    if flat_sum != cycles:
+        fail(errors, f"{where}: flat cycle accounting sums to "
+                     f"{flat_sum}, expected cpu.cycles == {cycles}")
+
+    taxonomy = accounting.get("taxonomy")
+    if not isinstance(taxonomy, dict):
+        fail(errors, f"{where}: missing cycle_accounting.taxonomy "
+                     f"group")
+    else:
+        machine = taxonomy_leaf_sum(taxonomy)
+        if machine != 0 and machine != cycles:
+            fail(errors, f"{where}: taxonomy leaves sum to {machine}, "
+                         f"expected 0 (VCA_NTELEMETRY) or cpu.cycles "
+                         f"== {cycles}")
+        for name, sub in taxonomy.items():
+            if not name.startswith("thread"):
+                continue
+            if not isinstance(sub, dict):
+                fail(errors, f"{where}: taxonomy.{name} is not a "
+                             f"group")
+                continue
+            tsum = taxonomy_leaf_sum(sub, skip_threads=False)
+            if tsum != 0 and tsum != cycles:
+                fail(errors, f"{where}: taxonomy.{name} leaves sum "
+                             f"to {tsum}, expected 0 or cpu.cycles "
+                             f"== {cycles}")
+
+    intervals = doc.get("intervals")
+    if intervals is not None:
+        if not isinstance(intervals, list):
+            fail(errors, f"{where}: intervals is not an array")
+            return errors
+        prev_cum = 0
+        for i, rec in enumerate(intervals):
+            tag = f"{where}: intervals[{i}]"
+            if not isinstance(rec, dict):
+                fail(errors, f"{tag}: not an object")
+                continue
+            for key in ("start_cycle", "end_cycle", "committed",
+                        "committed_cum"):
+                if not is_num(rec.get(key)):
+                    fail(errors, f"{tag}: {key} is not a number")
+            cum = rec.get("committed_cum")
+            if is_num(cum):
+                if cum <= prev_cum:
+                    fail(errors, f"{tag}: committed_cum {cum} does "
+                                 f"not increase (previous {prev_cum})")
+                prev_cum = cum
+            if (is_num(rec.get("start_cycle")) and
+                    is_num(rec.get("end_cycle")) and
+                    rec["end_cycle"] < rec["start_cycle"]):
+                fail(errors, f"{tag}: end_cycle precedes start_cycle")
+            partial = rec.get("partial")
+            if not isinstance(partial, bool):
+                fail(errors, f"{tag}: partial flag is not a boolean")
+            elif partial and i != len(intervals) - 1:
+                fail(errors, f"{tag}: partial on a non-final record")
+    return errors
+
+
+def check_file(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {path}: {e}", file=sys.stderr)
+        return 2
+    errors = validate(doc, path)
+    for msg in errors:
+        print(f"error: {msg}", file=sys.stderr)
+    if not errors:
+        print(f"{path}: OK (schemaVersion {EXPECTED_VERSION})")
+    return 1 if errors else 0
+
+
+def make_valid_doc():
+    leaves = {
+        "retiring": 60, "idle": 0,
+        "frontend_bound": {"icache": 5, "fetch": 10},
+        "bad_speculation": {"recovery": 0},
+        "backend_core": {"exec": 10, "rename_freelist": 0},
+        "backend_memory": {"dcache": 10, "store_drain": 0,
+                           "fill_latency": 0, "spill_stall": 5,
+                           "window_trap": 0},
+    }
+    thread0 = json.loads(json.dumps(leaves))
+    return {
+        "schemaVersion": 2,
+        "config": {"arch": "vca", "regs": 192, "threads": 1},
+        "summary": {"cycles": 100, "insts": 60, "ipc": 0.6},
+        "cpu": {
+            "cycles": 100,
+            "cycle_accounting": {
+                "commit_active": 60, "mem_stall": 10, "exec_stall": 10,
+                "rename_freelist": 5, "window_shift": 0,
+                "frontend": 15,
+                "taxonomy": dict(leaves, thread0=thread0),
+            },
+        },
+        "intervals": [
+            {"interval": 0, "start_cycle": 0, "end_cycle": 50,
+             "committed": 30, "committed_cum": 30, "ipc": 0.6,
+             "partial": False},
+            {"interval": 1, "start_cycle": 50, "end_cycle": 100,
+             "committed": 30, "committed_cum": 60, "ipc": 0.6,
+             "partial": True},
+        ],
+    }
+
+
+def selftest():
+    failures = []
+
+    def expect(doc, ok, what):
+        errors = validate(doc, what)
+        if bool(errors) == ok:
+            failures.append(f"{what}: expected "
+                            f"{'OK' if ok else 'errors'}, got "
+                            f"{errors or 'OK'}")
+
+    expect(make_valid_doc(), True, "valid document")
+
+    doc = make_valid_doc()
+    doc["schemaVersion"] = 1
+    expect(doc, False, "wrong schemaVersion")
+
+    doc = make_valid_doc()
+    doc["cpu"]["cycle_accounting"]["mem_stall"] += 1
+    expect(doc, False, "broken flat partition")
+
+    doc = make_valid_doc()
+    doc["cpu"]["cycle_accounting"]["taxonomy"]["retiring"] -= 1
+    expect(doc, False, "broken taxonomy partition")
+
+    doc = make_valid_doc()
+    doc["cpu"]["cycle_accounting"]["taxonomy"]["thread0"]["retiring"] \
+        += 3
+    expect(doc, False, "broken per-thread taxonomy partition")
+
+    # All-zero taxonomy (VCA_NTELEMETRY build) is legal.
+    doc = make_valid_doc()
+    tax = doc["cpu"]["cycle_accounting"]["taxonomy"]
+
+    def zero(group):
+        for key, value in group.items():
+            if isinstance(value, dict):
+                zero(value)
+            else:
+                group[key] = 0
+    zero(tax)
+    expect(doc, True, "all-zero taxonomy (VCA_NTELEMETRY)")
+
+    doc = make_valid_doc()
+    doc["intervals"][1]["committed_cum"] = 30
+    expect(doc, False, "non-increasing committed_cum")
+
+    doc = make_valid_doc()
+    doc["intervals"][0]["partial"] = True
+    expect(doc, False, "partial flag on a non-final interval")
+
+    doc = make_valid_doc()
+    del doc["intervals"]
+    expect(doc, True, "document without intervals")
+
+    for msg in failures:
+        print(f"selftest: FAILED: {msg}", file=sys.stderr)
+    print("selftest: " + ("FAILED" if failures else "OK"))
+    return 1 if failures else 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if argv[1] == "--selftest":
+        return selftest()
+    status = 0
+    for path in argv[1:]:
+        status = max(status, check_file(path))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -18,6 +18,13 @@ Usage:
   --selftest        run against synthesized inputs and exit; used by
                     scripts/check.sh as a smoke test
 
+When a bench regresses, the script also diffs the "cycle_taxonomy"
+block the benches export (commit-stall attribution of the reference
+VCA configuration, in absolute cycles) and prints the top-3 buckets
+whose CPI contribution moved -- so a regression report says *why*
+simulated behavior changed, or that it did not (pure host-side
+slowdown). Benches written without the block degrade gracefully.
+
 Exit status: 0 when no bench regressed beyond the threshold, 1 on a
 regression, 2 on usage/input errors.
 """
@@ -107,6 +114,61 @@ def compare(base, cand, threshold):
     return regressed
 
 
+def load_taxonomy(path):
+    """(cycles, insts, {leaf: cycles}) from a BENCH json, or None."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None
+    tax = doc.get("cycle_taxonomy")
+    if not isinstance(tax, dict):
+        return None
+    cycles = tax.get("cycles")
+    insts = tax.get("insts")
+    leaves = tax.get("leaves")
+    if (not isinstance(cycles, (int, float)) or
+            not isinstance(insts, (int, float)) or insts <= 0 or
+            not isinstance(leaves, dict)):
+        return None
+    return (float(cycles), float(insts),
+            {k: float(v) for k, v in leaves.items()
+             if isinstance(v, (int, float))})
+
+
+def explain_regressions(regressed, basedir, canddir):
+    """Attribute each regression to the taxonomy buckets that moved.
+
+    The buckets partition the reference run's cycles, so per-bucket
+    CPI deltas sum exactly to the CPI gap; an unchanged reference CPI
+    means the simulator behaves identically and the regression is
+    host-side (build, toolchain, telemetry overhead).
+    """
+    for name in regressed:
+        base = load_taxonomy(Path(basedir, f"BENCH_{name}.json"))
+        cand = load_taxonomy(Path(canddir, f"BENCH_{name}.json"))
+        if base is None or cand is None:
+            print(f"  {name}: no cycle_taxonomy block on both sides; "
+                  f"cannot attribute (re-run the benches to export it)")
+            continue
+        bcyc, bins, bleaf = base
+        ccyc, cins, cleaf = cand
+        gap = ccyc / cins - bcyc / bins
+        if abs(gap) < 1e-12:
+            print(f"  {name}: reference CPI unchanged -- simulated "
+                  f"behavior is identical; the slowdown is host-side")
+            continue
+        deltas = sorted(
+            ((cleaf.get(leaf, 0.0) / cins - bleaf.get(leaf, 0.0) / bins,
+              leaf) for leaf in set(bleaf) | set(cleaf)),
+            key=lambda t: (-abs(t[0]), t[1]))
+        print(f"  {name}: reference CPI moved {gap:+.4f}; "
+              f"top attributed causes:")
+        for delta, leaf in deltas[:3]:
+            print(f"    {leaf:<16} {delta:+.4f} cpi "
+                  f"({delta / gap:+.0%} of gap)")
+
+
 def selftest():
     import tempfile
 
@@ -174,6 +236,58 @@ def selftest():
             print("selftest: FAILED (threshold ignored)", file=sys.stderr)
             return 1
 
+        # Regression attribution: plant a rename_stall CPI gap in the
+        # taxonomy blocks of the regressed bench and check the report
+        # names it as the top cause.
+        import io
+        from contextlib import redirect_stdout
+
+        def write_tax(d, name, mips, cycles, leaves):
+            doc = {"bench": name, "host": {"sim_mips": mips},
+                   "cycle_taxonomy": {"arch": "vca", "bench": "crafty",
+                                      "phys_regs": 192,
+                                      "cycles": cycles, "insts": 1000,
+                                      "leaves": leaves}}
+            Path(d, f"BENCH_{name}.json").write_text(json.dumps(doc))
+
+        write_tax(basedir, "slow", 4.0, 1500,
+                  {"retiring": 1000, "mem_stall": 500,
+                   "rename_stall": 0})
+        write_tax(canddir, "slow", 2.0, 1900,
+                  {"retiring": 1000, "mem_stall": 500,
+                   "rename_stall": 400})
+        out = io.StringIO()
+        with redirect_stdout(out):
+            explain_regressions(["slow"], basedir, canddir)
+        report = out.getvalue()
+        if "rename_stall" not in report.splitlines()[1]:
+            print("selftest: FAILED (planted rename_stall gap not the "
+                  "top attributed cause)", file=sys.stderr)
+            return 1
+
+        # Identical taxonomy on both sides: the report must call the
+        # regression host-side instead of inventing a cause.
+        write_tax(canddir, "slow", 2.0, 1500,
+                  {"retiring": 1000, "mem_stall": 500,
+                   "rename_stall": 0})
+        out = io.StringIO()
+        with redirect_stdout(out):
+            explain_regressions(["slow"], basedir, canddir)
+        if "host-side" not in out.getvalue():
+            print("selftest: FAILED (unchanged CPI not reported as "
+                  "host-side)", file=sys.stderr)
+            return 1
+
+        # No taxonomy block at all degrades to a notice, not a crash.
+        write(canddir, "slow", 2.0)
+        out = io.StringIO()
+        with redirect_stdout(out):
+            explain_regressions(["slow"], basedir, canddir)
+        if "cannot attribute" not in out.getvalue():
+            print("selftest: FAILED (missing taxonomy block not "
+                  "handled)", file=sys.stderr)
+            return 1
+
     print("selftest: OK")
     return 0
 
@@ -214,6 +328,7 @@ def main():
         print(f"FAIL: {len(regressed)} bench(es) regressed more than "
               f"{args.threshold:.0%}: {', '.join(regressed)}",
               file=sys.stderr)
+        explain_regressions(regressed, args.baseline, args.candidate)
         return 1
     return 0
 

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Differential run explainer: attribute the CPI gap between two runs
+ * to the hierarchical cycle-taxonomy leaves (README, Observability).
+ *
+ * The taxonomy partitions cpu.cycles exactly, so per-leaf CPI
+ * contributions (leaf cycles / committed instructions) also partition
+ * CPI exactly, and the per-leaf deltas between two runs sum to the
+ * CPI gap with no residual. A report therefore attributes 100% of a
+ * gap by construction whenever both runs carry the same leaf set;
+ * when the sets differ (e.g. a v1 document with only the flat
+ * six-bucket breakdown) both sides are coarsened onto a common
+ * bucketing first and the report says so.
+ *
+ * Inputs come from --stats-json documents (loadRunJson) or from
+ * cached sweep Measurements (explainInputFromMeasurement), so
+ * `vca-explain --spec ...` rides the same on-disk result cache as the
+ * benches. When both runs carry interval time series the explainer
+ * also aligns them on the committed-instruction axis and reports the
+ * windows where the cycle gap opens.
+ */
+
+#ifndef VCA_ANALYSIS_EXPLAIN_HH
+#define VCA_ANALYSIS_EXPLAIN_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+
+namespace vca::analysis {
+
+/** One measurement interval, reduced to what alignment needs. */
+struct ExplainInterval
+{
+    double committedCum = 0; ///< committed insts at interval end
+    double cycles = 0;       ///< cycle span of this interval
+    bool partial = false;    ///< final short interval (finish())
+    /** Cycles per taxonomy leaf inside this interval, in the order of
+     *  ExplainInput::intervalLeafNames. */
+    std::vector<double> leafCycles;
+};
+
+/** One run, reduced to what attribution needs. */
+struct ExplainInput
+{
+    std::string label;  ///< how the report names this run
+    std::string config; ///< human-readable configuration summary
+    double cycles = 0;
+    double insts = 0;
+    /** (taxonomy leaf name, cycles) — a partition of `cycles` when the
+     *  producer had telemetry compiled in; may be empty otherwise. */
+    std::vector<std::pair<std::string, double>> leaves;
+    std::vector<std::string> intervalLeafNames;
+    std::vector<ExplainInterval> intervals;
+
+    double cpi() const { return insts > 0 ? cycles / insts : 0; }
+};
+
+/** One leaf's contribution to the CPI gap. */
+struct Attribution
+{
+    std::string leaf;
+    double cpiA = 0;  ///< leaf cycles / insts in run A
+    double cpiB = 0;
+    double delta = 0; ///< cpiB - cpiA (signed)
+    double share = 0; ///< delta / gap, signed; 0 when gap is 0
+};
+
+/** A committed-instruction window where the cycle gap opens. */
+struct IntervalHotspot
+{
+    double instLo = 0; ///< window start (committed instructions)
+    double instHi = 0;
+    double cpiA = 0;   ///< CPI inside the window, per run
+    double cpiB = 0;
+    double gapCycles = 0; ///< cycle gap contributed by this window
+    double gapShare = 0;  ///< fraction of the total windowed gap
+    std::string topLeaf;  ///< leaf with the largest delta here
+};
+
+struct ExplainReport
+{
+    std::string labelA, labelB;
+    std::string configA, configB;
+    double cyclesA = 0, cyclesB = 0;
+    double instsA = 0, instsB = 0;
+    double cpiA = 0, cpiB = 0;
+    double gap = 0; ///< cpiB - cpiA
+    /** True when the two leaf sets differed and both sides were
+     *  coarsened onto the common six-way bucketing. */
+    bool coarsened = false;
+    /** sum of leaf deltas / gap. 1.0 (exactly, up to fp rounding) when
+     *  both runs carry full partitions of their cycles. */
+    double attributedFraction = 0;
+    std::vector<Attribution> attributions; ///< ranked by |delta|
+    std::vector<IntervalHotspot> hotspots; ///< ranked by gapCycles
+};
+
+/**
+ * Parse a vca-sim --stats-json document. Accepts schema v1 (no
+ * schemaVersion key) and v2. Prefers the hierarchical taxonomy
+ * subtree; falls back to the flat six-bucket cycle accounting when
+ * the taxonomy is absent or all-zero (VCA_NTELEMETRY producer).
+ * Throws sim::FatalError on unreadable/malformed input.
+ */
+ExplainInput loadRunJson(const std::string &path,
+                         const std::string &label);
+
+/**
+ * Build an input from a cached sweep Measurement (coarse flat
+ * breakdown only — Measurement stays frozen for cache stability).
+ */
+ExplainInput explainInputFromMeasurement(const std::string &label,
+                                         const std::string &config,
+                                         const Measurement &m);
+
+/** Attribute the CPI gap of B relative to A. Pure and deterministic. */
+ExplainReport explain(const ExplainInput &a, const ExplainInput &b);
+
+/** Render a report for the terminal (or as a markdown document). */
+std::string renderReport(const ExplainReport &r, bool markdown);
+
+/**
+ * Self-test: plant a synthetic spill-stall gap between two otherwise
+ * identical runs and check the explainer attributes it to the planted
+ * leaf and localizes it in the planted interval window. Returns 0 on
+ * success, 1 on failure (diagnostics on stderr).
+ */
+int explainSelftest();
+
+} // namespace vca::analysis
+
+#endif // VCA_ANALYSIS_EXPLAIN_HH

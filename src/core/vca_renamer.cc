@@ -188,6 +188,7 @@ VcaRenamer::getEntry(Addr addr, bool &stalled)
                 const int victim = rsid_.victim();
                 if (victim < 0 || !flushRsid(victim)) {
                     ++stallsRsid;
+                    lastStall_ = StallCause::FreeList;
                     DPRINTF(VcaRename,
                             "stall: RSID flush blocked (addr 0x%llx)",
                             (unsigned long long)addr);
@@ -233,11 +234,13 @@ VcaRenamer::getEntry(Addr addr, bool &stalled)
         if (dirtyChoice && !canSpill) {
             astq_.noteRejected(1);
             ++stallsAstq;
+            lastStall_ = StallCause::TransferBackpressure;
             DPRINTF(VcaRename,
                     "stall: ASTQ full, dirty victim for addr 0x%llx",
                     (unsigned long long)addr);
         } else {
             ++stallsTableConflict;
+            lastStall_ = StallCause::FreeList;
             DPRINTF(VcaRename,
                     "stall: table set conflict for addr 0x%llx",
                     (unsigned long long)addr);
@@ -272,9 +275,11 @@ VcaRenamer::allocPhys(bool &stalled)
         if (!canSpill) {
             astq_.noteRejected(1);
             ++stallsAstq;
+            lastStall_ = StallCause::TransferBackpressure;
             DPRINTF(VcaRename, "stall: ASTQ full, no clean victim reg");
         } else {
             ++stallsNoFreeReg;
+            lastStall_ = StallCause::FreeList;
             DPRINTF(VcaRename, "stall: no free/evictable register");
         }
         stalled = true;
@@ -350,6 +355,7 @@ VcaRenamer::rename(DynInst &inst, Cycle now)
         }
         if (portsUsed_ + needed > params_.vcaRenamePorts) {
             ++stallsPorts;
+            lastStall_ = StallCause::FreeList;
             return false;
         }
     }
@@ -395,6 +401,7 @@ VcaRenamer::rename(DynInst &inst, Cycle now)
             if (!ideal_ && !astq_.canEnqueue(1)) {
                 astq_.noteRejected(1);
                 ++stallsAstq;
+                lastStall_ = StallCause::TransferBackpressure;
                 rollback();
                 return false;
             }
@@ -420,6 +427,7 @@ VcaRenamer::rename(DynInst &inst, Cycle now)
                 table_.invalidate(entry);
                 astq_.noteRejected(1);
                 ++stallsAstq;
+                lastStall_ = StallCause::TransferBackpressure;
                 rollback();
                 return false;
             }

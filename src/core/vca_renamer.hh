@@ -56,6 +56,7 @@ class VcaRenamer : public cpu::Renamer
     bool hasTransferOp() const override { return !ideal_ && !astq_.empty(); }
     cpu::TransferOp popTransferOp() override;
     void transferDone(const cpu::TransferOp &op) override;
+    StallCause lastStallCause() const override { return lastStall_; }
 
     void validate() const override;
 
@@ -149,6 +150,11 @@ class VcaRenamer : public cpu::Renamer
     // combined and use a single port, Section 3).
     std::vector<Addr> cycleReadAddrs_;
     unsigned portsUsed_ = 0;
+
+    // Stall-taxonomy breadcrumb: updated wherever a stall counter
+    // increments (ASTQ sites are transfer backpressure, the rest are
+    // free-list-class pressure); read by the pipeline on refusal.
+    StallCause lastStall_ = StallCause::FreeList;
 
 #ifndef VCA_NTELEMETRY
     RegCacheProbe *probe_ = nullptr;

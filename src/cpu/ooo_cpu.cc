@@ -28,7 +28,104 @@ renamerKindName(RenamerKind kind)
     return "?";
 }
 
-CycleAccounting::CycleAccounting(stats::StatGroup *parent)
+TaxonomyBuckets::TaxonomyBuckets(const std::string &name,
+                                 stats::StatGroup *parent)
+    : stats::StatGroup(name, parent),
+      frontendBound("frontend_bound", this),
+      badSpeculation("bad_speculation", this),
+      backendCore("backend_core", this),
+      backendMemory("backend_memory", this),
+      retiring(this, "retiring",
+               "cycles that retired at least one instruction"),
+      idle(this, "idle",
+           "cycles after the thread halted (per-thread trees only)"),
+      icache(&frontendBound, "icache",
+             "frontend-bound cycles: fetch waiting on an icache miss"),
+      fetch(&frontendBound, "fetch",
+            "frontend-bound cycles: fetch/decode pipeline filling"),
+      recovery(&badSpeculation, "recovery",
+               "cycles rename is blocked by the mispredict-recovery "
+               "commit-table walk"),
+      exec(&backendCore, "exec",
+           "backend-core cycles: oldest instruction waiting on "
+           "functional-unit latency or operands"),
+      renameFreeList(&backendCore, "rename_freelist",
+                     "backend-core cycles: renamer refused (free "
+                     "list / table conflicts / ports)"),
+      dcache(&backendMemory, "dcache",
+             "backend-memory cycles: oldest instruction is an "
+             "unfinished load/store"),
+      storeDrain(&backendMemory, "store_drain",
+                 "backend-memory cycles: completed store stuck "
+                 "behind a full store buffer"),
+      fillLatency(&backendMemory, "fill_latency",
+                  "backend-memory cycles: oldest instruction waiting "
+                  "on an in-flight register fill"),
+      spillStall(&backendMemory, "spill_stall",
+                 "backend-memory cycles: renamer refused on "
+                 "spill/fill (ASTQ) backpressure"),
+      windowTrap(&backendMemory, "window_trap",
+                 "backend-memory cycles: rename blocked by a window "
+                 "overflow/underflow trap or its transfer drain")
+{
+    leaves_[static_cast<unsigned>(Leaf::Retiring)] = &retiring;
+    leaves_[static_cast<unsigned>(Leaf::Idle)] = &idle;
+    leaves_[static_cast<unsigned>(Leaf::Icache)] = &icache;
+    leaves_[static_cast<unsigned>(Leaf::Fetch)] = &fetch;
+    leaves_[static_cast<unsigned>(Leaf::Recovery)] = &recovery;
+    leaves_[static_cast<unsigned>(Leaf::Exec)] = &exec;
+    leaves_[static_cast<unsigned>(Leaf::RenameFreeList)] =
+        &renameFreeList;
+    leaves_[static_cast<unsigned>(Leaf::Dcache)] = &dcache;
+    leaves_[static_cast<unsigned>(Leaf::StoreDrain)] = &storeDrain;
+    leaves_[static_cast<unsigned>(Leaf::FillLatency)] = &fillLatency;
+    leaves_[static_cast<unsigned>(Leaf::SpillStall)] = &spillStall;
+    leaves_[static_cast<unsigned>(Leaf::WindowTrap)] = &windowTrap;
+}
+
+const char *
+TaxonomyBuckets::leafName(Leaf leaf)
+{
+    switch (leaf) {
+      case Leaf::Retiring:       return "retiring";
+      case Leaf::Idle:           return "idle";
+      case Leaf::Icache:         return "frontend_bound.icache";
+      case Leaf::Fetch:          return "frontend_bound.fetch";
+      case Leaf::Recovery:       return "bad_speculation.recovery";
+      case Leaf::Exec:           return "backend_core.exec";
+      case Leaf::RenameFreeList:
+        return "backend_core.rename_freelist";
+      case Leaf::Dcache:         return "backend_memory.dcache";
+      case Leaf::StoreDrain:     return "backend_memory.store_drain";
+      case Leaf::FillLatency:    return "backend_memory.fill_latency";
+      case Leaf::SpillStall:     return "backend_memory.spill_stall";
+      case Leaf::WindowTrap:     return "backend_memory.window_trap";
+      case Leaf::NumLeaves:      break;
+    }
+    return "?";
+}
+
+double
+TaxonomyBuckets::leafSum() const
+{
+    double sum = 0;
+    for (const stats::Scalar *leaf : leaves_)
+        sum += leaf->value();
+    return sum;
+}
+
+CycleTaxonomy::CycleTaxonomy(unsigned numThreads,
+                             stats::StatGroup *parent)
+    : TaxonomyBuckets("taxonomy", parent)
+{
+    for (unsigned t = 0; t < numThreads; ++t) {
+        perThread_.push_back(std::make_unique<TaxonomyBuckets>(
+            "thread" + std::to_string(t), this));
+    }
+}
+
+CycleAccounting::CycleAccounting(stats::StatGroup *parent,
+                                 unsigned numThreads)
     : stats::StatGroup("cycle_accounting", parent),
       commitActive(this, "commit_active",
                    "cycles that retired at least one instruction"),
@@ -46,7 +143,8 @@ CycleAccounting::CycleAccounting(stats::StatGroup *parent)
                   "window trap or mispredict recovery walk"),
       frontendStall(this, "frontend",
                     "stall cycles: ROB empty, front end still "
-                    "fetching/decoding")
+                    "fetching/decoding"),
+      taxonomy(numThreads, this)
 {
 }
 
@@ -79,7 +177,7 @@ OooCpu::OooCpu(const CpuParams &params,
       committedTotalAlias(this, "committedTotal",
                           "alias of committed_insts for tooling",
                           [this] { return committedTotal.value(); }),
-      cycleAccounting(this),
+      cycleAccounting(this, params.numThreads),
       params_(params),
       rng_(params.rngSeed),
       memSys_(params.memParams, this),
@@ -156,6 +254,8 @@ OooCpu::OooCpu(const CpuParams &params,
     if (params_.statSampleInterval == 0)
         params_.statSampleInterval = 1;
     statSampleCountdown_ = params_.statSampleInterval;
+
+    commitSnapshot_.resize(params_.numThreads, 0);
 }
 
 OooCpu::~OooCpu() = default;
@@ -457,6 +557,8 @@ OooCpu::resolveControl(DynInst *inst)
     const unsigned recovery = renamer_->recoveryCycles(before);
     ts.renameBlockedUntil =
         std::max(ts.renameBlockedUntil, now_ + recovery);
+    if (ts.renameBlockedUntil > now_)
+        ts.renameBlockReason = RenameBlock::Recovery;
 }
 
 void
@@ -626,6 +728,8 @@ OooCpu::commitStage()
                 renamer_->performTrap(static_cast<ThreadId>(t));
                 ts.renameBlockedUntil = std::max(
                     ts.renameBlockedUntil, now_ + action.stallCycles);
+                if (ts.renameBlockedUntil > now_)
+                    ts.renameBlockReason = RenameBlock::Trap;
                 ts.fetchPc = resumePc;
                 ts.fetchReadyAt = std::max(ts.fetchReadyAt, now_ + 1);
                 break;
@@ -884,6 +988,8 @@ OooCpu::renameStage()
             if (!renamer_->rename(*inst, now_)) {
                 // This thread stalls; try the next thread.
                 renamerRefusedThisCycle_ = true;
+                ts.renameRefused = true;
+                ts.renameRefusedCause = renamer_->lastStallCause();
                 DPRINTFT(Rename, t, "stall: renamer refused seq=%llu",
                          (unsigned long long)inst->seq);
                 break;
@@ -970,6 +1076,7 @@ OooCpu::fetchStage()
                  (unsigned long long)ts.fetchPc,
                  (unsigned long long)access.latency);
         ts.fetchReadyAt = now_ + access.latency;
+        ts.icacheStallUntil = ts.fetchReadyAt;
         ++fetchIcacheStalls;
         return;
     }
@@ -1072,6 +1179,139 @@ OooCpu::accountCycle(double committedThisCycle)
         ++cycleAccounting.frontendStall;
 }
 
+/**
+ * Refine a non-retiring ROB-head stall into a taxonomy leaf. The
+ * predicate union per leaf pair matches accountCycle() exactly:
+ * dcache + store_drain == mem_stall, exec + fill_latency == exec_stall
+ * (DESIGN.md "Hierarchical cycle attribution").
+ */
+TaxonomyBuckets::Leaf
+OooCpu::classifyHead(const DynInst *head) const
+{
+    using Leaf = TaxonomyBuckets::Leaf;
+    // A completed head that didn't retire is a store stuck behind a
+    // full store buffer (loads and ALU ops retire as soon as they
+    // complete, given that commit bandwidth went unused this cycle).
+    if (head->completed)
+        return Leaf::StoreDrain;
+    if (head->si->isMem())
+        return Leaf::Dcache;
+    // At the ROB head every older instruction has committed, so an
+    // unready source of an unissued instruction can only be an
+    // in-flight VCA register fill (non-VCA renamers always hand out
+    // ready committed sources) — the fill-latency exposure of paper
+    // Section 2.2.
+    if (!head->issued) {
+        for (unsigned s = 0; s < head->si->numSrcs; ++s) {
+            if (head->si->srcValid[s] &&
+                !regs_.isReady(head->srcPhys[s])) {
+                return Leaf::FillLatency;
+            }
+        }
+    }
+    return Leaf::Exec;
+}
+
+/** Machine-level taxonomy leaf for this cycle (same decision tree as
+ *  accountCycle(), with each flat bucket split into its leaves). */
+TaxonomyBuckets::Leaf
+OooCpu::classifyMachine(double committedThisCycle) const
+{
+    using Leaf = TaxonomyBuckets::Leaf;
+    if (committedThisCycle > 0)
+        return Leaf::Retiring;
+
+    const DynInst *oldest = nullptr;
+    for (const ThreadState &ts : threads_) {
+        if (ts.rob.empty())
+            continue;
+        const DynInst *head = ts.rob.front();
+        if (!oldest || head->seq < oldest->seq)
+            oldest = head;
+    }
+    if (oldest)
+        return classifyHead(oldest);
+
+    bool trapBlocked = false;
+    bool trapReason = false;
+    for (const ThreadState &ts : threads_) {
+        if (!ts.done && ts.renameBlockedUntil > now_) {
+            trapBlocked = true;
+            if (ts.renameBlockReason == RenameBlock::Trap)
+                trapReason = true;
+        }
+    }
+    const bool transferBlock = renamer_->transfersBlockRename();
+    if (trapBlocked || transferBlock) {
+        return (trapReason || transferBlock) ? Leaf::WindowTrap
+                                             : Leaf::Recovery;
+    }
+    if (renamerRefusedThisCycle_) {
+        return renamer_->lastStallCause() ==
+                       Renamer::StallCause::TransferBackpressure
+                   ? Leaf::SpillStall
+                   : Leaf::RenameFreeList;
+    }
+    for (const ThreadState &ts : threads_) {
+        if (!ts.done && ts.icacheStallUntil > now_)
+            return Leaf::Icache;
+    }
+    return Leaf::Fetch;
+}
+
+/** Per-thread taxonomy leaf: the same rules applied to one thread's
+ *  own ROB head / front-end state, plus the Idle leaf once done. */
+TaxonomyBuckets::Leaf
+OooCpu::classifyThread(unsigned t) const
+{
+    using Leaf = TaxonomyBuckets::Leaf;
+    const ThreadState &ts = threads_[t];
+    if (ts.committed > commitSnapshot_[t])
+        return Leaf::Retiring;
+    if (ts.done)
+        return Leaf::Idle;
+    if (!ts.rob.empty())
+        return classifyHead(ts.rob.front());
+    if (ts.renameBlockedUntil > now_) {
+        return ts.renameBlockReason == RenameBlock::Trap
+                   ? Leaf::WindowTrap
+                   : Leaf::Recovery;
+    }
+    if (renamer_->transfersBlockRename())
+        return Leaf::WindowTrap;
+    if (ts.renameRefused) {
+        return ts.renameRefusedCause ==
+                       Renamer::StallCause::TransferBackpressure
+                   ? Leaf::SpillStall
+                   : Leaf::RenameFreeList;
+    }
+    if (ts.icacheStallUntil > now_)
+        return Leaf::Icache;
+    return Leaf::Fetch;
+}
+
+/**
+ * Hierarchical refinement of accountCycle(): one machine-level leaf
+ * and one leaf per hardware thread per cycle, so every tree in
+ * cpu.cycle_accounting.taxonomy partitions cpu.cycles exactly.
+ * Compiled out under VCA_NTELEMETRY (the trees stay registered but
+ * all-zero).
+ */
+void
+OooCpu::accountTaxonomy(double committedThisCycle)
+{
+#ifndef VCA_NTELEMETRY
+    CycleTaxonomy &tax = cycleAccounting.taxonomy;
+    tax.add(classifyMachine(committedThisCycle));
+    for (unsigned t = 0; t < params_.numThreads; ++t) {
+        tax.thread(t).add(classifyThread(t));
+        threads_[t].renameRefused = false;
+    }
+#else
+    (void)committedThisCycle;
+#endif
+}
+
 void
 OooCpu::tick()
 {
@@ -1084,12 +1324,19 @@ OooCpu::tick()
         iqOccupancyDist.sample(static_cast<double>(iqCount_));
     }
     const double committedBefore = committedTotal.value();
+#ifndef VCA_NTELEMETRY
+    for (unsigned t = 0; t < params_.numThreads; ++t)
+        commitSnapshot_[t] = threads_[t].committed;
+#endif
     processCompletions();
     commitStage();
     issueStage();
     renameStage();
     fetchStage();
-    accountCycle(committedTotal.value() - committedBefore);
+    const double committedDelta =
+        committedTotal.value() - committedBefore;
+    accountCycle(committedDelta);
+    accountTaxonomy(committedDelta);
 }
 
 RunResult

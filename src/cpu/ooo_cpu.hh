@@ -49,16 +49,134 @@ struct RunResult
 };
 
 /**
+ * One hierarchical cycle-taxonomy tree (top-down style): five
+ * categories with renamer-specific leaves, each leaf a Scalar. The
+ * twelve leaves partition whatever cycle stream is attributed into the
+ * tree — the machine-level tree partitions `cpu.cycles` exactly, and
+ * so does each per-hardware-thread tree (see CycleTaxonomy).
+ *
+ *   retiring                      >=1 instruction retired
+ *   idle                          thread finished (per-thread trees)
+ *   frontend_bound/{icache,fetch} ROB empty, front end filling
+ *   bad_speculation/{recovery}    ROB empty, mispredict-recovery walk
+ *   backend_core/{exec,rename_freelist}
+ *   backend_memory/{dcache,store_drain,fill_latency,spill_stall,
+ *                   window_trap}
+ */
+class TaxonomyBuckets : public stats::StatGroup
+{
+  public:
+    TaxonomyBuckets(const std::string &name, stats::StatGroup *parent);
+
+    /** Leaf identifiers in a fixed order (probe/export order). */
+    enum class Leaf : unsigned
+    {
+        Retiring,
+        Idle,
+        Icache,
+        Fetch,
+        Recovery,
+        Exec,
+        RenameFreeList,
+        Dcache,
+        StoreDrain,
+        FillLatency,
+        SpillStall,
+        WindowTrap,
+        NumLeaves
+    };
+    static constexpr unsigned numLeaves =
+        static_cast<unsigned>(Leaf::NumLeaves);
+
+    /** Dotted leaf name relative to this tree, e.g.
+     *  "backend_memory.dcache". */
+    static const char *leafName(Leaf leaf);
+
+    void add(Leaf leaf) { ++*leaves_[static_cast<unsigned>(leaf)]; }
+
+    double
+    leafValue(Leaf leaf) const
+    {
+        return leaves_[static_cast<unsigned>(leaf)]->value();
+    }
+
+    /** Sum over all leaves (== attributed cycles). */
+    double leafSum() const;
+
+    // Category subgroups (declared before the scalars they parent).
+    stats::StatGroup frontendBound;
+    stats::StatGroup badSpeculation;
+    stats::StatGroup backendCore;
+    stats::StatGroup backendMemory;
+
+    stats::Scalar retiring;
+    stats::Scalar idle;
+    stats::Scalar icache;         ///< frontend_bound.icache
+    stats::Scalar fetch;          ///< frontend_bound.fetch
+    stats::Scalar recovery;       ///< bad_speculation.recovery
+    stats::Scalar exec;           ///< backend_core.exec
+    stats::Scalar renameFreeList; ///< backend_core.rename_freelist
+    stats::Scalar dcache;         ///< backend_memory.dcache
+    stats::Scalar storeDrain;     ///< backend_memory.store_drain
+    stats::Scalar fillLatency;    ///< backend_memory.fill_latency
+    stats::Scalar spillStall;     ///< backend_memory.spill_stall
+    stats::Scalar windowTrap;     ///< backend_memory.window_trap
+
+  private:
+    stats::Scalar *leaves_[numLeaves];
+};
+
+/**
+ * The full taxonomy subtree under cpu.cycle_accounting: one
+ * machine-level tree (the group's own leaves) plus one "threadN"
+ * subtree per hardware thread. Every simulated cycle adds exactly one
+ * machine-level leaf and exactly one leaf per thread tree, so each
+ * tree independently partitions `cpu.cycles`. Updated only when
+ * telemetry is compiled in (VCA_NTELEMETRY leaves the group present
+ * but all-zero, which keeps the stats-JSON schema stable).
+ */
+class CycleTaxonomy : public TaxonomyBuckets
+{
+  public:
+    CycleTaxonomy(unsigned numThreads, stats::StatGroup *parent);
+
+    TaxonomyBuckets &thread(unsigned t) { return *perThread_.at(t); }
+    const TaxonomyBuckets &
+    thread(unsigned t) const
+    {
+        return *perThread_.at(t);
+    }
+    unsigned
+    numThreads() const
+    {
+        return static_cast<unsigned>(perThread_.size());
+    }
+
+  private:
+    std::vector<std::unique_ptr<TaxonomyBuckets>> perThread_;
+};
+
+/**
  * Commit-stall attribution: every simulated cycle lands in exactly one
  * bucket, so the buckets sum to `cpu.cycles`. Attribution is
  * commit-centric (gem5's methodology): a cycle that retires nothing is
  * blamed on whatever the oldest unretired instruction is waiting for,
  * or — with an empty ROB — on why the front end is not delivering.
+ *
+ * The six flat scalars are the original coarse partition (benches and
+ * the Measurement cycleBreakdown read them); the `taxonomy` child
+ * refines them per DESIGN.md "Hierarchical cycle attribution":
+ *   commit_active   == taxonomy.retiring
+ *   frontend        == icache + fetch
+ *   window_shift    == recovery + window_trap
+ *   exec_stall      == exec + fill_latency
+ *   mem_stall       == dcache + store_drain
+ *   rename_freelist == spill_stall + rename_freelist (leaf)
  */
 class CycleAccounting : public stats::StatGroup
 {
   public:
-    explicit CycleAccounting(stats::StatGroup *parent);
+    CycleAccounting(stats::StatGroup *parent, unsigned numThreads);
 
     stats::Scalar commitActive;   ///< >=1 instruction retired
     stats::Scalar memStall;       ///< ROB head is an unfinished mem op
@@ -66,6 +184,7 @@ class CycleAccounting : public stats::StatGroup
     stats::Scalar renameFreeList; ///< ROB empty, renamer refused
     stats::Scalar windowShift;    ///< ROB empty, trap/recovery stall
     stats::Scalar frontendStall;  ///< ROB empty, fetch/decode filling
+    CycleTaxonomy taxonomy;       ///< hierarchical refinement
 };
 
 class OooCpu : public stats::StatGroup
@@ -180,6 +299,14 @@ class OooCpu : public stats::StatGroup
         Cycle readyAt;
     };
 
+    /** Why a thread's rename is blocked (renameBlockedUntil). */
+    enum class RenameBlock : std::uint8_t
+    {
+        None,
+        Recovery, ///< mispredict-recovery commit-table walk
+        Trap,     ///< window overflow/underflow trap handler
+    };
+
     struct ThreadState
     {
         const isa::Program *program = nullptr;
@@ -197,6 +324,13 @@ class OooCpu : public stats::StatGroup
         RingBuffer<DynInst *> lq; ///< loads in program order
         RingBuffer<DynInst *> sq; ///< stores in program order
         Cycle renameBlockedUntil = 0;
+        // Taxonomy breadcrumbs: written on the (cold) stall paths,
+        // read only by the gated accountTaxonomy() pass.
+        RenameBlock renameBlockReason = RenameBlock::None;
+        Cycle icacheStallUntil = 0;
+        bool renameRefused = false;
+        Renamer::StallCause renameRefusedCause =
+            Renamer::StallCause::FreeList;
     };
 
     struct StoreBufferEntry
@@ -214,6 +348,10 @@ class OooCpu : public stats::StatGroup
 
     // Helpers.
     void accountCycle(double committedThisCycle);
+    void accountTaxonomy(double committedThisCycle);
+    TaxonomyBuckets::Leaf classifyHead(const DynInst *head) const;
+    TaxonomyBuckets::Leaf classifyMachine(double committedThisCycle) const;
+    TaxonomyBuckets::Leaf classifyThread(unsigned t) const;
     void executeInst(DynInst *inst);
     std::uint64_t readOperand(const DynInst *inst, unsigned s) const;
     void resolveControl(DynInst *inst);
@@ -276,6 +414,9 @@ class OooCpu : public stats::StatGroup
     unsigned commitRR_ = 0; ///< commit round-robin cursor
     unsigned renameRR_ = 0; ///< rename round-robin cursor
     bool renamerRefusedThisCycle_ = false; ///< for stall attribution
+    // Per-thread committed counts captured at the top of tick() so the
+    // taxonomy pass sees this cycle's per-thread commit deltas.
+    std::vector<InstCount> commitSnapshot_;
 
     std::vector<std::function<void(const DynInst &)>> commitListeners_;
     std::vector<std::function<void(const SimEvent &)>> simEventListeners_;

@@ -15,6 +15,8 @@
 #ifndef VCA_CPU_RENAMER_HH
 #define VCA_CPU_RENAMER_HH
 
+#include <cstdint>
+
 #include "cpu/dyn_inst.hh"
 #include "mem/sparse_memory.hh"
 #include "sim/types.hh"
@@ -41,6 +43,26 @@ class Renamer
 {
   public:
     virtual ~Renamer() = default;
+
+    /**
+     * Coarse cause of the most recent rename() refusal, for the cycle
+     * taxonomy: transfer backpressure (the spill/fill ASTQ is full, so
+     * the stall is really memory-system pressure) versus everything
+     * else (free list, table conflicts, rename ports).
+     */
+    enum class StallCause : std::uint8_t
+    {
+        FreeList,            ///< registers / table / ports exhausted
+        TransferBackpressure ///< spill-fill queue (ASTQ) full
+    };
+
+    /** Cause of the last rename() that returned false. Only meaningful
+     *  immediately after a refusal; defaults to FreeList. */
+    virtual StallCause
+    lastStallCause() const
+    {
+        return StallCause::FreeList;
+    }
 
     /** Per-thread execution context (ABI flag for address generation). */
     virtual void

@@ -39,14 +39,18 @@ IntervalRecorder::onCommit(Cycle now)
 void
 IntervalRecorder::finish(Cycle now)
 {
-    if (started_ && committed_ > intervalStartInsts_)
-        closeInterval(now);
+    if (started_ && committed_ > intervalStartInsts_) {
+        const bool partial =
+            committed_ - intervalStartInsts_ < every_;
+        closeInterval(now, partial);
+    }
 }
 
 void
-IntervalRecorder::closeInterval(Cycle now)
+IntervalRecorder::closeInterval(Cycle now, bool partial)
 {
     IntervalRecord rec;
+    rec.partial = partial;
     rec.index = records_.size();
     rec.startCycle = intervalStartCycle_;
     rec.endCycle = now;
@@ -86,6 +90,7 @@ IntervalRecorder::writeJson(JsonWriter &w, const char *key) const
         w.key("committed").number(rec.committed);
         w.key("committed_cum").number(rec.committedCum);
         w.key("ipc").number(rec.ipc);
+        w.key("partial").boolean(rec.partial);
         for (size_t i = 0; i < rec.probes.size(); ++i)
             w.key(probeNames_[i]).number(rec.probes[i]);
         w.endObject();

@@ -33,6 +33,10 @@ struct IntervalRecord
     std::uint64_t committed = 0;  ///< instructions in this interval
     std::uint64_t committedCum = 0; ///< cumulative at interval end
     double ipc = 0;
+    /** True for a final interval closed by finish() before reaching
+     *  the full `every` commits; alignment/IPC consumers must not
+     *  weight it like a full interval. */
+    bool partial = false;
     /** Probe deltas over the interval, in registration order. */
     std::vector<double> probes;
 };
@@ -53,7 +57,8 @@ class IntervalRecorder
     /** Feed one committed instruction at the given cycle. */
     void onCommit(Cycle now);
 
-    /** Close a final partial interval (no-op when empty). */
+    /** Close a final interval (no-op when empty). An interval shorter
+     *  than `every` commits is flagged IntervalRecord::partial. */
     void finish(Cycle now);
 
     const std::vector<IntervalRecord> &records() const
@@ -70,7 +75,7 @@ class IntervalRecorder
     void writeJson(JsonWriter &w, const char *key = "intervals") const;
 
   private:
-    void closeInterval(Cycle now);
+    void closeInterval(Cycle now, bool partial = false);
 
     InstCount every_;
     std::uint64_t committed_ = 0;      ///< total commits seen

@@ -28,6 +28,17 @@
 namespace vca::trace {
 
 /**
+ * Version of the stats-JSON document vca-sim writes with --stats-json
+ * (the "schemaVersion" root key). scripts/check_stats_schema.py
+ * validates documents against it. History:
+ *   1  implicit (no schemaVersion key): config/summary/cpu/host roots,
+ *      optional intervals array
+ *   2  adds schemaVersion, the cpu.cycle_accounting.taxonomy subtree,
+ *      per-interval "partial" flags and "tax.*" leaf probes
+ */
+inline constexpr unsigned kStatsJsonSchemaVersion = 2;
+
+/**
  * Export a statistics tree as JSON. The group itself becomes the
  * single key of the top-level object.
  */

@@ -1,0 +1,29 @@
+# Smoke test: vca-sim --stats-json on a tiny workload must produce a
+# document that passes scripts/check_stats_schema.py (schemaVersion,
+# exact flat and hierarchical cycle partitions, interval monotonicity
+# and partial-flag placement).
+#
+# Invoked by ctest (see CMakeLists.txt) with:
+#   VCA_SIM   path to the vca-sim binary
+#   PYTHON3   python3 interpreter
+#   CHECKER   scripts/check_stats_schema.py
+#   OUT       scratch path for the stats JSON
+
+execute_process(
+    COMMAND "${VCA_SIM}" --bench=crafty --arch=vca --regs=192
+            --warmup=2000 --insts=20000 --interval=3000 --stats=false
+            "--stats-json=${OUT}"
+    RESULT_VARIABLE sim_rc)
+if(NOT sim_rc EQUAL 0)
+    message(FATAL_ERROR "vca-sim --stats-json failed (rc=${sim_rc})")
+endif()
+
+execute_process(
+    COMMAND "${PYTHON3}" "${CHECKER}" "${OUT}"
+    RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+            "stats JSON failed schema validation (rc=${check_rc})")
+endif()
+
+file(REMOVE "${OUT}")

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the differential run explainer (ctest label:
+ * observability): exact CPI-gap attribution, coarsening across
+ * mismatched leaf sets, stats-JSON ingestion, Measurement projection,
+ * interval alignment, and the planted-gap selftest vca-explain
+ * --selftest runs in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "analysis/explain.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace vca;
+using analysis::ExplainInput;
+using analysis::ExplainReport;
+
+ExplainInput
+syntheticRun(const char *label, double cycles, double spillCycles)
+{
+    ExplainInput in;
+    in.label = label;
+    in.insts = 50'000;
+    in.cycles = cycles;
+    in.leaves = {
+        {"retiring", 50'000},
+        {"backend_core.exec", 10'000},
+        {"backend_memory.spill_stall", spillCycles},
+        {"backend_memory.dcache", cycles - 60'000 - spillCycles},
+    };
+    return in;
+}
+
+TEST(Explain, AttributionsSumExactlyToTheGap)
+{
+    const ExplainInput a = syntheticRun("a", 80'000, 0);
+    const ExplainInput b = syntheticRun("b", 95'000, 9'000);
+    const ExplainReport r = analysis::explain(a, b);
+
+    EXPECT_NEAR(r.gap, (95'000.0 - 80'000.0) / 50'000.0, 1e-12);
+    EXPECT_FALSE(r.coarsened);
+    EXPECT_NEAR(r.attributedFraction, 1.0, 1e-12);
+    double sum = 0;
+    for (const auto &att : r.attributions)
+        sum += att.delta;
+    EXPECT_NEAR(sum, r.gap, 1e-12);
+    ASSERT_FALSE(r.attributions.empty());
+    EXPECT_EQ(r.attributions[0].leaf, "backend_memory.spill_stall");
+}
+
+TEST(Explain, ZeroGapProducesZeroShares)
+{
+    const ExplainInput a = syntheticRun("a", 80'000, 0);
+    const ExplainReport r = analysis::explain(a, a);
+    EXPECT_DOUBLE_EQ(r.gap, 0.0);
+    for (const auto &att : r.attributions) {
+        EXPECT_DOUBLE_EQ(att.delta, 0.0);
+        EXPECT_DOUBLE_EQ(att.share, 0.0);
+    }
+}
+
+TEST(Explain, MismatchedLeafSetsAreCoarsened)
+{
+    ExplainInput a = syntheticRun("tree", 80'000, 0);
+    ExplainInput flat;
+    flat.label = "flat";
+    flat.insts = 50'000;
+    flat.cycles = 95'000;
+    flat.leaves = {
+        {"retiring", 50'000},
+        {"exec_stall", 10'000},
+        {"rename_stall", 9'000},
+        {"mem_stall", 26'000},
+    };
+    const ExplainReport r = analysis::explain(a, flat);
+    EXPECT_TRUE(r.coarsened);
+    EXPECT_NEAR(r.attributedFraction, 1.0, 1e-12);
+    ASSERT_FALSE(r.attributions.empty());
+    // spill_stall coarsens into the rename bucket on the tree side,
+    // so the planted gap still lands on rename_stall.
+    EXPECT_EQ(r.attributions[0].leaf, "rename_stall");
+}
+
+TEST(Explain, MeasurementProjectionUsesCoarseBuckets)
+{
+    analysis::Measurement m;
+    m.ok = true;
+    m.cycles = 1'000;
+    m.insts = 500;
+    m.cycleBreakdown = {
+        {"commit", 0.5}, {"mem", 0.2},   {"exec", 0.1},
+        {"rename", 0.1}, {"window", 0.05}, {"frontend", 0.05},
+    };
+    const ExplainInput in = analysis::explainInputFromMeasurement(
+        "m", "cfg", m);
+    EXPECT_DOUBLE_EQ(in.cycles, 1'000);
+    EXPECT_DOUBLE_EQ(in.insts, 500);
+    double sum = 0;
+    bool sawRetiring = false;
+    for (const auto &[name, cycles] : in.leaves) {
+        sum += cycles;
+        if (name == "retiring") {
+            sawRetiring = true;
+            EXPECT_DOUBLE_EQ(cycles, 500);
+        }
+    }
+    EXPECT_DOUBLE_EQ(sum, 1'000);
+    EXPECT_TRUE(sawRetiring);
+}
+
+TEST(Explain, LoadRunJsonPrefersTaxonomyAndReadsIntervals)
+{
+    namespace fs = std::filesystem;
+    const std::string path =
+        (fs::temp_directory_path() / "vca_test_explain_run.json")
+            .string();
+    {
+        std::ofstream os(path);
+        os << R"({
+  "schemaVersion": 2,
+  "config": {"arch": "vca", "regs": 192, "threads": 1},
+  "summary": {"cycles": 200, "insts": 100, "ipc": 0.5},
+  "cpu": {
+    "cycles": 200,
+    "cycle_accounting": {
+      "commit_active": 100, "mem_stall": 60, "exec_stall": 20,
+      "rename_freelist": 10, "window_shift": 0, "frontend": 10,
+      "taxonomy": {
+        "retiring": 100, "idle": 0,
+        "frontend_bound": {"icache": 4, "fetch": 6},
+        "bad_speculation": {"recovery": 0},
+        "backend_core": {"exec": 20, "rename_freelist": 2},
+        "backend_memory": {"dcache": 55, "store_drain": 5,
+                           "fill_latency": 0, "spill_stall": 8,
+                           "window_trap": 0},
+        "thread0": {"retiring": 100}
+      }
+    }
+  },
+  "intervals": [
+    {"interval": 0, "start_cycle": 0, "end_cycle": 100,
+     "committed": 50, "committed_cum": 50, "ipc": 0.5,
+     "partial": false, "tax.retiring": 50,
+     "tax.backend_memory.spill_stall": 3},
+    {"interval": 1, "start_cycle": 100, "end_cycle": 200,
+     "committed": 50, "committed_cum": 100, "ipc": 0.5,
+     "partial": true, "tax.retiring": 50,
+     "tax.backend_memory.spill_stall": 5}
+  ]
+})";
+    }
+
+    const ExplainInput in = analysis::loadRunJson(path, "run");
+    std::remove(path.c_str());
+
+    EXPECT_EQ(in.label, "run");
+    EXPECT_DOUBLE_EQ(in.cycles, 200);
+    EXPECT_DOUBLE_EQ(in.insts, 100);
+    EXPECT_NE(in.config.find("arch=vca"), std::string::npos);
+
+    double taxSum = 0;
+    bool sawThreadLeaf = false;
+    for (const auto &[name, cycles] : in.leaves) {
+        taxSum += cycles;
+        if (name.rfind("thread", 0) == 0)
+            sawThreadLeaf = true;
+    }
+    EXPECT_DOUBLE_EQ(taxSum, 200)
+        << "machine-level taxonomy leaves partition summary.cycles";
+    EXPECT_FALSE(sawThreadLeaf)
+        << "per-thread subtrees must not double-count";
+
+    ASSERT_EQ(in.intervals.size(), 2u);
+    ASSERT_EQ(in.intervalLeafNames.size(), 2u);
+    EXPECT_EQ(in.intervalLeafNames[0], "retiring");
+    EXPECT_FALSE(in.intervals[0].partial);
+    EXPECT_TRUE(in.intervals[1].partial);
+    EXPECT_DOUBLE_EQ(in.intervals[1].leafCycles.at(1), 5);
+}
+
+TEST(Explain, LoadRunJsonFallsBackToFlatBuckets)
+{
+    namespace fs = std::filesystem;
+    const std::string path =
+        (fs::temp_directory_path() / "vca_test_explain_flat.json")
+            .string();
+    {
+        std::ofstream os(path);
+        // A v1-style document: no schemaVersion, no taxonomy.
+        os << R"({
+  "config": {"arch": "baseline"},
+  "summary": {"cycles": 100, "insts": 50, "ipc": 0.5},
+  "cpu": {
+    "cycles": 100,
+    "cycle_accounting": {
+      "commit_active": 50, "mem_stall": 30, "exec_stall": 10,
+      "rename_freelist": 0, "window_shift": 0, "frontend": 10
+    }
+  }
+})";
+    }
+    const ExplainInput in = analysis::loadRunJson(path, "");
+    std::remove(path.c_str());
+
+    EXPECT_EQ(in.label, path);
+    double sum = 0;
+    for (const auto &[name, cycles] : in.leaves)
+        sum += cycles;
+    EXPECT_DOUBLE_EQ(sum, 100);
+    ASSERT_FALSE(in.leaves.empty());
+    EXPECT_EQ(in.leaves[0].first, "retiring");
+}
+
+TEST(Explain, LoadRunJsonRejectsGarbage)
+{
+    EXPECT_THROW(analysis::loadRunJson("/nonexistent/run.json", ""),
+                 FatalError);
+}
+
+TEST(Explain, HotspotsLocalizeWhereTheGapOpens)
+{
+    ExplainInput a = syntheticRun("a", 80'000, 0);
+    ExplainInput b = syntheticRun("b", 120'000, 40'000);
+    a.intervalLeafNames = {"backend_memory.spill_stall"};
+    b.intervalLeafNames = a.intervalLeafNames;
+    for (int i = 0; i < 5; ++i) {
+        analysis::ExplainInterval iv;
+        iv.committedCum = (i + 1) * 10'000.0;
+        iv.cycles = 16'000;
+        iv.leafCycles = {0};
+        a.intervals.push_back(iv);
+        if (i == 4) { // the gap opens entirely in the last fifth
+            iv.cycles = 56'000;
+            iv.leafCycles = {40'000};
+        }
+        b.intervals.push_back(iv);
+    }
+    const ExplainReport r = analysis::explain(a, b);
+    ASSERT_FALSE(r.hotspots.empty());
+    EXPECT_GE(r.hotspots[0].instLo, 40'000.0 - 1e-9);
+    EXPECT_EQ(r.hotspots[0].topLeaf, "backend_memory.spill_stall");
+    EXPECT_GT(r.hotspots[0].gapShare, 0.5);
+}
+
+TEST(Explain, SelftestPasses)
+{
+    EXPECT_EQ(analysis::explainSelftest(), 0);
+}
+
+} // namespace

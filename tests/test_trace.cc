@@ -312,10 +312,31 @@ TEST_F(TraceTest, IntervalRecorderClosesEveryN)
     EXPECT_EQ(r1.committedCum, 20u);
     EXPECT_DOUBLE_EQ(r1.probes[0], 20.0);
 
-    // finish() closes the 5-commit partial interval.
+    // finish() closes the 5-commit partial interval and flags it so
+    // consumers do not weight it like a full interval.
     const auto &r2 = rec.records()[2];
     EXPECT_EQ(r2.committed, 5u);
     EXPECT_EQ(r2.committedCum, 25u);
+    EXPECT_FALSE(r0.partial);
+    EXPECT_FALSE(r1.partial);
+    EXPECT_TRUE(r2.partial);
+}
+
+TEST_F(TraceTest, IntervalRecorderExactBoundaryIsNotPartial)
+{
+    trace::IntervalRecorder rec(10);
+    Cycle now = 0;
+    for (int i = 0; i < 20; ++i) {
+        rec.onCommit(now);
+        now += 2;
+    }
+    rec.finish(now);
+
+    // The run ends exactly on an interval boundary: finish() must not
+    // add an empty record, and no record is partial.
+    ASSERT_EQ(rec.records().size(), 2u);
+    for (const auto &r : rec.records())
+        EXPECT_FALSE(r.partial);
 }
 
 TEST_F(TraceTest, IntervalRecorderOnRealCpu)

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * vca-explain: differential run explainer.
+ *
+ * Attributes the CPI gap between two runs to the hierarchical cycle
+ * taxonomy (README, Observability) and localizes where the gap opens
+ * along the committed-instruction axis. Runs come either from
+ * vca-sim --stats-json documents or from config specs simulated
+ * through the shared sweep cache:
+ *
+ *   vca-explain --run A.json --run B.json
+ *   vca-explain --spec bench=crafty,arch=vca,regs=192 \
+ *               --spec bench=crafty,arch=regwindow,regs=192
+ *   vca-explain --run base.json --spec bench=crafty,arch=vca,regs=64
+ *
+ * Options:
+ *   --markdown   render the report as a markdown document
+ *   --selftest   planted-gap self test (CI); no other inputs needed
+ *
+ * Exit status: 0 report printed / selftest passed, 1 selftest or
+ * simulation failure, 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/explain.hh"
+#include "analysis/runner.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace vca;
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(to,
+        "usage: vca-explain (--run FILE | --spec KEY=VAL[,...]) x2\n"
+        "                   [--markdown]\n"
+        "       vca-explain --selftest\n"
+        "\n"
+        "Attribute the CPI gap between two runs (A then B) to the\n"
+        "cycle-taxonomy leaves and report where the gap opens.\n"
+        "\n"
+        "  --run FILE   a vca-sim --stats-json document\n"
+        "  --spec ...   simulate a config through the sweep cache:\n"
+        "               bench=NAME[+NAME2] arch=baseline|regwindow|\n"
+        "               ideal|vca regs=N [insts=N] [warmup=N]\n"
+        "  --markdown   emit a markdown report instead of plain text\n"
+        "  --selftest   verify a planted gap is attributed correctly\n");
+}
+
+cpu::RenamerKind
+parseArch(const std::string &name)
+{
+    if (name == "baseline")
+        return cpu::RenamerKind::Baseline;
+    if (name == "regwindow" || name == "conv")
+        return cpu::RenamerKind::ConvWindow;
+    if (name == "ideal")
+        return cpu::RenamerKind::IdealWindow;
+    if (name == "vca")
+        return cpu::RenamerKind::Vca;
+    fatal("vca-explain: unknown arch '%s' (expected baseline, "
+               "regwindow, ideal or vca)", name.c_str());
+}
+
+/** Simulate one --spec through the shared on-disk sweep cache. */
+analysis::ExplainInput
+runSpec(const std::string &spec)
+{
+    std::string bench = "crafty";
+    std::string arch = "vca";
+    unsigned regs = 192;
+    analysis::RunOptions opts;
+
+    std::string rest = spec;
+    while (!rest.empty()) {
+        const size_t comma = rest.find(',');
+        const std::string field = rest.substr(0, comma);
+        rest = comma == std::string::npos ? ""
+                                          : rest.substr(comma + 1);
+        const size_t eq = field.find('=');
+        if (eq == std::string::npos)
+            fatal("vca-explain: bad --spec field '%s' "
+                       "(expected key=value)", field.c_str());
+        const std::string key = field.substr(0, eq);
+        const std::string val = field.substr(eq + 1);
+        if (key == "bench")
+            bench = val;
+        else if (key == "arch")
+            arch = val;
+        else if (key == "regs")
+            regs = static_cast<unsigned>(std::stoul(val));
+        else if (key == "insts")
+            opts.measureInsts = std::stoull(val);
+        else if (key == "warmup")
+            opts.warmupInsts = std::stoull(val);
+        else
+            fatal("vca-explain: unknown --spec key '%s'",
+                       key.c_str());
+    }
+
+    const cpu::RenamerKind kind = parseArch(arch);
+    analysis::SweepPoint point =
+        analysis::makePoint(bench, kind, regs, opts);
+    // "bench=a+b" runs an SMT workload, one benchmark per thread.
+    if (bench.find('+') != std::string::npos) {
+        point.benches.clear();
+        std::string b = bench;
+        while (!b.empty()) {
+            const size_t plus = b.find('+');
+            point.benches.push_back(b.substr(0, plus));
+            b = plus == std::string::npos ? "" : b.substr(plus + 1);
+        }
+        point.opts.numThreads =
+            static_cast<unsigned>(point.benches.size());
+    }
+
+    const analysis::Measurement m =
+        analysis::SweepRunner::global().runPoint(point);
+    if (!m.ok)
+        fatal("vca-explain: spec '%s' is inoperable: %s",
+                   spec.c_str(), m.error.c_str());
+    const std::string config =
+        "bench=" + bench + " arch=" + arch +
+        " regs=" + std::to_string(regs);
+    return analysis::explainInputFromMeasurement(spec, config, m);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool markdown = false;
+    bool selftest = false;
+    // (kind, value) in order: kind 'r' = --run file, 's' = --spec.
+    std::vector<std::pair<char, std::string>> inputs;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "vca-explain: %s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--run")
+            inputs.emplace_back('r', value("--run"));
+        else if (arg == "--spec")
+            inputs.emplace_back('s', value("--spec"));
+        else if (arg == "--markdown")
+            markdown = true;
+        else if (arg == "--selftest")
+            selftest = true;
+        else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "vca-explain: unknown option '%s'\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+
+    if (selftest) {
+        if (!inputs.empty()) {
+            std::fprintf(stderr, "vca-explain: --selftest takes no "
+                                 "inputs\n");
+            return 2;
+        }
+        return vca::analysis::explainSelftest();
+    }
+    if (inputs.size() != 2) {
+        std::fprintf(stderr, "vca-explain: need exactly two inputs "
+                             "(--run and/or --spec), got %zu\n",
+                     inputs.size());
+        usage(stderr);
+        return 2;
+    }
+
+    try {
+        std::vector<vca::analysis::ExplainInput> runs;
+        for (const auto &[kind, value] : inputs)
+            runs.push_back(kind == 'r'
+                               ? vca::analysis::loadRunJson(value, "")
+                               : runSpec(value));
+        const vca::analysis::ExplainReport report =
+            vca::analysis::explain(runs[0], runs[1]);
+        std::fputs(vca::analysis::renderReport(report, markdown)
+                       .c_str(),
+                   stdout);
+        return 0;
+    } catch (const vca::FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

@@ -364,6 +364,19 @@ simMain(int argc, char **argv)
             intervals->addProbe("rename_stall_cycles", [&cpu] {
                 return cpu.renameStallCycles.value();
             });
+            // One probe per machine-level taxonomy leaf, so interval
+            // records double as aligned stall time series for
+            // vca-explain. All-zero under VCA_NTELEMETRY.
+            using Buckets = cpu::TaxonomyBuckets;
+            for (unsigned l = 0; l < Buckets::numLeaves; ++l) {
+                const auto leaf = static_cast<Buckets::Leaf>(l);
+                intervals->addProbe(
+                    std::string("tax.") + Buckets::leafName(leaf),
+                    [&cpu, leaf] {
+                        return cpu.cycleAccounting.taxonomy
+                            .leafValue(leaf);
+                    });
+            }
             cpu.addCommitListener([&cpu, &intervals](
                                       const cpu::DynInst &) {
                 intervals->onCommit(cpu.currentCycle());
@@ -440,6 +453,8 @@ simMain(int argc, char **argv)
                       opts.get("stats-json").c_str());
             trace::JsonWriter w(jsonFile);
             w.beginObject();
+            w.key("schemaVersion")
+                .number(std::uint64_t(trace::kStatsJsonSchemaVersion));
             w.key("config").beginObject();
             w.key("arch").string(cpu::renamerKindName(kind));
             w.key("regs").number(std::uint64_t(params.physRegs));
