@@ -137,5 +137,5 @@ main()
         std::printf("%6u %8.3f\n", ports, r.ipc);
     }
     printCycleAccounting({cpu::RenamerKind::Vca}, 192, defaultOptions());
-    return 0;
+    return finishBench();
 }

@@ -86,8 +86,16 @@ regWindowSweep(const std::vector<unsigned> &physRegs,
         for (size_t i = 0; i < benches.size(); ++i) {
             const auto &prof = benches[i];
             const Measurement &m = refResults[i];
-            if (!m.ok)
+            if (!m.ok) {
+                // An infrastructure failure (worker crash, deadline)
+                // after retries degrades this benchmark's cells to
+                // n/a — finishBench() reports it and exits nonzero.
+                // A deterministic simulator failure stays fatal: the
+                // baseline reference configuration must always run.
+                if (m.infra)
+                    continue;
                 fatal("reference run failed for %s", prof.name.c_str());
+            }
             reference[prof.name] = metricIsDcache
                 ? analysis::totalDcacheAccesses(prof,
                                                 RenamerKind::Baseline, m)
@@ -112,10 +120,13 @@ regWindowSweep(const std::vector<unsigned> &physRegs,
             const std::vector<std::string> &benchNames,
             const Measurement &m) {
             const auto &prof = wload::profileByName(benchNames.front());
+            const auto ref = reference.find(prof.name);
+            if (ref == reference.end())
+                return -1.0; // reference infra-failed: cell is n/a
             const double value = metricIsDcache
                 ? analysis::totalDcacheAccesses(prof, spec.kind, m)
                 : analysis::executionTime(prof, spec.kind, m);
-            return value / reference.at(prof.name);
+            return value / ref->second;
         });
 }
 
@@ -288,6 +299,23 @@ writeSeriesJson(const std::string &slug,
         w.endObject();
         w.endObject();
     }
+    // Per-point infrastructure failures accumulated by this process —
+    // present only on degraded runs, so a clean export stays
+    // byte-identical. perf_compare.py refuses to draw performance
+    // conclusions from a document carrying failures.
+    if (const auto failures =
+            analysis::SweepRunner::global().allFailures();
+        !failures.empty()) {
+        w.key("failures").beginArray();
+        for (const auto &f : failures) {
+            w.beginObject();
+            w.key("label").string(f.label);
+            w.key("error").string(f.error);
+            w.key("attempts").number(std::uint64_t(f.attempts));
+            w.endObject();
+        }
+        w.endArray();
+    }
     // Host-throughput trajectory: cumulative detailed-simulation cost
     // at the moment this bench's JSON is written (perf_compare.py
     // diffs the sim_mips field across runs).
@@ -295,6 +323,24 @@ writeSeriesJson(const std::string &slug,
     w.endObject();
     os << '\n';
     inform("wrote %s", path.c_str());
+}
+
+int
+finishBench()
+{
+    const auto failures = analysis::SweepRunner::global().allFailures();
+    if (failures.empty())
+        return 0;
+    std::fprintf(stderr,
+                 "bench: %zu sweep point(s) failed after retries; the "
+                 "affected cells read n/a:\n",
+                 failures.size());
+    for (const auto &f : failures) {
+        std::fprintf(stderr, "  %s: %s (%u attempt%s)\n",
+                     f.label.c_str(), f.error.c_str(), f.attempts,
+                     f.attempts == 1 ? "" : "s");
+    }
+    return 3;
 }
 
 void
@@ -360,9 +406,15 @@ singleThreadReference(const analysis::RunOptions &opts)
         const auto results = analysis::SweepRunner::global().run(points);
         for (size_t i = 0; i < profiles.size(); ++i) {
             const auto &prof = profiles[i];
-            if (!results[i].ok)
+            if (!results[i].ok) {
+                // Same degradation policy as regWindowSweep: infra
+                // failures drop the benchmark (its workloads read
+                // n/a), deterministic failures stay fatal.
+                if (results[i].infra)
+                    continue;
                 fatal("single-thread reference failed for %s",
                       prof.name.c_str());
+            }
             refs[prof.name] = analysis::executionTime(
                 prof, cpu::RenamerKind::Baseline, results[i]);
         }
@@ -402,7 +454,10 @@ weightedSpeedupFrom(const std::vector<std::string> &benches,
                 analysis::pathLength(prof, windowedBinaries));
         if (smtExec <= 0)
             return -1.0;
-        speedup += refs.at(benches[t]) / smtExec;
+        const auto ref = refs.find(benches[t]);
+        if (ref == refs.end())
+            return -1.0; // reference infra-failed: workload is n/a
+        speedup += ref->second / smtExec;
     }
     return speedup;
 }

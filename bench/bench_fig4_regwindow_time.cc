@@ -29,5 +29,5 @@ main()
                 "(normalized to baseline @ 256)",
                 "norm. execution time", sizes, series);
     printCycleAccounting(regWindowArchs(), 192, defaultOptions());
-    return 0;
+    return finishBench();
 }

@@ -28,5 +28,5 @@ main()
                 "(normalized to baseline @ 256)",
                 "norm. dcache accesses", sizes, series);
     printCycleAccounting(regWindowArchs(), 192, defaultOptions());
-    return 0;
+    return finishBench();
 }

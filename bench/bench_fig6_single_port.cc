@@ -29,5 +29,5 @@ main()
                 "(normalized to dual-port baseline @ 256)",
                 "norm. execution time", sizes, series);
     printCycleAccounting(regWindowArchs(), 192, opts);
-    return 0;
+    return finishBench();
 }

@@ -64,5 +64,5 @@ main()
                 "weighted speedup", sizes, series);
     printCycleAccounting({cpu::RenamerKind::Baseline,
                           cpu::RenamerKind::Vca}, 192, opts);
-    return 0;
+    return finishBench();
 }

@@ -105,5 +105,5 @@ main()
     }
     printCycleAccounting({cpu::RenamerKind::Baseline,
                           cpu::RenamerKind::Vca}, 192, opts);
-    return 0;
+    return finishBench();
 }

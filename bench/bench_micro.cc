@@ -137,5 +137,5 @@ main(int argc, char **argv)
     benchmark::Shutdown();
     bench::printCycleAccounting(bench::regWindowArchs(), 192,
                                 bench::defaultOptions());
-    return 0;
+    return bench::finishBench();
 }

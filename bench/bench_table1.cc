@@ -64,5 +64,5 @@ main()
                 p.rsidEntries, p.rsidOffsetBits);
     bench::printCycleAccounting({cpu::RenamerKind::Baseline}, 256,
                                 bench::defaultOptions());
-    return 0;
+    return bench::finishBench();
 }

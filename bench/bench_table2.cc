@@ -45,5 +45,5 @@ main()
                 "", analysis::mean(ratios));
     bench::printCycleAccounting(bench::regWindowArchs(), 192,
                                 bench::defaultOptions());
-    return 0;
+    return bench::finishBench();
 }

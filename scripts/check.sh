@@ -13,6 +13,13 @@
 # telemetry hook compiled out) and gates the host-MIPS overhead of the
 # compiled-in-but-disabled telemetry against it via perf_compare.py.
 #
+# A final robustness section exercises the fault-tolerant sweep layer
+# end to end: a chaos smoke (a vca-sim sweep under injected worker
+# crashes, corrupt cache reads and failed cache writes must print the
+# same bytes as a clean sweep) and an isolate-overhead gate (the
+# robustness layer enabled but idle must not slow a warm cached sweep
+# beyond CHECK_ROBUST_THRESHOLD).
+#
 # Usage: scripts/check.sh [extra ctest args...]
 #   CHECK_JOBS=N            parallelism (default: nproc)
 #   CHECK_BUILD_DIR=dir     build-tree root (default: build-check)
@@ -21,6 +28,11 @@
 #                           disabled telemetry hooks (default 0.05:
 #                           the design target is 2%, the gate leaves
 #                           headroom for host noise)
+#   CHECK_ROBUST_GATE=0     skip the chaos smoke + isolate gate
+#   CHECK_ROBUST_THRESHOLD=F allowed fractional wall-clock cost of the
+#                           enabled-but-idle robustness layer on a
+#                           warm cached sweep (default 0.02, plus a
+#                           fixed 50 ms slack for host noise)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -88,6 +100,80 @@ then
     done
     python3 scripts/perf_compare.py "$gate/base" "$gate/cand" \
             --threshold "${CHECK_TELEM_THRESHOLD:-0.05}"
+fi
+
+# Robustness: prove the fault-tolerant execution layer on the real
+# CLI. First the chaos smoke — the same sweep run clean and run under
+# heavy deterministic fault injection (half of first worker attempts
+# crash, every cache read corrupts, half of cache writes fail) must
+# print byte-identical results, cold and warm; only the wall-clock
+# "host:" line is stripped. Then the overhead gate — with isolation
+# and checksums enabled but no fault firing, a warm (pure-cache-hit)
+# sweep must cost no more than the stripped-down configuration.
+if [[ "${CHECK_ROBUST_GATE:-1}" != 0 ]] && command -v python3 >/dev/null
+then
+    echo "== chaos smoke =="
+    sim="$PWD/$root/release/tools/vca-sim"
+    work="$PWD/$root/robust-gate"
+    rm -rf "$work"
+    mkdir -p "$work/clean" "$work/chaos"
+    sweep_args=(--bench=crafty --arch=vca
+                --sweep-regs=64,96,128,160,192,256
+                --warmup=2000 --insts=20000)
+    chaos_env=(
+        VCA_FAULT_INJECT="seed=101,crash=0.5,corrupt=1,writefail=0.5,attempts=1"
+        VCA_ISOLATE=1 VCA_RETRIES=3 VCA_RETRY_BACKOFF_MS=1
+        VCA_POINT_TIMEOUT=120)
+    (cd "$work/clean" &&
+         env VCA_CACHE_DIR=cache VCA_FAULT_INJECT= VCA_ISOLATE=0 \
+             "$sim" "${sweep_args[@]}") |
+        grep -v '^host:' > "$work/clean.out"
+    for pass in cold warm; do
+        (cd "$work/chaos" &&
+             env VCA_CACHE_DIR=cache "${chaos_env[@]}" \
+                 "$sim" "${sweep_args[@]}" 2>"$work/chaos-$pass.err") |
+            grep -v '^host:' > "$work/chaos-$pass.out"
+        if ! diff -u "$work/clean.out" "$work/chaos-$pass.out"; then
+            echo "chaos smoke: $pass chaos sweep diverged" >&2
+            exit 1
+        fi
+    done
+
+    echo "== isolate-overhead gate =="
+    python3 - "$sim" "$work/overhead-cache" <<'EOF'
+import os
+import subprocess
+import sys
+import time
+
+sim, cache = sys.argv[1], sys.argv[2]
+args = [sim, "--bench=crafty", "--arch=all", "--warmup=2000",
+        "--insts=20000", "--sweep-regs=" + ",".join(
+            str(r) for r in range(64, 257, 16))]
+
+def best_of(runs, extra):
+    env = dict(os.environ, VCA_CACHE_DIR=cache, VCA_FAULT_INJECT="",
+               **extra)
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        subprocess.run(args, env=env, check=True,
+                       stdout=subprocess.DEVNULL)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+best_of(1, {})  # populate the cache; timed runs below are pure hits
+base = best_of(5, {"VCA_CACHE_VERIFY": "0", "VCA_ISOLATE": "0"})
+cand = best_of(5, {"VCA_ISOLATE": "1"})
+threshold = float(os.environ.get("CHECK_ROBUST_THRESHOLD", "0.02"))
+slack = 0.05
+print("isolate-overhead gate: base %.1f ms, robust %.1f ms" %
+      (base * 1e3, cand * 1e3))
+if cand > base * (1 + threshold) + slack:
+    sys.exit("robust clean path %.3fs exceeds base %.3fs by more "
+             "than %.0f%% + %.0f ms slack" %
+             (cand, base, threshold * 100, slack * 1e3))
+EOF
 fi
 
 echo "== all configurations passed =="

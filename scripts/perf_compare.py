@@ -55,6 +55,15 @@ def load_host_mips(path):
     except (OSError, json.JSONDecodeError) as e:
         print(f"warning: skipping {path}: {e}", file=sys.stderr)
         return None
+    # A degraded run: some sweep points failed after retries, so the
+    # host numbers cover an unknown subset of the work. Comparing them
+    # would blame (or credit) the wrong code; skip with a notice.
+    failures = doc.get("failures")
+    if isinstance(failures, list) and failures:
+        print(f"notice: skipping {path}: run recorded "
+              f"{len(failures)} failed sweep point(s); host throughput "
+              f"is not comparable", file=sys.stderr)
+        return None
     host = doc.get("host")
     if not isinstance(host, dict):
         raise MissingHostStats(
@@ -216,6 +225,21 @@ def selftest():
                   file=sys.stderr)
             return 1
         nohost.unlink()
+
+        # A run that recorded per-point failures is skipped with a
+        # notice (its host numbers cover an unknown subset of the
+        # sweep), never compared and never a hard error.
+        degraded = Path(canddir, "BENCH_degraded.json")
+        degraded.write_text(json.dumps(
+            {"bench": "degraded", "host": {"sim_mips": 4.0},
+             "failures": [{"label": "crafty/vca/192",
+                           "error": "worker killed by signal 9",
+                           "attempts": 3}]}))
+        if "degraded" in collect(canddir):
+            print("selftest: FAILED (degraded run not skipped)",
+                  file=sys.stderr)
+            return 1
+        degraded.unlink()
 
         # Warm-cache runs (sim_mips == 0) are skippable, not errors.
         write(canddir, "warm", 0.0)

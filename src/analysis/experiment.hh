@@ -86,6 +86,14 @@ struct RunOptions
 struct Measurement
 {
     bool ok = false;     ///< false: configuration cannot operate
+    /**
+     * True when the failure is an infrastructure fault (worker crash,
+     * deadline, escaped exception) rather than a property of the
+     * simulated configuration. Infra failures are never cached — the
+     * same point may well succeed on a retry or the next run — while
+     * !ok && !infra ("No Baseline") is a legitimate, cacheable result.
+     */
+    bool infra = false;
     std::string error;   ///< reason when !ok ("No Baseline" cases)
     Cycle cycles = 0;
     InstCount insts = 0;
@@ -107,7 +115,8 @@ struct Measurement
     bool
     operator==(const Measurement &o) const
     {
-        return ok == o.ok && error == o.error && cycles == o.cycles &&
+        return ok == o.ok && infra == o.infra && error == o.error &&
+               cycles == o.cycles &&
                insts == o.insts && ipc == o.ipc && cpi == o.cpi &&
                dcacheAccesses == o.dcacheAccesses &&
                dcacheAccPerInst == o.dcacheAccPerInst &&

@@ -1,6 +1,8 @@
 #include "analysis/runner.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
@@ -14,8 +16,10 @@
 #include <sstream>
 #include <thread>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include "sim/fault_inject.hh"
 #include "sim/logging.hh"
 #include "sim/thread_pool.hh"
 #include "stats/host_stats.hh"
@@ -40,6 +44,16 @@ fmtDouble(double v)
 {
     char buf[40];
     std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/** The 16-hex-digit spelling used for cache files and journals. */
+std::string
+hashHex(std::uint64_t h)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
     return buf;
 }
 
@@ -78,6 +92,13 @@ splitmix64(std::uint64_t z)
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
+}
+
+bool
+envFlag(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v && *v && std::strcmp(v, "0") != 0;
 }
 
 } // namespace
@@ -137,6 +158,70 @@ pointSeed(const SweepPoint &point)
     // library default" in RunOptions).
     const std::uint64_t seed = splitmix64(pointHash(point));
     return seed ? seed : 1;
+}
+
+std::uint64_t
+batchHash(const std::vector<SweepPoint> &points)
+{
+    std::vector<std::string> keys;
+    keys.reserve(points.size());
+    for (const SweepPoint &p : points)
+        keys.push_back(hashHex(pointHash(p)));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    std::string all;
+    for (const std::string &k : keys) {
+        all += k;
+        all += '\n';
+    }
+    return fnv1a(all);
+}
+
+std::string
+journalPath(const std::string &cacheDir, std::uint64_t batch)
+{
+    return cacheDir + "/journal/" + hashHex(batch) + ".jsonl";
+}
+
+std::string
+manifestPath(const std::string &cacheDir, std::uint64_t batch)
+{
+    return cacheDir + "/manifests/" + hashHex(batch) + ".json";
+}
+
+RobustConfig
+RobustConfig::fromEnv()
+{
+    RobustConfig r;
+    r.isolate = envFlag("VCA_ISOLATE");
+    r.resume = envFlag("VCA_RESUME");
+    if (const char *v = std::getenv("VCA_POINT_TIMEOUT"); v && *v) {
+        char *rest = nullptr;
+        const double t = std::strtod(v, &rest);
+        if (rest && !*rest && t >= 0)
+            r.pointTimeoutSec = t;
+        else
+            warn("ignoring VCA_POINT_TIMEOUT='%s' (want seconds >= 0)",
+                 v);
+    }
+    if (const char *v = std::getenv("VCA_RETRIES"); v && *v) {
+        char *rest = nullptr;
+        const unsigned long n = std::strtoul(v, &rest, 10);
+        if (rest && !*rest)
+            r.retries = static_cast<unsigned>(n);
+        else
+            warn("ignoring VCA_RETRIES='%s' (want an integer >= 0)", v);
+    }
+    if (const char *v = std::getenv("VCA_RETRY_BACKOFF_MS"); v && *v) {
+        char *rest = nullptr;
+        const unsigned long n = std::strtoul(v, &rest, 10);
+        if (rest && !*rest)
+            r.backoffMs = static_cast<unsigned>(n);
+        else
+            warn("ignoring VCA_RETRY_BACKOFF_MS='%s' (want an integer "
+                 ">= 0)", v);
+    }
+    return r;
 }
 
 // ---------------------------------------------------------------------
@@ -257,7 +342,11 @@ measurementFromJson(const std::string &text)
 // ResultCache
 // ---------------------------------------------------------------------
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    const char *v = std::getenv("VCA_CACHE_VERIFY");
+    verify_ = !(v && std::strcmp(v, "0") == 0);
+}
 
 std::string
 ResultCache::defaultDir()
@@ -270,10 +359,42 @@ ResultCache::defaultDir()
 std::string
 ResultCache::pathFor(const SweepPoint &point) const
 {
-    char name[32];
-    std::snprintf(name, sizeof name, "%016llx.json",
-                  static_cast<unsigned long long>(pointHash(point)));
-    return dir_ + "/" + name;
+    return dir_ + "/" + hashHex(pointHash(point)) + ".json";
+}
+
+void
+ResultCache::quarantineEntry(const std::string &path,
+                             const char *reason) const
+{
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+    const fs::path src(path);
+    const fs::path qdir = fs::path(dir_) / "quarantine";
+    std::error_code ec;
+    fs::create_directories(qdir, ec);
+    const fs::path dst =
+        qdir / (src.filename().string() + "." + reason);
+    fs::rename(src, dst, ec);
+    if (ec) {
+        // Second best: stop re-reading (and re-warning about) it.
+        fs::remove(src, ec);
+    }
+    if (!warnedQuarantine_.exchange(true)) {
+        warn("cache entry %s is invalid (%s); quarantined under %s and "
+             "re-simulating. Further quarantines are silent; see the "
+             "sweep.cache_quarantined stat.",
+             path.c_str(), reason, qdir.string().c_str());
+    }
+}
+
+void
+ResultCache::noteWriteError(const std::string &what) const
+{
+    writeErrors_.fetch_add(1, std::memory_order_relaxed);
+    if (!warnedWrite_.exchange(true)) {
+        warn("%s; continuing uncached. Further cache write errors are "
+             "silent; see the sweep.cache_write_errors stat.",
+             what.c_str());
+    }
 }
 
 bool
@@ -282,27 +403,66 @@ ResultCache::load(const SweepPoint &point, Measurement &out) const
     if (!enabled())
         return false;
     const std::string path = pathFor(point);
-    std::ifstream is(path);
+    std::ifstream is(path, std::ios::binary);
     if (!is)
-        return false;
+        return false; // never cached: the ordinary miss
     std::ostringstream buf;
     buf << is.rdbuf();
+    is.close();
+    std::string text = buf.str();
+    if (FaultInjector::global().shouldFire(FaultSite::CacheCorruptRead,
+                                           pointHash(point)) &&
+        !text.empty()) {
+        text[text.size() / 2] ^= 0xFF; // simulated on-disk bit rot
+    }
+    if (text.empty()) {
+        quarantineEntry(path, "empty");
+        return false;
+    }
     try {
-        const trace::JsonValue doc = trace::JsonValue::parse(buf.str());
+        const trace::JsonValue doc = trace::JsonValue::parse(text);
+        if (!doc.isObject()) {
+            quarantineEntry(path, "schema");
+            return false;
+        }
+        // Valid JSON of the wrong shape (legacy schema, foreign file)
+        // is as much a miss as a truncated entry — counted, moved
+        // aside, re-simulated.
+        const trace::JsonValue *schema = doc.find("schema");
+        if (!schema || !schema->isNumber() ||
+            schema->asNumber() != kCacheEntrySchema) {
+            schemaMisses_.fetch_add(1, std::memory_order_relaxed);
+            quarantineEntry(path, "schema");
+            return false;
+        }
         const trace::JsonValue *version = doc.find("version");
         const trace::JsonValue *key = doc.find("key");
+        const trace::JsonValue *sum = doc.find("sum");
         const trace::JsonValue *meas = doc.find("measurement");
-        if (!version || !key || !meas)
-            fatal("missing version/key/measurement");
+        if (!version || !key || !sum || !meas) {
+            schemaMisses_.fetch_add(1, std::memory_order_relaxed);
+            quarantineEntry(path, "schema");
+            return false;
+        }
         if (version->asString() != kSimVersionTag)
-            return false; // stale simulator version
+            return false; // stale simulator version: plain miss
         if (key->asString() != pointKey(point))
-            return false; // hash collision
-        out = measurementFromValue(*meas);
+            return false; // hash collision: plain miss
+        Measurement m = measurementFromValue(*meas);
+        // The checksum covers the canonical re-serialization of the
+        // parsed measurement: JsonValue preserves member order and
+        // doubles round-trip losslessly, so any byte that made it
+        // through the parser but differs from what store() wrote
+        // changes the sum.
+        if (verify_ &&
+            sum->asString() != hashHex(fnv1a(measurementToJson(m)))) {
+            quarantineEntry(path, "checksum");
+            return false;
+        }
+        out = std::move(m);
         return true;
-    } catch (const FatalError &e) {
-        warn("ignoring corrupt cache entry %s: %s", path.c_str(),
-             e.what());
+    } catch (const FatalError &) {
+        quarantineEntry(path, "parse");
         return false;
     }
 }
@@ -415,17 +575,22 @@ installCacheCleanupHandler()
 
 } // namespace
 
-void
+bool
 ResultCache::store(const SweepPoint &point, const Measurement &m) const
 {
     if (!enabled())
-        return;
+        return false;
+    if (FaultInjector::global().shouldFire(FaultSite::CacheWriteFail,
+                                           pointHash(point))) {
+        noteWriteError("cache write failed (injected fault)");
+        return false;
+    }
     std::error_code ec;
     fs::create_directories(dir_, ec);
     if (ec) {
-        warn("cannot create cache dir %s: %s", dir_.c_str(),
-             ec.message().c_str());
-        return;
+        noteWriteError("cannot create cache dir " + dir_ + ": " +
+                       ec.message());
+        return false;
     }
     const std::string path = pathFor(point);
     // Unique temp name per writer, then an atomic rename: concurrent
@@ -436,30 +601,240 @@ ResultCache::store(const SweepPoint &point, const Measurement &m) const
     const std::string tmp = tmpName.str();
     installCacheCleanupHandler();
     const int slot = gTmpRegistry.acquire(tmp);
+    bool written = false;
     {
         std::ofstream os(tmp);
         if (!os) {
-            warn("cannot write cache entry %s", tmp.c_str());
+            noteWriteError("cannot write cache entry " + tmp);
             gTmpRegistry.release(slot);
-            return;
+            return false;
         }
         trace::JsonWriter w(os);
         w.beginObject();
+        w.key("schema").number(std::uint64_t(kCacheEntrySchema));
         w.key("version").string(kSimVersionTag);
         w.key("key").string(pointKey(point));
+        w.key("sum").string(hashHex(fnv1a(measurementToJson(m))));
         w.key("measurement");
         writeMeasurement(w, m);
         w.endObject();
         os << '\n';
+        os.flush();
+        // A full disk (ENOSPC) surfaces here as a failed stream, not
+        // an exception: detect it before the rename would publish a
+        // short entry.
+        written = static_cast<bool>(os);
+    }
+    if (!written) {
+        fs::remove(tmp, ec);
+        gTmpRegistry.release(slot);
+        noteWriteError("short write on cache entry " + tmp);
+        return false;
     }
     fs::rename(tmp, path, ec);
     if (ec) {
-        warn("cannot commit cache entry %s: %s", path.c_str(),
-             ec.message().c_str());
         fs::remove(tmp, ec);
+        gTmpRegistry.release(slot);
+        noteWriteError("cannot commit cache entry " + path + ": " +
+                       ec.message());
+        return false;
     }
     gTmpRegistry.release(slot);
+    return true;
 }
+
+// ---------------------------------------------------------------------
+// Batch journal and failure manifest
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * JsonWriter output flattened to one physical line. Lossless: any
+ * newline inside a string value is escaped by the writer, so raw
+ * newlines (and their following indentation) are pure formatting.
+ */
+std::string
+oneLine(const std::string &pretty)
+{
+    std::string out;
+    out.reserve(pretty.size());
+    for (size_t i = 0; i < pretty.size(); ++i) {
+        if (pretty[i] == '\n') {
+            while (i + 1 < pretty.size() && pretty[i + 1] == ' ')
+                ++i;
+            continue;
+        }
+        out += pretty[i];
+    }
+    return out;
+}
+
+/**
+ * Crash-safe record of one batch's progress: a JSONL file under the
+ * cache directory, one flushed line per event, so the tail after a
+ * SIGKILL is at worst one torn line (which the loader skips). The
+ * journal only exists while a batch has points in flight; a batch
+ * that ends clean removes it.
+ */
+class SweepJournal
+{
+  public:
+    SweepJournal(std::string path, std::uint64_t batch)
+        : path_(std::move(path))
+    {
+        std::error_code ec;
+        fs::create_directories(fs::path(path_).parent_path(), ec);
+        os_.open(path_, std::ios::trunc);
+        if (!os_) {
+            warn("cannot write sweep journal %s; an interrupted sweep "
+                 "will re-run its failed points", path_.c_str());
+            return;
+        }
+        std::ostringstream line;
+        trace::JsonWriter w(line);
+        w.beginObject();
+        w.key("journal").number(std::uint64_t(1));
+        w.key("batch").string(hashHex(batch));
+        w.key("version").string(kSimVersionTag);
+        w.endObject();
+        append(oneLine(line.str()));
+    }
+
+    void
+    start(std::uint64_t point)
+    {
+        event(point, "start");
+    }
+
+    void
+    done(std::uint64_t point)
+    {
+        event(point, "done");
+    }
+
+    void
+    failed(const PointFailure &f)
+    {
+        std::ostringstream line;
+        trace::JsonWriter w(line);
+        w.beginObject();
+        w.key("point").string(hashHex(f.hash));
+        w.key("status").string("failed");
+        w.key("label").string(f.label);
+        w.key("error").string(f.error);
+        w.key("attempts").number(std::uint64_t(f.attempts));
+        w.endObject();
+        append(oneLine(line.str()));
+    }
+
+  private:
+    void
+    event(std::uint64_t point, const char *status)
+    {
+        std::ostringstream line;
+        trace::JsonWriter w(line);
+        w.beginObject();
+        w.key("point").string(hashHex(point));
+        w.key("status").string(status);
+        w.endObject();
+        append(oneLine(line.str()));
+    }
+
+    void
+    append(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!os_)
+            return;
+        os_ << line << '\n';
+        os_.flush(); // each event survives a SIGKILL right after it
+    }
+
+    std::string path_;
+    std::ofstream os_;
+    std::mutex mutex_;
+};
+
+/**
+ * Failures recorded by a prior run's journal, keyed by point hash. A
+ * later "start"/"done" for the same point supersedes the failure (the
+ * point was retried). Torn tail lines — the expected state after a
+ * crash — are skipped.
+ */
+std::map<std::uint64_t, PointFailure>
+loadJournalFailures(const std::string &path)
+{
+    std::map<std::uint64_t, PointFailure> failures;
+    std::ifstream is(path);
+    if (!is)
+        return failures;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        try {
+            const trace::JsonValue doc = trace::JsonValue::parse(line);
+            if (!doc.isObject())
+                continue;
+            const trace::JsonValue *point = doc.find("point");
+            const trace::JsonValue *status = doc.find("status");
+            if (!point || !status)
+                continue;
+            const std::uint64_t hash = std::strtoull(
+                point->asString().c_str(), nullptr, 16);
+            if (status->asString() == "failed") {
+                PointFailure f;
+                f.hash = hash;
+                if (const trace::JsonValue *l = doc.find("label"))
+                    f.label = l->asString();
+                if (const trace::JsonValue *e = doc.find("error"))
+                    f.error = e->asString();
+                if (const trace::JsonValue *a = doc.find("attempts"))
+                    f.attempts = static_cast<unsigned>(a->asNumber());
+                failures[hash] = f;
+            } else {
+                failures.erase(hash);
+            }
+        } catch (const std::exception &) {
+            continue; // torn line from the interruption
+        }
+    }
+    return failures;
+}
+
+void
+writeFailureManifest(const std::string &path, std::uint64_t batch,
+                     size_t points,
+                     const std::vector<PointFailure> &failures)
+{
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) {
+        warn("cannot write failure manifest %s", path.c_str());
+        return;
+    }
+    trace::JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").number(std::uint64_t(1));
+    w.key("batch").string(hashHex(batch));
+    w.key("points").number(std::uint64_t(points));
+    w.key("failures").beginArray();
+    for (const PointFailure &f : failures) {
+        w.beginObject();
+        w.key("point").string(hashHex(f.hash));
+        w.key("label").string(f.label);
+        w.key("error").string(f.error);
+        w.key("attempts").number(std::uint64_t(f.attempts));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace
 
 // ---------------------------------------------------------------------
 // SweepRunner
@@ -472,12 +847,30 @@ SweepRunner::SweepRunner(const SweepConfig &config)
       cacheMisses(this, "cache_misses", "points requiring simulation"),
       pointsFailed(this, "points_failed",
                    "simulated points that cannot operate"),
+      pointsInfraFailed(this, "points_infra_failed",
+                        "points lost to crashes/timeouts after retries"),
+      pointsRetried(this, "points_retried",
+                    "extra point attempts beyond the first"),
+      pointsTimedOut(this, "points_timed_out",
+                     "point deadlines that expired"),
       sweepSeconds(this, "sweep_seconds", "wall-clock spent in run()"),
       pointsPerSec(this, "points_per_sec", "lifetime sweep throughput",
                    [this] {
                        const double s = sweepSeconds.value();
                        return s > 0 ? pointsTotal.value() / s : 0.0;
                    }),
+      cacheQuarantined(this, "cache_quarantined",
+                       "invalid cache entries moved to quarantine",
+                       [this] {
+                           return static_cast<double>(
+                               cache_.quarantined());
+                       }),
+      cacheWriteErrors(this, "cache_write_errors",
+                       "cache stores that failed (entry not written)",
+                       [this] {
+                           return static_cast<double>(
+                               cache_.writeErrors());
+                       }),
       config_(config),
       cache_(config.cacheDir)
 {
@@ -501,6 +894,34 @@ SweepRunner::global()
 {
     static SweepRunner runner;
     return runner;
+}
+
+void
+SweepRunner::setRobust(const RobustConfig &robust)
+{
+    std::lock_guard<std::mutex> lock(robustMutex_);
+    config_.robust = robust;
+}
+
+RobustConfig
+SweepRunner::robust() const
+{
+    std::lock_guard<std::mutex> lock(robustMutex_);
+    return config_.robust;
+}
+
+std::vector<PointFailure>
+SweepRunner::lastFailures() const
+{
+    std::lock_guard<std::mutex> lock(failuresMutex_);
+    return lastFailures_;
+}
+
+std::vector<PointFailure>
+SweepRunner::allFailures() const
+{
+    std::lock_guard<std::mutex> lock(failuresMutex_);
+    return allFailures_;
 }
 
 void
@@ -543,6 +964,25 @@ pointLabel(const SweepPoint &point)
     }
     return benches + "/" + cpu::renamerKindName(point.kind) + "/" +
            std::to_string(point.physRegs);
+}
+
+/** Atomic tmp+rename write of a child's result document. */
+bool
+writeChildResult(const std::string &path, const std::string &doc)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            return false;
+        os << doc << '\n';
+        os.flush();
+        if (!os)
+            return false;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    return !ec;
 }
 
 /**
@@ -644,30 +1084,285 @@ SweepRunner::executePoint(const SweepPoint &point) const
     return runTiming(programs, point.kind, point.physRegs, opts);
 }
 
+bool
+SweepRunner::runIsolated(const SweepPoint &point,
+                         const RobustConfig &robust, unsigned attempt,
+                         Measurement &out, std::string &error,
+                         bool &timedOut) const
+{
+    timedOut = false;
+    const std::uint64_t hash = pointHash(point);
+    std::ostringstream name;
+    name << "vca-point-" << hashHex(hash) << "." << ::getpid() << "."
+         << attempt << ".json";
+    std::error_code ec;
+    const std::string resultPath =
+        (fs::temp_directory_path(ec) / name.str()).string();
+    if (ec) {
+        // No usable temp dir: isolation is impossible, fall through to
+        // the in-process path (the retry loop treats this as success).
+        out = executePoint(point);
+        return true;
+    }
+
+    // Buffered stdio written before the fork must not be flushed twice
+    // (once by each process) after it.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        static std::atomic<bool> warnedFork{false};
+        if (!warnedFork.exchange(true)) {
+            warn("fork failed (%s); running sweep points in-process",
+                 std::strerror(errno));
+        }
+        out = executePoint(point);
+        return true;
+    }
+    if (pid == 0) {
+        // Child. Only _exit() from here: exit() would run the parent's
+        // atexit handlers and flush its inherited streams.
+        const FaultInjector &fi = FaultInjector::global();
+        if (fi.shouldFire(FaultSite::WorkerCrash, hash, attempt))
+            ::_exit(113);
+        if (fi.shouldFire(FaultSite::WorkerHang, hash, attempt)) {
+            for (;;)
+                ::pause();
+        }
+        int code = 0;
+        try {
+            // Host-time deltas around the simulation travel back in
+            // the result file so isolation does not lose MIPS
+            // accounting.
+            const stats::HostStats &hs = stats::HostStats::global();
+            const double sec0 = hs.simSeconds.value();
+            const double insts0 = hs.simInsts.value();
+            const double cycles0 = hs.simCycles.value();
+            const Measurement m = executePoint(point);
+            std::ostringstream doc;
+            trace::JsonWriter w(doc);
+            w.beginObject();
+            w.key("exec_ok").boolean(true);
+            w.key("host").beginObject();
+            w.key("seconds").number(hs.simSeconds.value() - sec0);
+            w.key("insts").number(hs.simInsts.value() - insts0);
+            w.key("cycles").number(hs.simCycles.value() - cycles0);
+            w.endObject();
+            w.key("measurement");
+            writeMeasurement(w, m);
+            w.endObject();
+            code = writeChildResult(resultPath, doc.str()) ? 0 : 112;
+        } catch (const std::exception &e) {
+            std::ostringstream doc;
+            trace::JsonWriter w(doc);
+            w.beginObject();
+            w.key("exec_ok").boolean(false);
+            w.key("error").string(e.what());
+            w.endObject();
+            code = writeChildResult(resultPath, doc.str()) ? 0 : 112;
+        } catch (...) {
+            code = 111;
+        }
+        ::_exit(code);
+    }
+
+    // Parent: reap with the optional deadline.
+    const bool hasDeadline = robust.pointTimeoutSec > 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(
+                hasDeadline ? robust.pointTimeoutSec : 0));
+    int status = 0;
+    for (;;) {
+        const pid_t r = ::waitpid(pid, &status, WNOHANG);
+        if (r == pid)
+            break;
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            error = std::string("waitpid failed: ") +
+                    std::strerror(errno);
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, &status, 0);
+            fs::remove(resultPath, ec);
+            return false;
+        }
+        if (hasDeadline && std::chrono::steady_clock::now() >= deadline) {
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, &status, 0);
+            timedOut = true;
+            std::ostringstream msg;
+            msg << "worker exceeded the " << robust.pointTimeoutSec
+                << "s point deadline";
+            error = msg.str();
+            fs::remove(resultPath, ec);
+            return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        std::ostringstream msg;
+        if (WIFSIGNALED(status))
+            msg << "worker killed by signal " << WTERMSIG(status);
+        else
+            msg << "worker exited with status " << WEXITSTATUS(status);
+        error = msg.str();
+        fs::remove(resultPath, ec);
+        return false;
+    }
+
+    std::string text;
+    {
+        std::ifstream is(resultPath, std::ios::binary);
+        if (!is) {
+            error = "worker exited cleanly but left no result file";
+            return false;
+        }
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        text = buf.str();
+    }
+    fs::remove(resultPath, ec);
+    try {
+        const trace::JsonValue doc = trace::JsonValue::parse(text);
+        const trace::JsonValue *execOk = doc.find("exec_ok");
+        if (!execOk)
+            fatal("missing exec_ok");
+        if (!execOk->asBool()) {
+            // The child caught a simulator exception. That path is
+            // deterministic — a retry would fail identically — so
+            // report it as a completed infra failure, not a retryable
+            // crash.
+            const trace::JsonValue *e = doc.find("error");
+            out = Measurement{};
+            out.ok = false;
+            out.infra = true;
+            out.error = e ? e->asString() : "unknown worker error";
+            return true;
+        }
+        if (const trace::JsonValue *host = doc.find("host")) {
+            const trace::JsonValue *sec = host->find("seconds");
+            const trace::JsonValue *insts = host->find("insts");
+            const trace::JsonValue *cycles = host->find("cycles");
+            if (sec && insts && cycles && sec->asNumber() > 0) {
+                stats::HostStats::global().record(sec->asNumber(),
+                                                  insts->asNumber(),
+                                                  cycles->asNumber());
+            }
+        }
+        const trace::JsonValue *meas = doc.find("measurement");
+        if (!meas)
+            fatal("missing measurement");
+        out = measurementFromValue(*meas);
+        return true;
+    } catch (const std::exception &e) {
+        error = std::string("worker result unreadable: ") + e.what();
+        return false;
+    }
+}
+
+Measurement
+SweepRunner::runPointAttempts(const SweepPoint &point,
+                              const RobustConfig &robust,
+                              unsigned &attempts,
+                              unsigned &timeouts) const
+{
+    const unsigned maxAttempts = robust.retries + 1;
+    std::string lastError = "point failed";
+    attempts = 0;
+    timeouts = 0;
+    for (unsigned attempt = 0; attempt < maxAttempts; ++attempt) {
+        attempts = attempt + 1;
+        if (attempt > 0 && robust.backoffMs > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::uint64_t(robust.backoffMs) << (attempt - 1)));
+        }
+        if (robust.isolate) {
+            Measurement m;
+            std::string error;
+            bool timedOut = false;
+            if (runIsolated(point, robust, attempt, m, error, timedOut))
+                return m;
+            if (timedOut)
+                ++timeouts;
+            lastError = error;
+            continue; // crash or deadline kill: retryable
+        }
+        try {
+            return executePoint(point);
+        } catch (const std::exception &e) {
+            // runTiming absorbs FatalError itself; anything that
+            // reaches here is a simulator bug. It is deterministic, so
+            // an in-process retry would fail identically: fail the
+            // point immediately, never the batch.
+            Measurement m;
+            m.ok = false;
+            m.infra = true;
+            m.error = e.what();
+            return m;
+        } catch (...) {
+            Measurement m;
+            m.ok = false;
+            m.infra = true;
+            m.error = "non-standard exception escaped the simulation";
+            return m;
+        }
+    }
+    Measurement m;
+    m.ok = false;
+    m.infra = true;
+    m.error = lastError;
+    return m;
+}
+
 std::vector<Measurement>
 SweepRunner::run(const std::vector<SweepPoint> &points)
 {
     const auto start = std::chrono::steady_clock::now();
+    const RobustConfig robustCfg = robust();
     std::vector<Measurement> results(points.size());
 
     // Coalesce identical points: simulate (or load) each config once.
     struct Work
     {
         const SweepPoint *point;
+        std::uint64_t hash;
         std::vector<size_t> slots;
     };
     std::vector<Work> unique;
     {
         std::map<std::string, size_t> byKey;
         for (size_t i = 0; i < points.size(); ++i) {
-            const std::string key = pointKey(points[i]);
-            auto [it, inserted] = byKey.emplace(key, unique.size());
+            std::string key = pointKey(points[i]);
+            const std::uint64_t hash = fnv1a(key);
+            auto [it, inserted] =
+                byKey.emplace(std::move(key), unique.size());
             if (inserted)
-                unique.push_back(Work{&points[i], {}});
+                unique.push_back(Work{&points[i], hash, {}});
             unique[it->second].slots.push_back(i);
         }
     }
     pointsTotal += static_cast<double>(points.size());
+
+    // The batch identity for journal/manifest names: FNV-1a over the
+    // sorted unique point hashes (same value batchHash() computes,
+    // without re-deriving every key).
+    std::uint64_t batch = 0;
+    {
+        std::vector<std::string> hashes;
+        hashes.reserve(unique.size());
+        for (const Work &w : unique)
+            hashes.push_back(hashHex(w.hash));
+        std::sort(hashes.begin(), hashes.end());
+        std::string all;
+        for (const std::string &h : hashes) {
+            all += h;
+            all += '\n';
+        }
+        batch = fnv1a(all);
+    }
 
     struct Latch
     {
@@ -676,12 +1371,24 @@ SweepRunner::run(const std::vector<SweepPoint> &points)
         size_t remaining = 0;
     } latch;
     std::uint64_t hits = 0, misses = 0, failed = 0;
+    std::uint64_t infraFailed = 0, retried = 0, timedOut = 0;
+    std::uint64_t replayed = 0;
+    std::vector<PointFailure> failures;
     std::mutex statsMutex;
 
     telemetry::ChromeTraceWriter *tw;
     {
         std::lock_guard<std::mutex> lock(traceMutex_);
         tw = traceWriter_;
+    }
+
+    // Under --resume, failures a prior interrupted run already burned
+    // a full retry budget on are replayed from the journal instead of
+    // re-simulated. Must be read before the journal is recreated.
+    std::map<std::uint64_t, PointFailure> priorFailed;
+    if (cache_.enabled() && robustCfg.resume) {
+        priorFailed =
+            loadJournalFailures(journalPath(cache_.dir(), batch));
     }
 
     std::vector<const Work *> toRun;
@@ -696,6 +1403,18 @@ SweepRunner::run(const std::vector<SweepPoint> &points)
             }
             for (size_t slot : w.slots)
                 results[slot] = m;
+        } else if (auto it = priorFailed.find(w.hash);
+                   it != priorFailed.end()) {
+            Measurement fm;
+            fm.ok = false;
+            fm.infra = true;
+            fm.error = it->second.error;
+            for (size_t slot : w.slots)
+                results[slot] = fm;
+            failures.push_back(it->second);
+            ++replayed;
+            ++infraFailed;
+            ++failed;
         } else {
             ++misses;
             toRun.push_back(&w);
@@ -703,39 +1422,75 @@ SweepRunner::run(const std::vector<SweepPoint> &points)
     }
     latch.remaining = toRun.size();
 
+    if (!toRun.empty() && robustCfg.pointTimeoutSec > 0 &&
+        !robustCfg.isolate) {
+        static std::atomic<bool> warnedTimeout{false};
+        if (!warnedTimeout.exchange(true)) {
+            warn("VCA_POINT_TIMEOUT has no effect without isolation "
+                 "(an in-process worker thread cannot be killed "
+                 "safely); set VCA_ISOLATE=1 to enforce deadlines");
+        }
+    }
+
+    // The journal exists only while points are in flight, so a fully
+    // warm batch costs nothing and leaves nothing behind.
+    std::unique_ptr<SweepJournal> journal;
+    if (cache_.enabled() && !toRun.empty()) {
+        journal = std::make_unique<SweepJournal>(
+            journalPath(cache_.dir(), batch), batch);
+        // Replayed failures must survive into the fresh journal or a
+        // second --resume would re-simulate them.
+        for (const PointFailure &f : failures)
+            journal->failed(f);
+    }
+
     SweepProgress progress;
-    progress.init(unique.size(), hits);
+    progress.init(unique.size(), hits + replayed);
 
     for (const Work *w : toRun) {
         pool_->submit([this, w, &results, &latch, &statsMutex, &failed,
-                       tw, &progress] {
+                       &infraFailed, &retried, &timedOut, &failures,
+                       &journal, &robustCfg, tw, &progress] {
             progress.onStart();
+            if (journal)
+                journal->start(w->hash);
             const int lane = tw ? hostLaneFor(*tw) : 0;
             const double simStart = tw ? tw->hostNowUs() : 0;
-            Measurement m;
-            bool cacheable = true;
-            try {
-                m = executePoint(*w->point);
-            } catch (const std::exception &e) {
-                // runTiming absorbs FatalError itself; anything that
-                // reaches here is a simulator bug — report it as an
-                // inoperable point but never memoize it.
-                m.ok = false;
-                m.error = e.what();
-                cacheable = false;
-            }
+            unsigned attempts = 1, pointTimeouts = 0;
+            const Measurement m = runPointAttempts(
+                *w->point, robustCfg, attempts, pointTimeouts);
             if (tw) {
                 tw->slice(kHostTracePid, lane,
                           "sim " + pointLabel(*w->point), simStart,
                           tw->hostNowUs() - simStart);
             }
-            if (cacheable)
+            // Infra failures are transient by definition — never
+            // memoize one, or a crash would poison every later run.
+            if (!m.infra)
                 cache_.store(*w->point, m);
             for (size_t slot : w->slots)
                 results[slot] = m;
-            if (!m.ok) {
+            if (journal) {
+                if (m.infra) {
+                    journal->failed(PointFailure{pointLabel(*w->point),
+                                                 w->hash, m.error,
+                                                 attempts});
+                } else {
+                    journal->done(w->hash);
+                }
+            }
+            {
                 std::lock_guard<std::mutex> lock(statsMutex);
-                ++failed;
+                if (!m.ok)
+                    ++failed;
+                if (m.infra) {
+                    ++infraFailed;
+                    failures.push_back(
+                        PointFailure{pointLabel(*w->point), w->hash,
+                                     m.error, attempts});
+                }
+                retried += attempts - 1;
+                timedOut += pointTimeouts;
             }
             progress.onFinish();
             std::lock_guard<std::mutex> lock(latch.mutex);
@@ -749,9 +1504,46 @@ SweepRunner::run(const std::vector<SweepPoint> &points)
     }
     progress.finish();
 
+    // Deterministic order for manifests, reports and tests regardless
+    // of worker scheduling.
+    std::sort(failures.begin(), failures.end(),
+              [](const PointFailure &a, const PointFailure &b) {
+                  return a.label != b.label ? a.label < b.label
+                                            : a.hash < b.hash;
+              });
+
+    journal.reset(); // close before deciding its fate
+    if (cache_.enabled()) {
+        std::error_code ec;
+        if (failures.empty()) {
+            // Clean batch: nothing to resume, nothing to report. The
+            // parent directories go too once empty, so a healthy
+            // cache looks exactly as it did before journaling existed.
+            const fs::path jpath = journalPath(cache_.dir(), batch);
+            const fs::path mpath = manifestPath(cache_.dir(), batch);
+            fs::remove(jpath, ec);
+            fs::remove(jpath.parent_path(), ec); // rmdir, if empty
+            fs::remove(mpath, ec);
+            fs::remove(mpath.parent_path(), ec);
+        } else {
+            writeFailureManifest(manifestPath(cache_.dir(), batch),
+                                 batch, points.size(), failures);
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(failuresMutex_);
+        lastFailures_ = failures;
+        allFailures_.insert(allFailures_.end(), failures.begin(),
+                            failures.end());
+    }
+
     cacheHits += static_cast<double>(hits);
     cacheMisses += static_cast<double>(misses);
     pointsFailed += static_cast<double>(failed);
+    pointsInfraFailed += static_cast<double>(infraFailed);
+    pointsRetried += static_cast<double>(retried);
+    pointsTimedOut += static_cast<double>(timedOut);
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -760,13 +1552,32 @@ SweepRunner::run(const std::vector<SweepPoint> &points)
 
     const char *report = std::getenv("VCA_SWEEP_STATS");
     if (report && *report) {
+        // Robustness columns appear only when nonzero, so the clean
+        // path's report stays byte-identical to what it always was.
+        std::string extra;
+        char buf[96];
+        if (infraFailed) {
+            std::snprintf(buf, sizeof buf, ", %llu infra-failed",
+                          (unsigned long long)infraFailed);
+            extra += buf;
+        }
+        if (replayed) {
+            std::snprintf(buf, sizeof buf, ", %llu replayed",
+                          (unsigned long long)replayed);
+            extra += buf;
+        }
+        if (retried) {
+            std::snprintf(buf, sizeof buf, ", %llu retried",
+                          (unsigned long long)retried);
+            extra += buf;
+        }
         std::fprintf(stderr,
                      "sweep: %zu points (%zu unique): %llu cache hits, "
-                     "%llu simulated, %llu inoperable, %.2fs (%.1f "
+                     "%llu simulated, %llu inoperable%s, %.2fs (%.1f "
                      "points/s)\n",
                      points.size(), unique.size(),
                      (unsigned long long)hits, (unsigned long long)misses,
-                     (unsigned long long)failed, seconds,
+                     (unsigned long long)failed, extra.c_str(), seconds,
                      seconds > 0 ? points.size() / seconds : 0.0);
     }
     return results;

@@ -1,6 +1,7 @@
 /**
  * @file
- * Parallel sweep engine with an on-disk result cache.
+ * Parallel sweep engine with an on-disk result cache and a
+ * fault-tolerant execution layer.
  *
  * Every figure/table reproduction is a set of independent timing
  * measurements — (architecture, physical-register count, workload,
@@ -17,12 +18,45 @@
  * worker count (VCA_JOBS) or execution order. tests/test_golden.cc
  * pins this down.
  *
+ * Fault tolerance: a multi-hour sweep must degrade by points, not by
+ * batches. Four layers, all opt-in or invisible on the clean path:
+ *
+ *  - Process isolation (RobustConfig::isolate): each simulated point
+ *    runs in a forked child that reports its Measurement through a
+ *    result file; a crashing or hanging point costs one point (and is
+ *    retried), never the batch.
+ *  - Deadlines and retries: isolate-mode points get a wall-clock
+ *    deadline (SIGKILL + retry with exponential backoff); attempts
+ *    that keep failing become a structured PointFailure with
+ *    Measurement::infra set, never a cached result.
+ *  - Crash-safe journaling: while any point is in flight, a per-batch
+ *    JSONL journal under "<cache>/journal/" records started, done and
+ *    failed points. After a SIGKILL mid-sweep, a RobustConfig::resume
+ *    run re-simulates only the points missing from the cache and
+ *    replays journaled failures without burning their retry budget.
+ *    Batches that end with failures also leave a machine-readable
+ *    manifest under "<cache>/manifests/".
+ *  - Cache integrity: entries are checksummed end-to-end; corrupt,
+ *    truncated or wrong-schema entries are quarantined to
+ *    "<cache>/quarantine/" and transparently re-simulated, and write
+ *    errors (ENOSPC and friends) downgrade to "run uncached" with a
+ *    single warning.
+ *
  * Environment:
  *   VCA_JOBS        worker threads (default hardware_concurrency)
  *   VCA_CACHE_DIR   cache directory; empty string disables the cache
  *                   (default ".vca-cache")
  *   VCA_SWEEP_STATS print a per-batch hit/miss/throughput summary to
  *                   stderr when set and non-empty
+ *   VCA_CACHE_VERIFY  0 skips checksum verification on load (default 1)
+ *   VCA_ISOLATE     1 forks one child per simulated point
+ *   VCA_POINT_TIMEOUT  per-point deadline in seconds (isolate mode;
+ *                   0 = none)
+ *   VCA_RETRIES     extra attempts after a crash/timeout (default 2)
+ *   VCA_RETRY_BACKOFF_MS  first retry delay, doubling per retry
+ *                   (default 100)
+ *   VCA_RESUME      1 replays journaled failures instead of retrying
+ *   VCA_FAULT_INJECT  deterministic chaos spec (sim/fault_inject.hh)
  *
  * Bump kSimVersionTag whenever a change affects simulated numbers —
  * it invalidates every cached measurement at once.
@@ -31,6 +65,8 @@
 #ifndef VCA_ANALYSIS_RUNNER_HH
 #define VCA_ANALYSIS_RUNNER_HH
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -53,6 +89,15 @@ namespace vca::analysis {
 
 /** Cache-invalidation tag: bump on any change to simulated numbers. */
 inline constexpr const char *kSimVersionTag = "vca-sim-v1";
+
+/**
+ * On-disk entry format revision. Distinct from kSimVersionTag: bumping
+ * this invalidates how measurements are stored (entries with another
+ * schema read as misses and are quarantined), while the version tag
+ * invalidates what the simulator computes. v2 added the "sum"
+ * content checksum.
+ */
+inline constexpr int kCacheEntrySchema = 2;
 
 /**
  * One sweep job: a workload (one bundled benchmark name per hardware
@@ -91,18 +136,77 @@ std::string measurementToJson(const Measurement &m);
 Measurement measurementFromJson(const std::string &text);
 
 /**
+ * Content hash naming a batch: FNV-1a over the sorted set of unique
+ * point hashes, so the same sweep resolves to the same journal and
+ * manifest regardless of point order or duplicates.
+ */
+std::uint64_t batchHash(const std::vector<SweepPoint> &points);
+
+/** "<cacheDir>/journal/<batch>.jsonl": the crash-safe batch journal. */
+std::string journalPath(const std::string &cacheDir, std::uint64_t batch);
+
+/** "<cacheDir>/manifests/<batch>.json": per-batch failure manifest. */
+std::string manifestPath(const std::string &cacheDir,
+                         std::uint64_t batch);
+
+/**
+ * Execution-robustness knobs for a SweepRunner; the defaults keep the
+ * historical in-process, fail-fast behaviour. fromEnv() is what
+ * SweepConfig uses, so VCA_ISOLATE=1 turns on isolation for every
+ * bench and tool without code changes.
+ */
+struct RobustConfig
+{
+    /** Fork one child per simulated point (crashes cost one point). */
+    bool isolate = false;
+    /** Per-point wall-clock deadline in seconds; 0 disables. Only
+     *  enforceable in isolate mode (a thread cannot be killed). */
+    double pointTimeoutSec = 0;
+    /** Extra attempts after a crash or timeout. */
+    unsigned retries = 2;
+    /** Delay before the first retry, doubling per further retry. */
+    unsigned backoffMs = 100;
+    /** Replay journaled failures instead of re-running their retry
+     *  budget; also what makes an interrupted sweep cheap to redo. */
+    bool resume = false;
+
+    static RobustConfig fromEnv();
+};
+
+/**
+ * One point that exhausted its attempts: the structured record that
+ * lands in the batch manifest and in SweepRunner::lastFailures().
+ */
+struct PointFailure
+{
+    std::string label;       ///< human label (bench/arch/regs)
+    std::uint64_t hash = 0;  ///< pointHash() of the failed point
+    std::string error;       ///< last attempt's error
+    unsigned attempts = 0;   ///< attempts consumed
+};
+
+/**
  * On-disk Measurement store: one "<hash>.json" file per point under
  * dir, written atomically (temp file + rename), validated on load
- * against the full key string so hash collisions, stale version tags
- * and truncated files all read as misses. An empty dir disables the
- * cache entirely. A SIGINT/SIGTERM mid-write unlinks every in-flight
- * temp file before the process dies (default disposition re-raised),
- * so an interrupted sweep never litters the cache directory.
+ * against the entry schema, the full key string and a content
+ * checksum, so hash collisions, stale version tags, truncated files
+ * and bit-flipped bytes all read as misses. Invalid entries are moved
+ * to "<dir>/quarantine/<name>.<reason>" for post-mortem rather than
+ * deleted, and the sweep re-simulates — corruption is never fatal.
+ * Failed writes (ENOSPC, read-only dir, injected faults) downgrade to
+ * running uncached, warning once per process. An empty dir disables
+ * the cache entirely. A SIGINT/SIGTERM mid-write unlinks every
+ * in-flight temp file before the process dies (default disposition
+ * re-raised), so an interrupted sweep never litters the cache
+ * directory.
  */
 class ResultCache
 {
   public:
     explicit ResultCache(std::string dir);
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
 
     bool enabled() const { return !dir_.empty(); }
     const std::string &dir() const { return dir_; }
@@ -110,16 +214,48 @@ class ResultCache
     /** True and fills out on a valid cached entry for this point. */
     bool load(const SweepPoint &point, Measurement &out) const;
 
-    /** Persist one point's measurement (best-effort; warns on I/O). */
-    void store(const SweepPoint &point, const Measurement &m) const;
+    /**
+     * Persist one point's measurement. False when the entry could not
+     * be committed (the sweep simply stays uncached); never throws.
+     */
+    bool store(const SweepPoint &point, const Measurement &m) const;
 
     /** The cache directory from VCA_CACHE_DIR (default .vca-cache). */
     static std::string defaultDir();
 
+    // Integrity counters for this cache instance.
+    std::uint64_t quarantined() const
+    {
+        return quarantined_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t writeErrors() const
+    {
+        return writeErrors_.load(std::memory_order_relaxed);
+    }
+    /** Valid-JSON-wrong-schema entries (a subset of quarantined()). */
+    std::uint64_t schemaMisses() const
+    {
+        return schemaMisses_.load(std::memory_order_relaxed);
+    }
+
   private:
     std::string pathFor(const SweepPoint &point) const;
 
+    /** Move an invalid entry aside (never throws; warns once). */
+    void quarantineEntry(const std::string &path,
+                         const char *reason) const;
+
+    /** Count + warn-once for a failed store. */
+    void noteWriteError(const std::string &what) const;
+
     std::string dir_;
+    bool verify_ = true; ///< checksum entries on load (VCA_CACHE_VERIFY)
+
+    mutable std::atomic<std::uint64_t> quarantined_{0};
+    mutable std::atomic<std::uint64_t> writeErrors_{0};
+    mutable std::atomic<std::uint64_t> schemaMisses_{0};
+    mutable std::atomic<bool> warnedQuarantine_{false};
+    mutable std::atomic<bool> warnedWrite_{false};
 };
 
 struct SweepConfig
@@ -128,6 +264,8 @@ struct SweepConfig
     unsigned jobs = 0;
     /** Cache directory; empty disables. */
     std::string cacheDir = ResultCache::defaultDir();
+    /** Execution-robustness knobs (seeded from the environment). */
+    RobustConfig robust = RobustConfig::fromEnv();
 };
 
 /**
@@ -135,6 +273,12 @@ struct SweepConfig
  * order; duplicate points within a batch simulate once. Progress and
  * cache effectiveness are exposed as a StatGroup ("sweep") and can be
  * printed per batch with VCA_SWEEP_STATS=1.
+ *
+ * Failure containment: a point that crashes, hangs past its deadline
+ * or lets an exception escape never tears down the batch. It is
+ * retried per RobustConfig and, if still failing, reported as a
+ * Measurement with ok=false and infra=true plus a PointFailure entry —
+ * the remaining points complete normally.
  */
 class SweepRunner : public stats::StatGroup
 {
@@ -150,13 +294,28 @@ class SweepRunner : public stats::StatGroup
 
     const ResultCache &cache() const { return cache_; }
 
+    /** Replace the robustness knobs (tools apply CLI flags here). */
+    void setRobust(const RobustConfig &robust);
+    RobustConfig robust() const;
+
+    /** Structured failures from the most recent run() batch. */
+    std::vector<PointFailure> lastFailures() const;
+
+    /** Every structured failure across this runner's lifetime. */
+    std::vector<PointFailure> allFailures() const;
+
     // Lifetime counters across every batch this runner executed.
     stats::Scalar pointsTotal;   ///< points submitted
     stats::Scalar cacheHits;     ///< served from the on-disk cache
     stats::Scalar cacheMisses;   ///< required a detailed simulation
     stats::Scalar pointsFailed;  ///< completed with !Measurement::ok
+    stats::Scalar pointsInfraFailed; ///< infra failures after retries
+    stats::Scalar pointsRetried; ///< extra attempts beyond the first
+    stats::Scalar pointsTimedOut; ///< point deadlines that expired
     stats::Scalar sweepSeconds;  ///< wall-clock across batches
     stats::Formula pointsPerSec; ///< lifetime throughput
+    stats::Formula cacheQuarantined; ///< invalid entries moved aside
+    stats::Formula cacheWriteErrors; ///< cache stores that failed
 
     /**
      * Shared instance on the global pool with default cache config;
@@ -176,6 +335,29 @@ class SweepRunner : public stats::StatGroup
   private:
     Measurement executePoint(const SweepPoint &point) const;
 
+    /**
+     * The full attempt loop for one point: isolation, deadline,
+     * retries with backoff. Returns either a genuine Measurement
+     * (cacheable, even when !ok) or an infra-failure Measurement
+     * (infra=true, never cached). Reports the attempts consumed and
+     * deadline expirations for the batch counters.
+     */
+    Measurement runPointAttempts(const SweepPoint &point,
+                                 const RobustConfig &robust,
+                                 unsigned &attempts,
+                                 unsigned &timeouts) const;
+
+    /**
+     * One forked attempt. True when the child completed and out is
+     * valid (including child-reported simulator errors, which are
+     * deterministic and not retried); false on a crash or deadline
+     * kill, which are retryable.
+     */
+    bool runIsolated(const SweepPoint &point,
+                     const RobustConfig &robust, unsigned attempt,
+                     Measurement &out, std::string &error,
+                     bool &timedOut) const;
+
     /** Stable lane id for the calling thread (0 = submitting thread). */
     int hostLaneFor(telemetry::ChromeTraceWriter &writer);
 
@@ -183,6 +365,11 @@ class SweepRunner : public stats::StatGroup
     ResultCache cache_;
     std::unique_ptr<ThreadPool> ownedPool_;
     ThreadPool *pool_;
+
+    mutable std::mutex robustMutex_; ///< guards config_.robust
+    mutable std::mutex failuresMutex_;
+    std::vector<PointFailure> lastFailures_;
+    std::vector<PointFailure> allFailures_;
 
     telemetry::ChromeTraceWriter *traceWriter_ = nullptr;
     std::mutex traceMutex_;

@@ -1,5 +1,6 @@
 #include "sim/thread_pool.hh"
 
+#include <atomic>
 #include <cstdlib>
 
 #include "sim/logging.hh"
@@ -12,7 +13,16 @@ namespace {
 thread_local int tlsWorkerIndex = -1;
 thread_local const ThreadPool *tlsWorkerPool = nullptr;
 
+/** Exceptions swallowed at job boundaries, across every pool. */
+std::atomic<std::uint64_t> gJobExceptions{0};
+
 } // namespace
+
+std::uint64_t
+ThreadPool::jobExceptions()
+{
+    return gJobExceptions.load(std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(unsigned numThreads)
 {
@@ -161,7 +171,23 @@ ThreadPool::workerLoop(unsigned self)
             std::lock_guard<std::mutex> lock(mutex_);
             --pending_;
         }
-        job.fn();
+        // A job that lets an exception escape must cost one job, not
+        // the whole pool (std::thread would std::terminate the
+        // process). Swallow, count, and keep draining the queue; the
+        // sweep runner additionally catches at the point boundary so
+        // callers see a structured per-point failure, and this is the
+        // backstop for everything else.
+        try {
+            job.fn();
+        } catch (const std::exception &e) {
+            gJobExceptions.fetch_add(1, std::memory_order_relaxed);
+            warn("thread-pool job raised '%s'; worker continues",
+                 e.what());
+        } catch (...) {
+            gJobExceptions.fetch_add(1, std::memory_order_relaxed);
+            warn("thread-pool job raised a non-standard exception; "
+                 "worker continues");
+        }
         bool drained;
         {
             std::lock_guard<std::mutex> lock(mutex_);

@@ -14,8 +14,11 @@
  * Jobs may be cancelled until a worker picks them up; cancel() reports
  * whether the job was still pending. wait() blocks until every
  * non-cancelled job has finished, so a pool is always drained before
- * its results are read. Exceptions must not escape a job (workers
- * std::terminate on them, like std::thread) — wrap fallible work.
+ * its results are read. An exception escaping a job is swallowed and
+ * counted (jobExceptions()) instead of std::terminate-ing the process
+ * — one bad job must never tear down the whole batch — but jobs that
+ * care about the error should still catch it themselves and report a
+ * structured failure, the way the sweep runner does.
  *
  * The default worker count comes from VCA_JOBS when set (clamped to at
  * least 1), otherwise std::thread::hardware_concurrency().
@@ -72,6 +75,9 @@ class ThreadPool
 
     /** Process-wide pool built on first use with defaultThreads(). */
     static ThreadPool &global();
+
+    /** Process-wide count of exceptions swallowed at job boundaries. */
+    static std::uint64_t jobExceptions();
 
   private:
     struct QueuedJob

@@ -134,6 +134,20 @@ simMain(int argc, char **argv)
              "sweep mode: comma list of register file sizes, run in "
              "parallel with on-disk memoization (see VCA_JOBS / "
              "VCA_CACHE_DIR)");
+    opts.add("isolate", "auto",
+             "sweep mode: run each simulated point in a forked worker "
+             "process so a crash costs one point, not the batch "
+             "(true | false | auto = VCA_ISOLATE)");
+    opts.add("point-timeout", "",
+             "sweep mode: per-point deadline in seconds, enforced in "
+             "isolate mode (empty = VCA_POINT_TIMEOUT)");
+    opts.add("retries", "",
+             "sweep mode: extra attempts after a worker crash or "
+             "timeout (empty = VCA_RETRIES, default 2)");
+    opts.add("resume", "false",
+             "sweep mode: resume an interrupted sweep — simulate only "
+             "points missing from the cache and replay journaled "
+             "failures instead of retrying them");
     opts.add("list-benches", "false", "list bundled benchmarks and exit");
     opts.add("quiet", "true", "suppress warnings");
     opts.add("help", "false", "show this help");
@@ -230,6 +244,25 @@ simMain(int argc, char **argv)
             }
         }
         auto &runner = analysis::SweepRunner::global();
+        {
+            // CLI flags override the environment-seeded defaults.
+            analysis::RobustConfig robust = runner.robust();
+            const std::string isolate = opts.get("isolate");
+            if (isolate != "auto")
+                robust.isolate = isolate == "true" || isolate == "1";
+            if (!opts.get("point-timeout").empty()) {
+                robust.pointTimeoutSec =
+                    std::strtod(opts.get("point-timeout").c_str(),
+                                nullptr);
+            }
+            if (!opts.get("retries").empty()) {
+                robust.retries = static_cast<unsigned>(
+                    opts.getU64("retries"));
+            }
+            if (opts.getBool("resume"))
+                robust.resume = true;
+            runner.setRobust(robust);
+        }
         std::unique_ptr<telemetry::ChromeTraceWriter> chromeWriter;
         if (!opts.get("chrome-trace").empty()) {
             chromeWriter = std::make_unique<telemetry::ChromeTraceWriter>(
@@ -276,6 +309,28 @@ simMain(int argc, char **argv)
                         "cycles_per_sec=%.0f runs=%.0f\n",
                         host.simSeconds.value(), host.simMips.value(),
                         host.cyclesPerSec.value(), host.simRuns.value());
+        }
+        // Points that exhausted their retry budget: the table above
+        // shows them as n/a; spell out why on stderr and exit nonzero
+        // so scripts notice a degraded sweep.
+        const auto failures = runner.lastFailures();
+        if (!failures.empty()) {
+            std::fprintf(stderr,
+                         "sweep: %zu point(s) failed after retries:\n",
+                         failures.size());
+            for (const auto &f : failures) {
+                std::fprintf(stderr, "  %s: %s (%u attempt%s)\n",
+                             f.label.c_str(), f.error.c_str(),
+                             f.attempts, f.attempts == 1 ? "" : "s");
+            }
+            if (runner.cache().enabled()) {
+                std::fprintf(
+                    stderr, "sweep: failure manifest: %s\n",
+                    analysis::manifestPath(runner.cache().dir(),
+                                           analysis::batchHash(points))
+                        .c_str());
+            }
+            return 3;
         }
         return 0;
     }
