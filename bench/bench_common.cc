@@ -160,6 +160,10 @@ regCacheSummary()
         RegCacheSummary s;
         analysis::RunOptions opts = defaultOptions();
         opts.regTelemetry = true;
+        // The telemetry analyzer observes a single detailed core;
+        // keep this reference measurement detailed even when the
+        // bench sweep itself runs sampled.
+        opts.mode = analysis::SimMode::Detailed;
         const analysis::Measurement m =
             analysis::runBench(wload::profileByName("crafty"),
                                cpu::RenamerKind::Vca, 192, opts);
@@ -254,6 +258,12 @@ writeSeriesJson(const std::string &slug,
     trace::JsonWriter w(os);
     w.beginObject();
     w.key("bench").string(slug);
+    // Written only for non-detailed runs so detailed exports keep
+    // their historical shape; readers default a missing field to
+    // "detailed" (perf_compare.py keys host-MIPS blocks by mode).
+    if (const analysis::RunOptions opts = defaultOptions();
+        opts.mode != analysis::SimMode::Detailed)
+        w.key("mode").string(analysis::simModeName(opts.mode));
     w.key("phys_regs").beginArray();
     for (unsigned p : physRegs)
         w.number(std::uint64_t(p));

@@ -40,6 +40,22 @@ defaultOptions()
     analysis::RunOptions opts;
     opts.warmupInsts = envU64("VCA_WARMUP_INSTS", 15'000);
     opts.measureInsts = envU64("VCA_MEASURE_INSTS", 150'000);
+    // Execution mode for every measured point (the accuracy gate runs
+    // benches under VCA_SIM_MODE=sampled and compares against the
+    // detailed trajectory).
+    if (const char *m = std::getenv("VCA_SIM_MODE"); m && *m) {
+        if (!analysis::parseSimMode(m, opts.mode))
+            fatal("unknown VCA_SIM_MODE '%s' "
+                  "(detailed|simpoint|sampled)", m);
+    }
+    opts.samplePeriodInsts =
+        envU64("VCA_SAMPLE_PERIOD", opts.samplePeriodInsts);
+    opts.sampleQuantumInsts =
+        envU64("VCA_SAMPLE_QUANTUM", opts.sampleQuantumInsts);
+    opts.sampleFuncWarmInsts =
+        envU64("VCA_SAMPLE_FUNC_WARM", opts.sampleFuncWarmInsts);
+    opts.sampleDetailWarmInsts =
+        envU64("VCA_SAMPLE_DETAIL_WARM", opts.sampleDetailWarmInsts);
     return opts;
 }
 

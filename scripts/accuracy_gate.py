@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Gate the sampled execution modes against the detailed reference.
+
+Runs matched vca-sim pairs -- one detailed, one sampled (and optionally
+one simpoint) -- for every renamer architecture and enforces the two
+halves of the sampling contract that tests/test_accuracy.cc pins down
+in-process:
+
+  accuracy  |ipc_sampled - ipc_detailed| <= eps * ipc_detailed
+            (default eps 0.03; --eps)
+  speed     the functional fast-forward side of each sampled run must
+            reach at least --speedup (default 5.0) times the host-MIPS
+            of its detailed side, read from the run's own "func:" and
+            "host:" output lines
+
+scripts/check.sh calls this after building Release; skip it there with
+CHECK_ACCURACY_GATE=0.
+
+Usage:
+  accuracy_gate.py --sim PATH/TO/vca-sim [options]
+
+  --sim PATH        the vca-sim binary to drive (required)
+  --bench NAME      benchmark to measure (default crafty)
+  --archs LIST      comma-separated architectures
+                    (default baseline,regwindow,ideal,vca)
+  --eps FRAC        allowed fractional IPC error (default 0.03)
+  --speedup FACTOR  required functional-vs-detailed host-MIPS ratio
+                    (default 5.0)
+  --simpoint        also gate --mode=simpoint IPC (same eps)
+  --selftest        exercise the output parser on synthetic text; used
+                    by scripts/check.sh as a smoke test
+
+Exit status: 0 when every architecture meets both contracts, 1 on a
+violation, 2 on usage errors or unparseable simulator output.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+
+class ParseError(Exception):
+    """vca-sim output missing a line the gate depends on."""
+
+
+def parse_run(text):
+    """Extract {ipc, func_mips, host_mips} from one vca-sim run.
+
+    Detailed runs have no "func:" line; func_mips is None there.
+    """
+    out = {}
+    m = re.search(r"^cycles=\d+ insts=\d+ ipc=([0-9.]+)", text,
+                  re.MULTILINE)
+    if not m:
+        raise ParseError("no 'cycles=... ipc=...' line in output")
+    out["ipc"] = float(m.group(1))
+    m = re.search(r"^func: seconds=[0-9.]+ insts=[0-9.]+ mips=([0-9.]+)",
+                  text, re.MULTILINE)
+    out["func_mips"] = float(m.group(1)) if m else None
+    m = re.search(r"^host: seconds=[0-9.]+ mips=([0-9.]+)", text,
+                  re.MULTILINE)
+    if not m:
+        raise ParseError("no 'host: ... mips=...' line in output")
+    out["host_mips"] = float(m.group(1))
+    return out
+
+
+def run_sim(sim, bench, arch, mode, extra=()):
+    args = [sim, f"--bench={bench}", f"--arch={arch}"]
+    if mode != "detailed":
+        args.append(f"--mode={mode}")
+    args += list(extra)
+    env = dict(os.environ, VCA_CACHE_DIR="")
+    proc = subprocess.run(args, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise ParseError(
+            f"{' '.join(args)} exited {proc.returncode}: "
+            f"{proc.stderr.strip()}")
+    return parse_run(proc.stdout)
+
+
+# Matched budgets (mirroring tests/test_accuracy.cc): after a 240k
+# warm-up past the cold-start transient, the sampled run takes
+# 48k/2k = 24 quanta, one every 10k instructions, covering
+# instructions [250k, ~490k]; the detailed reference measures exactly
+# that span in one continuous run. SimPoint estimates steady-state
+# whole-program behaviour, so its reference runs detailed from past
+# the transient to program end.
+DETAILED_ARGS = ("--warmup=250000", "--insts=240000")
+SAMPLED_ARGS = ("--warmup=240000", "--sample-period=10000",
+                "--sample-quantum=2000", "--sample-detail-warm=3000",
+                "--insts=48000")
+FULL_ARGS = ("--warmup=240000", "--insts=5000000")
+SIMPOINT_ARGS = ("--warmup=20000", "--insts=60000")
+
+
+def gate(sim, bench, archs, eps, speedup, simpoint):
+    failures = []
+    print(f"{'arch':<14} {'detailed':>9} {'sampled':>9} {'err':>7} "
+          f"{'func MIPS':>10} {'sim MIPS':>9} {'ratio':>7}")
+    for arch in archs:
+        detailed = run_sim(sim, bench, arch, "detailed", DETAILED_ARGS)
+        sampled = run_sim(sim, bench, arch, "sampled", SAMPLED_ARGS)
+        if detailed["ipc"] <= 0:
+            raise ParseError(f"{arch}: detailed ipc is zero")
+        err = abs(sampled["ipc"] - detailed["ipc"]) / detailed["ipc"]
+        if sampled["func_mips"] is None:
+            raise ParseError(f"{arch}: sampled run printed no func: "
+                             f"line (functional side never ran?)")
+        ratio = (sampled["func_mips"] / sampled["host_mips"]
+                 if sampled["host_mips"] > 0 else float("inf"))
+        flags = []
+        if err > eps:
+            flags.append(f"ipc error {err:.1%} > {eps:.1%}")
+        if ratio < speedup:
+            flags.append(f"speedup {ratio:.1f}x < {speedup:.1f}x")
+        print(f"{arch:<14} {detailed['ipc']:>9.4f} "
+              f"{sampled['ipc']:>9.4f} {err:>6.1%} "
+              f"{sampled['func_mips']:>10.3f} "
+              f"{sampled['host_mips']:>9.3f} {ratio:>6.1f}x"
+              + ("  FAIL: " + "; ".join(flags) if flags else ""))
+        failures += [f"{arch}: {f}" for f in flags]
+        if simpoint:
+            full = run_sim(sim, bench, arch, "detailed", FULL_ARGS)
+            sp = run_sim(sim, bench, arch, "simpoint", SIMPOINT_ARGS)
+            sperr = abs(sp["ipc"] - full["ipc"]) / full["ipc"]
+            line = (f"{arch + ' (simpoint)':<14} "
+                    f"{full['ipc']:>9.4f} {sp['ipc']:>9.4f} "
+                    f"{sperr:>6.1%}")
+            if sperr > eps:
+                failures.append(
+                    f"{arch}: simpoint ipc error {sperr:.1%} > {eps:.1%}")
+                line += "  FAIL"
+            print(line)
+    return failures
+
+
+def selftest():
+    sampled_out = """\
+arch=vca regs=192 threads=1 windowed=1 mode=sampled
+cycles=12000 insts=24000 ipc=2.0000 cpi=0.5000
+thread 0 (crafty): insts=24000
+cycle accounting: commit=61.0% mem=20.0%
+func: seconds=0.050 insts=160000 mips=3.200
+host: seconds=0.200 mips=0.150 cycles_per_sec=60000
+"""
+    detailed_out = """\
+arch=vca regs=192 threads=1 windowed=1
+cycles=30000 insts=60000 ipc=2.0100 cpi=0.4975
+thread 0 (crafty): insts=60000
+cycle accounting: commit=61.0% mem=20.0%
+host: seconds=0.400 mips=0.150 cycles_per_sec=75000
+"""
+    s = parse_run(sampled_out)
+    d = parse_run(detailed_out)
+    if s != {"ipc": 2.0, "func_mips": 3.2, "host_mips": 0.15}:
+        print(f"selftest: FAILED (sampled parse: {s})", file=sys.stderr)
+        return 1
+    if d["ipc"] != 2.01 or d["func_mips"] is not None:
+        print(f"selftest: FAILED (detailed parse: {d})", file=sys.stderr)
+        return 1
+    err = abs(s["ipc"] - d["ipc"]) / d["ipc"]
+    if not err <= 0.03:
+        print("selftest: FAILED (synthetic pair outside eps)",
+              file=sys.stderr)
+        return 1
+    if s["func_mips"] / s["host_mips"] < 5.0:
+        print("selftest: FAILED (synthetic pair under speedup)",
+              file=sys.stderr)
+        return 1
+    try:
+        parse_run("no machine-readable lines here\n")
+    except ParseError:
+        pass
+    else:
+        print("selftest: FAILED (garbage input not rejected)",
+              file=sys.stderr)
+        return 1
+    print("selftest: OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Gate sampled-mode accuracy and speedup")
+    ap.add_argument("--sim", help="path to the vca-sim binary")
+    ap.add_argument("--bench", default="crafty")
+    ap.add_argument("--archs",
+                    default="baseline,regwindow,ideal,vca")
+    ap.add_argument("--eps", type=float, default=0.03, metavar="FRAC")
+    ap.add_argument("--speedup", type=float, default=5.0,
+                    metavar="FACTOR")
+    ap.add_argument("--simpoint", action="store_true")
+    ap.add_argument("--selftest", action="store_true")
+    args = ap.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.sim:
+        ap.error("--sim is required")
+    if not os.access(args.sim, os.X_OK):
+        print(f"error: {args.sim} is not executable", file=sys.stderr)
+        return 2
+    if not 0.0 < args.eps < 1.0:
+        ap.error("--eps must be in (0, 1)")
+
+    try:
+        failures = gate(args.sim, args.bench,
+                        [a for a in args.archs.split(",") if a],
+                        args.eps, args.speedup, args.simpoint)
+    except ParseError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"FAIL: {len(failures)} accuracy-contract violation(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("accuracy gate: all architectures within "
+          f"{args.eps:.0%} ipc error and >= {args.speedup:.1f}x "
+          "functional speedup")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,11 @@
 #                           enabled-but-idle robustness layer on a
 #                           warm cached sweep (default 0.02, plus a
 #                           fixed 50 ms slack for host noise)
+#   CHECK_ACCURACY_GATE=0   skip the sampled-mode accuracy gate
+#   CHECK_ACCURACY_EPS=F    allowed fractional sampled-vs-detailed IPC
+#                           error (default 0.03)
+#   CHECK_ACCURACY_SPEEDUP=F required functional-vs-detailed host-MIPS
+#                           factor of sampled runs (default 5.0)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -64,6 +69,8 @@ if command -v python3 >/dev/null; then
     python3 scripts/perf_compare.py --selftest
     echo "== check_stats_schema selftest =="
     python3 scripts/check_stats_schema.py --selftest
+    echo "== accuracy_gate selftest =="
+    python3 scripts/accuracy_gate.py --selftest
 fi
 
 run_config release "" -DCMAKE_BUILD_TYPE=Release
@@ -100,6 +107,23 @@ then
     done
     python3 scripts/perf_compare.py "$gate/base" "$gate/cand" \
             --threshold "${CHECK_TELEM_THRESHOLD:-0.05}"
+fi
+
+# Accuracy gate: the sampled execution modes on the real CLI. For
+# every renamer architecture, a --mode=sampled run must land within
+# CHECK_ACCURACY_EPS of the detailed IPC and its functional
+# fast-forward side must beat the detailed side's host-MIPS by
+# CHECK_ACCURACY_SPEEDUP. The in-process twin of this gate is
+# `ctest -L accuracy` (already covered by the release configuration
+# above); this stage proves the vca-sim plumbing end to end.
+if [[ "${CHECK_ACCURACY_GATE:-1}" != 0 ]] && command -v python3 >/dev/null
+then
+    echo "== accuracy gate =="
+    python3 scripts/accuracy_gate.py \
+            --sim "$root/release/tools/vca-sim" \
+            --eps "${CHECK_ACCURACY_EPS:-0.03}" \
+            --speedup "${CHECK_ACCURACY_SPEEDUP:-5.0}" \
+            --simpoint
 fi
 
 # Robustness: prove the fault-tolerant execution layer on the real

@@ -41,13 +41,19 @@ class MissingHostStats(Exception):
 
 
 def load_host_mips(path):
-    """host.sim_mips from one BENCH_*.json, or None if skippable.
+    """(mode, host.sim_mips) from one BENCH_*.json, or None if skippable.
 
     Unreadable/unparseable files are warned about and skipped (they are
     someone else's garbage); a file that parses but has no host-stats
     block raises MissingHostStats -- that means the bench was built
     without host accounting and the comparison would be silently empty,
     which main() turns into exit status 2.
+
+    The mode is the bench's execution mode ("detailed" when the file
+    predates the field or the run was detailed). Detailed host-MIPS and
+    sampled host-MIPS measure different work per wall-clock second, so
+    collect() keeps them under distinct keys instead of conflating
+    them.
     """
     try:
         with open(path) as f:
@@ -76,16 +82,31 @@ def load_host_mips(path):
             f"{path}: \"host\" block has no numeric sim_mips field")
     # sim_mips == 0 is a warm-cache run (zero detailed simulations):
     # nothing to compare, but not an input error.
-    return float(mips) if mips > 0 else None
+    if mips <= 0:
+        return None
+    mode = doc.get("mode", "detailed")
+    if not isinstance(mode, str) or not mode:
+        mode = "detailed"
+    return mode, float(mips)
 
 
 def collect(dirpath):
-    """Map bench name -> host MIPS for every BENCH_*.json in dirpath."""
+    """Map comparison key -> host MIPS for every BENCH_*.json in dirpath.
+
+    The key is the bench name for detailed runs (the historical and
+    common case) and "name@mode" otherwise, so a sampled run of a bench
+    never gets diffed against a detailed run of the same bench -- a
+    mode switch between baseline and candidate shows up as two
+    "only in one run" rows instead of a bogus speedup.
+    """
     out = {}
     for path in sorted(Path(dirpath).glob("BENCH_*.json")):
-        mips = load_host_mips(path)
-        if mips is not None:
-            out[path.stem[len("BENCH_"):]] = mips
+        loaded = load_host_mips(path)
+        if loaded is None:
+            continue
+        mode, mips = loaded
+        name = path.stem[len("BENCH_"):]
+        out[name if mode == "detailed" else f"{name}@{mode}"] = mips
     return out
 
 
@@ -248,6 +269,29 @@ def selftest():
                   file=sys.stderr)
             return 1
         Path(canddir, "BENCH_warm.json").unlink()
+
+        # Per-mode host-MIPS: a sampled run keys as "name@sampled", so
+        # flipping a bench's mode between baseline and candidate never
+        # produces a bogus speedup -- the rows simply stop pairing up.
+        def write_mode(d, name, mips, mode):
+            doc = {"bench": name, "mode": mode,
+                   "host": {"sim_mips": mips}}
+            Path(d, f"BENCH_{name}.json").write_text(json.dumps(doc))
+
+        write_mode(basedir, "modal", 4.0, "detailed")
+        write_mode(canddir, "modal", 40.0, "sampled")
+        base_keys = collect(basedir)
+        cand_keys = collect(canddir)
+        if "modal" not in base_keys or "modal@sampled" not in cand_keys:
+            print("selftest: FAILED (mode not reflected in keys)",
+                  file=sys.stderr)
+            return 1
+        if compare(base_keys, cand_keys, 0.10):
+            print("selftest: FAILED (cross-mode rows compared)",
+                  file=sys.stderr)
+            return 1
+        Path(basedir, "BENCH_modal.json").unlink()
+        Path(canddir, "BENCH_modal.json").unlink()
 
         write(basedir, "slow", 4.0)
         write(canddir, "slow", 2.0)     # -50%: must trip

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <numeric>
 
+#include "analysis/sampling.hh"
 #include "func/func_sim.hh"
 #include "sim/logging.hh"
 #include "stats/host_stats.hh"
@@ -63,6 +64,11 @@ runTiming(const std::vector<const isa::Program *> &programs,
     applyOverrides(params, opts.overrides);
     if (opts.seed)
         params.rngSeed = opts.seed;
+
+    // Non-detailed modes share the exact same parameter construction
+    // (preset, ports, ablation overrides, seeding) and hand off here.
+    if (opts.mode != SimMode::Detailed)
+        return runSampledTiming(programs, kind, physRegs, opts, params);
 
     try {
         // Host-throughput accounting covers the whole detailed

@@ -54,6 +54,26 @@ struct ParamOverrides
     }
 };
 
+/**
+ * How the simulated numbers are produced. Detailed runs everything
+ * through the OoO core (the default; all paper figures). SimPoint and
+ * Sampled fast-forward functionally (decoded-BB dispatch) and only run
+ * the OoO core over representative regions, trading a bounded IPC
+ * error (the accuracy test tier's ε contract) for host speed.
+ */
+enum class SimMode : std::uint8_t
+{
+    Detailed = 0,
+    SimPoint = 1, ///< one BBV-clustered representative region
+    Sampled = 2,  ///< SMARTS-style periodic sampling
+};
+
+/** Stable name used by CLI parsing, cache keys and JSON exports. */
+const char *simModeName(SimMode mode);
+
+/** Parse a mode name; returns false on unknown input. */
+bool parseSimMode(const std::string &text, SimMode &mode);
+
 struct RunOptions
 {
     InstCount warmupInsts = 20'000;
@@ -81,6 +101,26 @@ struct RunOptions
      * the performance trajectory scripts/perf_compare.py tracks.
      */
     bool regTelemetry = false;
+    /** Execution mode. SimPoint mode interprets warmupInsts as the
+     *  detailed warm-up of each representative interval; sampled mode
+     *  fast-forwards warmupInsts (functionally warmed, unmeasured)
+     *  before the first sample period and uses
+     *  sampleDetailWarmInsts of detailed warm-up per sample. */
+    SimMode mode = SimMode::Detailed;
+    /** Sampled mode: per-thread instructions between sample starts
+     *  (functional fast-forward plus functional warming). */
+    InstCount samplePeriodInsts = 50'000;
+    /** Sampled mode: detailed instructions measured per sample. */
+    InstCount sampleQuantumInsts = 2'000;
+    /** Non-detailed modes: 0 (default) warms the branch predictor and
+     *  caches on every fast-forwarded instruction (continuous
+     *  functional warming, the SMARTS discipline); N > 0 warms only
+     *  the last N instructions of each fast-forward and runs the rest
+     *  through the cheaper decoded-BB path, trading accuracy for
+     *  fast-forward speed. */
+    InstCount sampleFuncWarmInsts = 0;
+    /** Sampled mode: detailed (unmeasured) warm-up per sample. */
+    InstCount sampleDetailWarmInsts = 1'000;
 };
 
 struct Measurement

@@ -138,6 +138,16 @@ pointKey(const SweepPoint &point)
     // carries extra counters.
     if (point.opts.regTelemetry)
         os << ";telem=1";
+    // Same back-compat convention: detailed points keep their exact
+    // historical keys; only non-detailed modes grow a mode block (the
+    // sampling knobs are part of the point's identity).
+    if (point.opts.mode != SimMode::Detailed) {
+        os << ";mode=" << simModeName(point.opts.mode)
+           << ";speriod=" << point.opts.samplePeriodInsts
+           << ";squantum=" << point.opts.sampleQuantumInsts
+           << ";sfwarm=" << point.opts.sampleFuncWarmInsts
+           << ";sdwarm=" << point.opts.sampleDetailWarmInsts;
+    }
     os << ";benches=";
     for (const std::string &name : point.benches)
         appendProfile(os, wload::profileByName(name));
@@ -1138,6 +1148,8 @@ SweepRunner::runIsolated(const SweepPoint &point,
             const double sec0 = hs.simSeconds.value();
             const double insts0 = hs.simInsts.value();
             const double cycles0 = hs.simCycles.value();
+            const double fsec0 = hs.funcSeconds.value();
+            const double finsts0 = hs.funcInsts.value();
             const Measurement m = executePoint(point);
             std::ostringstream doc;
             trace::JsonWriter w(doc);
@@ -1147,6 +1159,10 @@ SweepRunner::runIsolated(const SweepPoint &point,
             w.key("seconds").number(hs.simSeconds.value() - sec0);
             w.key("insts").number(hs.simInsts.value() - insts0);
             w.key("cycles").number(hs.simCycles.value() - cycles0);
+            w.endObject();
+            w.key("func").beginObject();
+            w.key("seconds").number(hs.funcSeconds.value() - fsec0);
+            w.key("insts").number(hs.funcInsts.value() - finsts0);
             w.endObject();
             w.key("measurement");
             writeMeasurement(w, m);
@@ -1250,6 +1266,14 @@ SweepRunner::runIsolated(const SweepPoint &point,
                 stats::HostStats::global().record(sec->asNumber(),
                                                   insts->asNumber(),
                                                   cycles->asNumber());
+            }
+        }
+        if (const trace::JsonValue *func = doc.find("func")) {
+            const trace::JsonValue *sec = func->find("seconds");
+            const trace::JsonValue *insts = func->find("insts");
+            if (sec && insts && sec->asNumber() > 0) {
+                stats::HostStats::global().recordFunctional(
+                    sec->asNumber(), insts->asNumber());
             }
         }
         const trace::JsonValue *meas = doc.find("measurement");

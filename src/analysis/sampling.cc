@@ -1,0 +1,521 @@
+#include "analysis/sampling.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+
+#include "analysis/simpoint.hh"
+#include "func/func_sim.hh"
+#include "sim/logging.hh"
+#include "stats/host_stats.hh"
+
+namespace vca::analysis {
+
+namespace {
+
+/** Accumulate wall-clock seconds into a bucket while in scope. */
+class ScopedSeconds
+{
+  public:
+    explicit ScopedSeconds(double &acc)
+        : acc_(acc), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~ScopedSeconds()
+    {
+        const std::chrono::duration<double> d =
+            std::chrono::steady_clock::now() - start_;
+        acc_ += d.count();
+    }
+
+  private:
+    double &acc_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Persistent functional-warming state. Microarchitectural history
+ * (cache tags, LRU order, predictor tables) accumulates here across
+ * the entire fast-forwarded region and is transplanted into each
+ * sample's fresh core via copyStateFrom — the SMARTS requirement that
+ * long-lived state is continuously warmed, never restarted per sample.
+ */
+struct WarmModel
+{
+    mem::MemSystem mem;
+    bpred::BranchPredictor bpred;
+    Cycle now = 0;
+
+    WarmModel(const cpu::CpuParams &params, unsigned numThreads)
+        : mem(params.memParams),
+          bpred(params.bpredParams, numThreads, nullptr)
+    {
+    }
+};
+
+/**
+ * Execute one functional instruction and feed its outcome to the warm
+ * model's branch predictor and caches, mirroring what the pipeline
+ * itself does per instruction (predict / commit-update /
+ * redirect-repair; RAS push on call, pop on ret; icache access per
+ * fetch, dcache access per memory op).
+ *
+ * Warming runs on its own clock: stepping it by more than the worst
+ * miss chain per instruction guarantees in-flight fills always retire
+ * before the next access, so the MSHRs can never saturate and reject
+ * warming traffic. The clock never leaks into a measured run —
+ * copyStateFrom transfers tags and LRU order (which use an internal
+ * access counter) but no in-flight timestamps.
+ */
+constexpr Cycle kWarmCyclesPerInst = 300;
+
+void
+warmStep(WarmModel &warm, const cpu::Renamer &renamer,
+         func::FuncSim &sim, const isa::Program &prog, ThreadId tid)
+{
+    const isa::StaticInst &si = prog.inst(sim.pc());
+    func::StepRecord rec;
+    if (!sim.step(rec))
+        return;
+
+    warm.mem.instAccess(
+        mem::MemSystem::threadTag(tid, isa::layout::pcToAddr(rec.pc)),
+        warm.now);
+    if (rec.isMem) {
+        const Addr a = renamer.relocateRegSpace(tid, rec.effAddr);
+        warm.mem.dataAccess(mem::MemSystem::threadTag(tid, a),
+                            si.isStore, warm.now);
+    }
+
+    auto &bp = warm.bpred;
+    if (si.isBranch) {
+        bpred::BPredCheckpoint ckpt;
+        const bool taken = rec.npc != rec.pc + 1;
+        const bool pred = bp.predict(tid, rec.pc, ckpt);
+        bp.update(tid, rec.pc, taken, ckpt.history);
+        if (pred != taken)
+            bp.repairHistory(tid, ckpt, taken);
+    } else if (si.isCall) {
+        bpred::BPredCheckpoint ckpt;
+        bp.pushRas(tid, rec.pc + 1, ckpt);
+    } else if (si.isRet) {
+        bpred::BPredCheckpoint ckpt;
+        bp.popRas(tid, ckpt);
+    }
+    warm.now += kWarmCyclesPerInst;
+}
+
+/**
+ * Advance one functional master by @p len instructions. With
+ * sampleFuncWarmInsts == 0 (the default) every instruction feeds the
+ * warm model — continuous functional warming; otherwise only the last
+ * sampleFuncWarmInsts do, and the rest run through the decoded-BB
+ * fast path (cheaper fast-forward, less accumulated warmth).
+ */
+void
+advance(WarmModel &warm, const cpu::Renamer &renamer,
+        func::FuncSim &sim, const isa::Program &prog, ThreadId tid,
+        InstCount len, InstCount warmTail)
+{
+    const InstCount tail =
+        warmTail == 0 ? len : std::min(warmTail, len);
+    sim.runFast(len - tail);
+    for (InstCount i = 0; i < tail && !sim.halted(); ++i)
+        warmStep(warm, renamer, sim, prog, tid);
+}
+
+/** Raw counters mirrored from runTiming(), in the same order. */
+constexpr const char *kCounterNames[] = {"stalls_table_conflict",
+                                         "stalls_astq"};
+constexpr unsigned kNumCounters = 2;
+
+/** Sums measured quanta across samples into one Measurement. */
+struct Agg
+{
+    Cycle cycles = 0;
+    InstCount insts = 0;
+    double dcacheAccesses = 0;
+    std::vector<InstCount> threadInsts;
+    double breakdown[6] = {};
+    double counterVals[kNumCounters] = {};
+    bool counterPresent[kNumCounters] = {};
+    unsigned samples = 0;
+
+    void
+    add(const cpu::OooCpu &cpu, const cpu::RunResult &res)
+    {
+        cycles += res.cycles;
+        insts += res.totalInsts;
+        dcacheAccesses += res.dcacheAccesses;
+        if (threadInsts.size() < res.threadInsts.size())
+            threadInsts.resize(res.threadInsts.size(), 0);
+        for (size_t i = 0; i < res.threadInsts.size(); ++i)
+            threadInsts[i] += res.threadInsts[i];
+        const auto &ca = cpu.cycleAccounting;
+        breakdown[0] += ca.commitActive.value();
+        breakdown[1] += ca.memStall.value();
+        breakdown[2] += ca.execStall.value();
+        breakdown[3] += ca.renameFreeList.value();
+        breakdown[4] += ca.windowShift.value();
+        breakdown[5] += ca.frontendStall.value();
+        const auto *group = static_cast<const stats::StatGroup *>(&cpu);
+        for (unsigned i = 0; i < kNumCounters; ++i) {
+            if (const auto *s = dynamic_cast<const stats::Scalar *>(
+                    group->find(kCounterNames[i]))) {
+                counterVals[i] += s->value();
+                counterPresent[i] = true;
+            }
+        }
+        ++samples;
+    }
+
+    void
+    fill(Measurement &m) const
+    {
+        m.ok = true;
+        m.cycles = cycles;
+        m.insts = insts;
+        m.ipc = cycles ? double(insts) / double(cycles) : 0.0;
+        m.cpi = insts ? double(cycles) / double(insts) : 0.0;
+        m.dcacheAccesses = dcacheAccesses;
+        m.dcacheAccPerInst =
+            insts ? dcacheAccesses / double(insts) : 0.0;
+        m.threadInsts = threadInsts;
+        for (InstCount ti : threadInsts) {
+            m.threadCpi.push_back(ti ? double(cycles) / double(ti)
+                                     : 0.0);
+            m.threadDcachePerInst.push_back(m.dcacheAccPerInst);
+        }
+        const double cyc = std::max(1.0, double(cycles));
+        m.cycleBreakdown = {
+            {"commit", breakdown[0] / cyc},
+            {"mem", breakdown[1] / cyc},
+            {"exec", breakdown[2] / cyc},
+            {"rename", breakdown[3] / cyc},
+            {"window", breakdown[4] / cyc},
+            {"frontend", breakdown[5] / cyc},
+        };
+        for (unsigned i = 0; i < kNumCounters; ++i) {
+            if (counterPresent[i])
+                m.counters.emplace_back(kCounterNames[i],
+                                        counterVals[i]);
+        }
+    }
+};
+
+/** Host accounting shared by both modes. */
+struct HostSplit
+{
+    double funcSeconds = 0;
+    double simSeconds = 0;
+    double simInsts = 0;
+    double simCycles = 0;
+
+    void
+    publish(double funcInsts) const
+    {
+        if (simSeconds > 0 || simInsts > 0)
+            stats::HostStats::global().record(simSeconds, simInsts,
+                                              simCycles);
+        if (funcSeconds > 0 || funcInsts > 0)
+            stats::HostStats::global().recordFunctional(funcSeconds,
+                                                        funcInsts);
+    }
+};
+
+void
+runSmarts(const std::vector<const isa::Program *> &programs,
+          const cpu::CpuParams &params, const RunOptions &opts,
+          Measurement &m)
+{
+    if (!opts.samplePeriodInsts || !opts.sampleQuantumInsts)
+        fatal("sampled mode requires a nonzero sample period and "
+              "quantum");
+    if (opts.samplePeriodInsts <=
+        opts.sampleDetailWarmInsts + opts.sampleQuantumInsts)
+        fatal("sample period (%llu insts) must exceed detail warm-up "
+              "plus quantum (%llu insts)",
+              (unsigned long long)opts.samplePeriodInsts,
+              (unsigned long long)(opts.sampleDetailWarmInsts +
+                                   opts.sampleQuantumInsts));
+    const unsigned n = static_cast<unsigned>(programs.size());
+
+    // Per-thread functional golden models, each on its own memory
+    // image (the detailed core's per-thread memories are rebuilt from
+    // these at every switch-in).
+    std::vector<std::unique_ptr<mem::SparseMemory>> fmem;
+    std::vector<std::unique_ptr<func::FuncSim>> fsim;
+    for (unsigned t = 0; t < n; ++t) {
+        fmem.push_back(std::make_unique<mem::SparseMemory>());
+        fsim.push_back(
+            std::make_unique<func::FuncSim>(*programs[t], *fmem[t]));
+    }
+    const auto anyHalted = [&] {
+        for (unsigned t = 0; t < n; ++t)
+            if (fsim[t]->halted())
+                return true;
+        return false;
+    };
+
+    WarmModel warm(params, n);
+    Agg agg;
+    HostSplit host;
+
+    // Pre-sampling warm-up: fast-forward warmupInsts (functionally
+    // warmed, unmeasured) before the first period, so sampling can be
+    // aimed past a program's cold-start transient — functional
+    // warming sees no wrong-path accesses, so the transient is the
+    // one region it cannot reproduce faithfully.
+    if (opts.warmupInsts) {
+        cpu::OooCpu reloc(params, programs);
+        ScopedSeconds tm(host.funcSeconds);
+        for (unsigned t = 0; t < n; ++t)
+            advance(warm, reloc.renamer(), *fsim[t], *programs[t],
+                    ThreadId(t), opts.warmupInsts,
+                    opts.sampleFuncWarmInsts);
+    }
+
+    // Instructions each thread has already covered inside the current
+    // period (detail warm-up + quantum of the previous sample), so
+    // consecutive samples start exactly samplePeriodInsts apart.
+    std::vector<InstCount> coveredInPeriod(n, 0);
+    while (agg.insts < opts.measureInsts && !anyHalted()) {
+        // A fresh core per sample: all transient state (queues, ROB,
+        // rename tables) starts cold, as SMARTS intends; the
+        // long-lived state is transplanted from the warm model below.
+        cpu::OooCpu cpu(params, programs);
+        std::vector<InstCount> committed(n, 0);
+        cpu.addCommitListener([&committed](const cpu::DynInst &inst) {
+            ++committed[inst.tid];
+        });
+
+        {
+            ScopedSeconds tm(host.funcSeconds);
+            for (unsigned t = 0; t < n; ++t) {
+                const InstCount gap =
+                    opts.samplePeriodInsts > coveredInPeriod[t]
+                        ? opts.samplePeriodInsts - coveredInPeriod[t]
+                        : 0;
+                advance(warm, cpu.renamer(), *fsim[t], *programs[t],
+                        ThreadId(t), gap, opts.sampleFuncWarmInsts);
+            }
+        }
+        if (anyHalted())
+            break;
+
+        cpu.memSystem().copyStateFrom(warm.mem);
+        cpu.branchPredictor().copyStateFrom(warm.bpred);
+        for (unsigned t = 0; t < n; ++t)
+            cpu.switchIn(ThreadId(t), fsim[t]->captureState(),
+                         *fmem[t]);
+
+        {
+            ScopedSeconds tm(host.simSeconds);
+            cpu.run(opts.sampleDetailWarmInsts,
+                    opts.sampleDetailWarmInsts * 200 + 100'000,
+                    opts.stopOnFirstThread);
+            cpu.resetStats();
+            const auto res = cpu.run(
+                opts.sampleQuantumInsts,
+                opts.sampleQuantumInsts * 200 + 100'000,
+                opts.stopOnFirstThread);
+            agg.add(cpu, res);
+            host.simCycles += double(cpu.currentCycle());
+        }
+        for (InstCount c : committed)
+            host.simInsts += double(c);
+
+        // The detailed sample continued warming the transplanted
+        // state; adopt its final tags/tables so nothing the sample
+        // touched is forgotten, then re-advance the functional
+        // masters by exactly what the core committed. Those
+        // instructions' microarchitectural effects are already in the
+        // warm model, so the resync is a pure fast-forward.
+        warm.mem.copyStateFrom(cpu.memSystem());
+        warm.bpred.copyStateFrom(cpu.branchPredictor());
+        {
+            ScopedSeconds tm(host.funcSeconds);
+            for (unsigned t = 0; t < n; ++t)
+                fsim[t]->runFast(committed[t]);
+        }
+        coveredInPeriod = committed;
+    }
+
+    if (!agg.samples)
+        fatal("sampled mode took no samples: program ends within one "
+              "sample period (%llu insts)",
+              (unsigned long long)opts.samplePeriodInsts);
+
+    agg.fill(m);
+    double funcInsts = 0;
+    for (unsigned t = 0; t < n; ++t)
+        funcInsts += double(fsim[t]->stats().insts);
+    host.publish(funcInsts);
+}
+
+void
+runSimPoint(const std::vector<const isa::Program *> &programs,
+            const cpu::CpuParams &params, const RunOptions &opts,
+            Measurement &m)
+{
+    if (programs.size() != 1)
+        fatal("simpoint mode supports exactly one thread "
+              "(use --mode=sampled for SMT)");
+    if (!opts.measureInsts)
+        fatal("simpoint mode requires a nonzero measured interval");
+    const isa::Program &prog = *programs[0];
+
+    HostSplit host;
+    // The interval length is the measured interval, so each phase's
+    // representative interval is exactly what gets simulated in
+    // detail. BBV collection executes the program functionally once
+    // (bounded by pickSimPoint's maxIntervals); charge it to the
+    // functional side.
+    SimPointResult sp;
+    {
+        ScopedSeconds tm(host.funcSeconds);
+        sp = pickSimPoint(prog, opts.measureInsts);
+    }
+    double funcInsts =
+        double(sp.phaseOf.size()) * double(opts.measureInsts);
+
+    mem::SparseMemory fmem;
+    func::FuncSim fsim(prog, fmem);
+    WarmModel warm(params, 1);
+    Agg agg;
+    // One representative interval per phase (nearest its centroid),
+    // weighted by the fraction of intervals the phase covers. The
+    // whole-program estimate blends the representatives' CPI — equal
+    // instruction intervals make program IPC the harmonic mean of
+    // interval IPCs, so time (CPI), not rate, is what weights add
+    // over. A single dominant interval would misrepresent any
+    // phase-changing program.
+    double weightedCpi = 0;
+    double weightUsed = 0;
+    InstCount pos = 0; ///< master's position in dynamic insts
+    for (size_t r = 0; r < sp.phaseRep.size(); ++r) {
+        const InstCount target =
+            InstCount(sp.phaseRep[r]) * opts.measureInsts;
+        // Switch in warmupInsts before the interval so the detailed
+        // warm-up runs through the instructions preceding it and the
+        // measured region is the representative interval itself.
+        const InstCount switchAt =
+            target > opts.warmupInsts ? target - opts.warmupInsts : 0;
+
+        cpu::OooCpu cpu(params, programs);
+        InstCount committed = 0;
+        cpu.addCommitListener(
+            [&committed](const cpu::DynInst &) { ++committed; });
+        {
+            ScopedSeconds tm(host.funcSeconds);
+            advance(warm, cpu.renamer(), fsim, prog, 0,
+                    switchAt > pos ? switchAt - pos : 0,
+                    opts.sampleFuncWarmInsts);
+            pos = std::max(pos, switchAt);
+        }
+        if (fsim.halted())
+            fatal("simpoint mode: program halted during "
+                  "fast-forward");
+
+        cpu.memSystem().copyStateFrom(warm.mem);
+        cpu.branchPredictor().copyStateFrom(warm.bpred);
+        cpu.switchIn(0, fsim.captureState(), fmem);
+
+        {
+            ScopedSeconds tm(host.simSeconds);
+            cpu.run(opts.warmupInsts,
+                    opts.warmupInsts * 200 + 100'000,
+                    opts.stopOnFirstThread);
+            cpu.resetStats();
+            const auto res =
+                cpu.run(opts.measureInsts,
+                        opts.measureInsts * 200 + 100'000,
+                        opts.stopOnFirstThread);
+            agg.add(cpu, res);
+            if (res.totalInsts) {
+                weightedCpi += sp.phaseWeight[r] *
+                               double(res.cycles) /
+                               double(res.totalInsts);
+                weightUsed += sp.phaseWeight[r];
+            }
+            host.simInsts += double(committed);
+            host.simCycles += double(cpu.currentCycle());
+        }
+
+        warm.mem.copyStateFrom(cpu.memSystem());
+        warm.bpred.copyStateFrom(cpu.branchPredictor());
+        {
+            ScopedSeconds tm(host.funcSeconds);
+            fsim.runFast(committed);
+            pos += committed;
+        }
+    }
+
+    agg.fill(m);
+    // The headline IPC/CPI is the weighted whole-program estimate;
+    // cycles/insts stay raw sums over the representatives (so
+    // m.ipc != m.insts/m.cycles in general, unlike detailed mode).
+    if (weightUsed > 0) {
+        m.cpi = weightedCpi / weightUsed;
+        m.ipc = m.cpi > 0 ? 1.0 / m.cpi : 0.0;
+    }
+    funcInsts += double(fsim.stats().insts);
+    host.publish(funcInsts);
+}
+
+} // namespace
+
+Measurement
+runSampledTiming(const std::vector<const isa::Program *> &programs,
+                 cpu::RenamerKind kind, unsigned physRegs,
+                 const RunOptions &opts, const cpu::CpuParams &params)
+{
+    (void)kind;
+    (void)physRegs;
+    Measurement m;
+    try {
+        if (opts.regTelemetry)
+            fatal("register telemetry requires --mode=detailed");
+        if (opts.mode == SimMode::SimPoint)
+            runSimPoint(programs, params, opts, m);
+        else
+            runSmarts(programs, params, opts, m);
+    } catch (const FatalError &e) {
+        m.ok = false;
+        m.error = e.what();
+    }
+    return m;
+}
+
+const char *
+simModeName(SimMode mode)
+{
+    switch (mode) {
+      case SimMode::Detailed: return "detailed";
+      case SimMode::SimPoint: return "simpoint";
+      case SimMode::Sampled:  return "sampled";
+    }
+    return "unknown";
+}
+
+bool
+parseSimMode(const std::string &text, SimMode &mode)
+{
+    if (text == "detailed") {
+        mode = SimMode::Detailed;
+        return true;
+    }
+    if (text == "simpoint") {
+        mode = SimMode::SimPoint;
+        return true;
+    }
+    if (text == "sampled") {
+        mode = SimMode::Sampled;
+        return true;
+    }
+    return false;
+}
+
+} // namespace vca::analysis

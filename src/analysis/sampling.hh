@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fast-forward + sampled simulation modes (the non-detailed arms of
+ * RunOptions::mode).
+ *
+ * Both modes interleave the functional core (FuncSim's decoded-BB fast
+ * path) with the detailed OoO core:
+ *
+ *  - SimPoint: cluster BBV intervals into phases (analysis/
+ *    simpoint.hh), detail-simulate one representative interval per
+ *    phase, and report the phase-weighted IPC blend as the
+ *    whole-program estimate.
+ *  - Sampled: SMARTS-style periodic sampling — every samplePeriodInsts
+ *    per thread, switch the architectural state into a fresh detailed
+ *    core, run sampleDetailWarmInsts of detailed warm-up, and measure
+ *    a sampleQuantumInsts quantum; aggregate quanta until measureInsts
+ *    instructions have been measured or the program ends.
+ *
+ * Long-lived microarchitectural state (cache tags, predictor tables)
+ * lives in a persistent warm model that every fast-forwarded
+ * instruction updates (continuous functional warming; see
+ * RunOptions::sampleFuncWarmInsts for the tail-only compromise) and
+ * that each sample's fresh core adopts via copyStateFrom before
+ * switch-in — without it, every sample would restart with cold caches
+ * and the sampled estimate would be biased far below the detailed
+ * reference.
+ *
+ * The hand-off obeys the switch-in invariant (OooCpu::switchIn): after
+ * transfer, every architectural register the detailed core would read
+ * is checked against the functional golden model. Host time spent on
+ * the functional side is accounted to HostStats func_* (the accuracy
+ * tier's >=5x speedup contract); detailed quanta accumulate into the
+ * usual sim_* trajectory.
+ */
+
+#ifndef VCA_ANALYSIS_SAMPLING_HH
+#define VCA_ANALYSIS_SAMPLING_HH
+
+#include "analysis/experiment.hh"
+
+namespace vca::analysis {
+
+/**
+ * Run a non-detailed timing measurement (opts.mode is SimPoint or
+ * Sampled). Called by runTiming() after it builds the CpuParams, so
+ * ablation overrides and seeding behave identically across modes.
+ */
+Measurement runSampledTiming(
+    const std::vector<const isa::Program *> &programs,
+    cpu::RenamerKind kind, unsigned physRegs, const RunOptions &opts,
+    const cpu::CpuParams &params);
+
+} // namespace vca::analysis
+
+#endif // VCA_ANALYSIS_SAMPLING_HH

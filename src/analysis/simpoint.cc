@@ -179,6 +179,8 @@ pickSimPoint(const isa::Program &prog, InstCount intervalInsts,
         return result;
     if (bbvs.size() == 1) {
         result.phaseOf = {0};
+        result.phaseRep = {0};
+        result.phaseWeight = {1.0};
         return result;
     }
 
@@ -232,6 +234,50 @@ pickSimPoint(const isa::Program &prog, InstCount intervalInsts,
     result.phaseOf = best.assign;
     result.largestPhaseWeight =
         static_cast<double>(sizes[largest]) / static_cast<double>(n);
+
+    // Per-phase representatives, ordered by interval so a caller can
+    // visit them in one forward pass. Candidates are restricted to the
+    // later half of each phase's occurrences: BBVs cannot see warm-up
+    // state, so a phase's earliest occurrences look identical to its
+    // steady ones while measuring under far less accumulated
+    // microarchitectural history. Among the later half we still take
+    // the member nearest the centroid.
+    for (unsigned c = 0; c < bestK; ++c) {
+        if (sizes[c] == 0)
+            continue;
+        std::vector<size_t> members;
+        for (size_t i = 0; i < n; ++i) {
+            if (best.assign[i] == c)
+                members.push_back(i);
+        }
+        size_t rep = members.back();
+        double repDist = std::numeric_limits<double>::max();
+        for (size_t m = members.size() / 2; m < members.size(); ++m) {
+            const size_t i = members[m];
+            const double d = sqDist(projected[i], best.centroids[c]);
+            if (d < repDist) {
+                repDist = d;
+                rep = i;
+            }
+        }
+        result.phaseRep.push_back(rep);
+        result.phaseWeight.push_back(static_cast<double>(sizes[c]) /
+                                     static_cast<double>(n));
+    }
+    std::vector<size_t> order(result.phaseRep.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return result.phaseRep[a] < result.phaseRep[b];
+    });
+    std::vector<size_t> reps;
+    std::vector<double> weights;
+    for (size_t i : order) {
+        reps.push_back(result.phaseRep[i]);
+        weights.push_back(result.phaseWeight[i]);
+    }
+    result.phaseRep = std::move(reps);
+    result.phaseWeight = std::move(weights);
     return result;
 }
 

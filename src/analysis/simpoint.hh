@@ -65,6 +65,15 @@ struct SimPointResult
     unsigned numPhases = 1;       ///< chosen k
     std::vector<unsigned> phaseOf; ///< phase id per interval
     double largestPhaseWeight = 1; ///< fraction in the chosen phase
+    /**
+     * One representative interval per non-empty phase (the member
+     * nearest its centroid) and that phase's interval fraction, in
+     * ascending interval order. The phase-weighted blend of detailed
+     * measurements over these intervals is the multi-phase SimPoint
+     * estimate sampled simulation uses (--mode=simpoint).
+     */
+    std::vector<size_t> phaseRep;
+    std::vector<double> phaseWeight;
 };
 
 /**

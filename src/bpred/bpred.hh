@@ -80,6 +80,14 @@ class BranchPredictor : public stats::StatGroup
     void update(ThreadId tid, Addr pc, bool taken,
                 std::uint64_t historyAtPredict);
 
+    /**
+     * Adopt another predictor's tables, histories and return-address
+     * stacks (panics unless the geometry matches). Sampled simulation
+     * transplants a persistent, functionally-warmed predictor into
+     * each sample's fresh core. Statistics are not copied.
+     */
+    void copyStateFrom(const BranchPredictor &other);
+
     stats::Scalar lookups;
     stats::Scalar condMispredicts;
     stats::Scalar rasMispredicts;

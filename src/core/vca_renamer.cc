@@ -745,4 +745,54 @@ VcaRenamer::validate() const
     }
 }
 
+void
+VcaRenamer::switchIn(ThreadId tid, const func::ArchState &state)
+{
+    // Pre-run only: the rename table is empty, so every architectural
+    // value can live at its logical-register memory address and the
+    // first use of each register simply misses and fills from there.
+    ThreadCtx &ctx = threads_.at(tid);
+    if (ctx.windowedAbi != state.windowedAbi)
+        panic("switch-in ABI mismatch (renamer %d, state %d)",
+              int(ctx.windowedAbi), int(state.windowedAbi));
+
+    if (ctx.windowedAbi) {
+        ctx.wbp = layout::initialWindowPointer(tid) -
+                  Addr(state.callDepth) * layout::windowFrameBytes;
+    }
+
+    // Windowed registers already arrived with the relocated memory
+    // image (the functional core keeps them in memory); globals and
+    // flat-ABI registers live in the functional core's register arrays
+    // and must be materialized here.
+    for (unsigned f = 0; f < isa::numArchRegs; ++f) {
+        const isa::ArchReg r = isa::fromFlatIndex(f);
+        const std::uint64_t v = r.cls == RegClass::Int
+            ? state.intRegs[r.idx] : state.fpRegs[r.idx];
+        const Addr a = regAddress(tid, r.cls, r.idx);
+        memoryFor(a, tid).write(a, v);
+    }
+}
+
+std::uint64_t
+VcaRenamer::readArchReg(ThreadId tid, RegClass cls, RegIndex idx)
+{
+    // Valid while the register cache holds no dirty committed state
+    // (e.g. right after switchIn): memory is then authoritative.
+    if (cls == RegClass::Int && idx == isa::regZero)
+        return 0;
+    const Addr a = regAddress(tid, cls, idx);
+    return memoryFor(a, tid).read(a);
+}
+
+Addr
+VcaRenamer::relocateRegSpace(ThreadId tid, Addr addr) const
+{
+    // The functional core always uses thread 0's register-space layout;
+    // this renamer gives each thread a disjoint, page-aligned region.
+    if (addr < layout::regSpaceBase)
+        return addr;
+    return addr + Addr(tid) * layout::threadRegionBytes;
+}
+
 } // namespace vca::core

@@ -60,6 +60,11 @@ class VcaRenamer : public cpu::Renamer
 
     void validate() const override;
 
+    void switchIn(ThreadId tid, const func::ArchState &state) override;
+    std::uint64_t readArchReg(ThreadId tid, isa::RegClass cls,
+                              RegIndex idx) override;
+    Addr relocateRegSpace(ThreadId tid, Addr addr) const override;
+
     /** Logical-register memory address for a register of a thread. */
     Addr regAddress(ThreadId tid, isa::RegClass cls, RegIndex idx) const;
 

@@ -14,6 +14,23 @@ Renamer::popTransferOp()
     panic("popTransferOp called on a renamer with no transfer queue");
 }
 
+void
+Renamer::switchIn(ThreadId tid, const func::ArchState &state)
+{
+    (void)tid;
+    (void)state;
+    panic("switch-in not supported by this renamer");
+}
+
+std::uint64_t
+Renamer::readArchReg(ThreadId tid, isa::RegClass cls, RegIndex idx)
+{
+    (void)tid;
+    (void)cls;
+    (void)idx;
+    panic("readArchReg not supported by this renamer");
+}
+
 // ---------------------------------------------------------------------
 // ConvRenamer
 // ---------------------------------------------------------------------
@@ -105,6 +122,30 @@ ConvRenamer::validate() const
         if (mapped.at(p))
             panic("physical register %d both mapped and free", int(p));
     }
+}
+
+void
+ConvRenamer::switchIn(ThreadId tid, const func::ArchState &state)
+{
+    if (state.windowedAbi)
+        panic("flat renamer cannot switch in windowed-ABI state");
+    for (unsigned f = 0; f < isa::numArchRegs; ++f) {
+        const isa::ArchReg r = isa::fromFlatIndex(f);
+        const std::uint64_t v = r.cls == RegClass::Int
+            ? state.intRegs[r.idx] : state.fpRegs[r.idx];
+        const PhysRegIndex phys =
+            ratLookup(tid, logicalIndex(tid, r.cls, r.idx));
+        regs_.write(phys, v);
+        regs_.setReady(phys, true);
+    }
+}
+
+std::uint64_t
+ConvRenamer::readArchReg(ThreadId tid, RegClass cls, RegIndex idx)
+{
+    if (cls == RegClass::Int && idx == isa::regZero)
+        return 0;
+    return regs_.read(ratLookup(tid, logicalIndex(tid, cls, idx)));
 }
 
 // ---------------------------------------------------------------------
@@ -320,6 +361,77 @@ WindowConvRenamer::performTrap(ThreadId tid)
     }
     tw.pendingTrap = ThreadWindows::Trap::None;
     tw.trapOldRaPhys = invalidPhysReg;
+}
+
+void
+WindowConvRenamer::switchIn(ThreadId tid, const func::ArchState &state)
+{
+    if (!state.windowedAbi)
+        panic("window renamer expects windowed-ABI state");
+    auto &tw = threads_.at(tid);
+    mem::SparseMemory &memory = *memories_.at(tid);
+
+    tw.commitDepth = static_cast<std::int32_t>(state.callDepth);
+    setRenameDepth(tw, tw.commitDepth);
+    tw.oldestResident = std::max<std::int32_t>(
+        0, tw.commitDepth - static_cast<std::int32_t>(numWindows_) + 1);
+    tw.pendingTrap = ThreadWindows::Trap::None;
+    tw.trapOldRaPhys = invalidPhysReg;
+
+    // Globals come straight from the captured register state.
+    for (unsigned f = 0; f < isa::numArchRegs; ++f) {
+        const isa::ArchReg r = isa::fromFlatIndex(f);
+        if (isa::isWindowed(r.cls, r.idx))
+            continue;
+        const std::uint64_t v = r.cls == RegClass::Int
+            ? state.intRegs[r.idx] : state.fpRegs[r.idx];
+        const PhysRegIndex phys = ratLookup(
+            tid,
+            static_cast<std::int32_t>(isa::globalSlot(r.cls, r.idx)));
+        regs_.write(phys, v);
+        regs_.setReady(phys, true);
+    }
+
+    // Resident windows load from the functional memory image: the
+    // functional core keeps windowed registers in memory at exactly
+    // frameAddr's addresses, so frames at every call depth — resident
+    // or spilled — are already where traps expect them.
+    for (std::int32_t d = tw.oldestResident; d <= tw.commitDepth; ++d) {
+        const unsigned w = static_cast<unsigned>(d) % numWindows_;
+        for (unsigned f = 0; f < isa::numArchRegs; ++f) {
+            const isa::ArchReg r = isa::fromFlatIndex(f);
+            if (!isa::isWindowed(r.cls, r.idx))
+                continue;
+            const unsigned slot = isa::windowSlot(r.cls, r.idx);
+            const std::int32_t l = static_cast<std::int32_t>(
+                isa::globalSlots + w * isa::windowSlots + slot);
+            const PhysRegIndex phys = ratLookup(tid, l);
+            regs_.write(phys, memory.read(frameAddr(d, slot)));
+            regs_.setReady(phys, true);
+        }
+        // Register values equal their memory frames, so every slot
+        // starts clean: an overflow spill would be redundant.
+        std::fill(tw.dirty[w].begin(), tw.dirty[w].end(), false);
+    }
+}
+
+std::uint64_t
+WindowConvRenamer::readArchReg(ThreadId tid, RegClass cls, RegIndex idx)
+{
+    if (cls == RegClass::Int && idx == isa::regZero)
+        return 0;
+    const auto &tw = threads_.at(tid);
+    std::int32_t l;
+    if (isa::isWindowed(cls, idx)) {
+        const unsigned w =
+            static_cast<unsigned>(tw.commitDepth) % numWindows_;
+        l = static_cast<std::int32_t>(isa::globalSlots +
+                                      w * isa::windowSlots +
+                                      isa::windowSlot(cls, idx));
+    } else {
+        l = static_cast<std::int32_t>(isa::globalSlot(cls, idx));
+    }
+    return regs_.read(ratLookup(tid, l));
 }
 
 TransferOp

@@ -41,6 +41,10 @@ class ConvRenamer : public Renamer
     void squashInst(DynInst &inst) override;
     void validate() const override;
 
+    void switchIn(ThreadId tid, const func::ArchState &state) override;
+    std::uint64_t readArchReg(ThreadId tid, isa::RegClass cls,
+                              RegIndex idx) override;
+
     unsigned freeRegs() const { return freeList_.size(); }
 
     stats::Scalar renameStallsFreeList;
@@ -141,6 +145,10 @@ class WindowConvRenamer : public ConvRenamer
     }
     CommitAction commitInst(DynInst &inst) override;
     void performTrap(ThreadId tid) override;
+
+    void switchIn(ThreadId tid, const func::ArchState &state) override;
+    std::uint64_t readArchReg(ThreadId tid, isa::RegClass cls,
+                              RegIndex idx) override;
 
     bool hasTransferOp() const override { return !transferQueue_.empty(); }
     TransferOp popTransferOp() override;

@@ -266,6 +266,48 @@ OooCpu::threadMemory(ThreadId tid)
     return *threads_.at(tid).memory;
 }
 
+void
+OooCpu::switchIn(ThreadId tid, const func::ArchState &state,
+                 const mem::SparseMemory &funcMem)
+{
+    if (now_ != 0 || committedTotal.value() != 0)
+        panic("switchIn is only legal before the first simulated cycle");
+    ThreadState &ts = threads_.at(tid);
+    if (state.windowedAbi != ts.program->windowedAbi)
+        panic("switchIn ABI mismatch for thread %u", unsigned(tid));
+
+    // Whole-page copy, zero words included: the functional run may
+    // have overwritten an initialized word with zero, so a
+    // value-filtered copy would leave stale state behind.
+    ts.memory->clear();
+    funcMem.forEachPage([&](Addr base, const std::uint64_t *words) {
+        const Addr dst = renamer_->relocateRegSpace(tid, base);
+        for (unsigned i = 0; i < mem::SparseMemory::wordsPerPage; ++i)
+            ts.memory->write(dst + Addr(i) * 8, words[i]);
+    });
+
+    ts.fetchPc = state.pc;
+    renamer_->switchIn(tid, state);
+
+    // Drain/transfer invariant: every architectural register the
+    // detailed core would now read must match the functional golden
+    // model, whatever structure the renamer keeps it in.
+    for (unsigned f = 0; f < isa::numArchRegs; ++f) {
+        const isa::ArchReg r = isa::fromFlatIndex(f);
+        const std::uint64_t want = r.cls == isa::RegClass::Int
+            ? state.intRegs[r.idx] : state.fpRegs[r.idx];
+        const std::uint64_t got =
+            renamer_->readArchReg(tid, r.cls, r.idx);
+        if (got != want) {
+            panic("switch-in invariant violated: tid %u %c%u is %llx, "
+                  "functional model has %llx", unsigned(tid),
+                  r.cls == isa::RegClass::Int ? 'r' : 'f',
+                  unsigned(r.idx), (unsigned long long)got,
+                  (unsigned long long)want);
+        }
+    }
+}
+
 unsigned
 OooCpu::robOccupancy() const
 {

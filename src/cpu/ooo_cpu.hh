@@ -211,6 +211,18 @@ class OooCpu : public stats::StatGroup
     /** Advance one cycle (exposed for fine-grained tests). */
     void tick();
 
+    /**
+     * Install functionally fast-forwarded state for one thread. Only
+     * legal before the first simulated cycle: copies the functional
+     * memory image wholesale (relocating register-space pages for
+     * renamers that give each thread its own register region),
+     * redirects fetch, and hands the register state to the renamer.
+     * Panics if any architectural register afterwards disagrees with
+     * the functional golden model (the transfer invariant).
+     */
+    void switchIn(ThreadId tid, const func::ArchState &state,
+                  const mem::SparseMemory &funcMem);
+
     bool threadDone(ThreadId tid) const { return threads_.at(tid).done; }
     InstCount
     committedInsts(ThreadId tid) const

@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "cpu/dyn_inst.hh"
+#include "func/func_sim.hh"
 #include "mem/sparse_memory.hh"
 #include "sim/types.hh"
 
@@ -132,6 +133,40 @@ class Renamer
      * do not block).
      */
     virtual bool transfersBlockRename() const { return false; }
+
+    // ---- Switch-in protocol (functional fast-forward → detailed) ----
+
+    /**
+     * Install a functional core's architectural register state as this
+     * renamer's committed state for @p tid. Only legal before the
+     * first simulated cycle, while the pipeline is empty; the thread's
+     * memory image must already hold the (relocated) functional image
+     * so renamers that keep registers in memory find their values.
+     */
+    virtual void switchIn(ThreadId tid, const func::ArchState &state);
+
+    /**
+     * Committed architectural value of one register, read through
+     * whatever structure this renamer keeps it in (RAT + physical
+     * file, window frames, memory-mapped register space). Used to
+     * check the switch-in transfer invariant against the functional
+     * golden model.
+     */
+    virtual std::uint64_t readArchReg(ThreadId tid, isa::RegClass cls,
+                                      RegIndex idx);
+
+    /**
+     * Map an address from the functional core's register space (which
+     * always uses thread 0's layout) into this renamer's register
+     * space for @p tid. Identity unless the renamer places each
+     * thread's memory-mapped registers in a distinct region.
+     */
+    virtual Addr
+    relocateRegSpace(ThreadId tid, Addr addr) const
+    {
+        (void)tid;
+        return addr;
+    }
 
     /** Internal-consistency check for tests (panics on violation). */
     virtual void validate() const {}

@@ -127,9 +127,15 @@ FuncSim::step(StepRecord &rec)
         rec.halted = true;
         return false;
     }
+    return execInst<true>(prog_.inst(pc_), &rec);
+}
 
-    const isa::StaticInst &si = prog_.inst(pc_);
-    rec.pc = pc_;
+template <bool Record>
+bool
+FuncSim::execInst(const isa::StaticInst &si, StepRecord *rec)
+{
+    if constexpr (Record)
+        rec->pc = pc_;
     Addr npc = pc_ + 1;
 
     const auto opnd = [&](unsigned i) -> std::uint64_t {
@@ -146,8 +152,10 @@ FuncSim::step(StepRecord &rec)
         break;
       case Opcode::Halt:
         halted_ = true;
-        rec.halted = true;
-        rec.npc = pc_;
+        if constexpr (Record) {
+            rec->halted = true;
+            rec->npc = pc_;
+        }
         return false;
 
       case Opcode::Add:  result = opnd(0) + opnd(1); wrote = true; break;
@@ -209,8 +217,10 @@ FuncSim::step(StepRecord &rec)
         const Addr ea = (opnd(0) + si.imm) & ~Addr(7);
         result = mem_.read(ea);
         wrote = true;
-        rec.isMem = true;
-        rec.effAddr = ea;
+        if constexpr (Record) {
+            rec->isMem = true;
+            rec->effAddr = ea;
+        }
         ++stats_.loads;
         break;
       }
@@ -219,8 +229,10 @@ FuncSim::step(StepRecord &rec)
         const std::uint64_t data = opnd(1);
         const Addr ea = (base + si.imm) & ~Addr(7);
         mem_.write(ea, data);
-        rec.isMem = true;
-        rec.effAddr = ea;
+        if constexpr (Record) {
+            rec->isMem = true;
+            rec->effAddr = ea;
+        }
         ++stats_.stores;
         break;
       }
@@ -331,13 +343,16 @@ FuncSim::step(StepRecord &rec)
 
     if (wrote && si.hasDest) {
         writeReg(si.dest.cls, si.dest.idx, result);
-        rec.hasDest = true;
-        rec.dest = si.dest;
-        rec.destValue = result;
+        if constexpr (Record) {
+            rec->hasDest = true;
+            rec->dest = si.dest;
+            rec->destValue = result;
+        }
     }
 
     pc_ = npc;
-    rec.npc = npc;
+    if constexpr (Record)
+        rec->npc = npc;
     ++stats_.insts;
     return true;
 }
@@ -350,6 +365,49 @@ FuncSim::run(InstCount maxInsts)
     while (!halted_ && stats_.insts - start < maxInsts)
         step(rec);
     return stats_;
+}
+
+FuncSimStats
+FuncSim::runFast(InstCount maxInsts)
+{
+    if (!bbCache_)
+        bbCache_ = std::make_unique<isa::BbCache>(prog_);
+    const InstCount start = stats_.insts;
+    while (!halted_) {
+        const InstCount done = stats_.insts - start;
+        if (done >= maxInsts)
+            break;
+        const isa::BasicBlock &bb = bbCache_->blockAt(pc_);
+        // Only the final instruction of a block can redirect, so the
+        // body is a straight pointer walk over the decoded image. A
+        // truncated walk leaves pc_ mid-block; the next lookup simply
+        // discovers the sub-block starting there.
+        std::uint32_t n = bb.length;
+        const InstCount remaining = maxInsts - done;
+        if (n > remaining)
+            n = static_cast<std::uint32_t>(remaining);
+        const isa::StaticInst *ip = &prog_.inst(bb.startPc);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (!execInst<false>(ip[i], nullptr))
+                return stats_;
+        }
+    }
+    return stats_;
+}
+
+ArchState
+FuncSim::captureState() const
+{
+    ArchState s;
+    s.pc = pc_;
+    s.windowedAbi = windowed_;
+    s.callDepth = depth_;
+    s.windowBase = wbp_;
+    for (unsigned i = 0; i < isa::numIntRegs; ++i)
+        s.intRegs[i] = readReg(RegClass::Int, static_cast<RegIndex>(i));
+    for (unsigned i = 0; i < isa::numFloatRegs; ++i)
+        s.fpRegs[i] = readReg(RegClass::Float, static_cast<RegIndex>(i));
+    return s;
 }
 
 void

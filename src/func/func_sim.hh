@@ -19,7 +19,9 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 
+#include "isa/bb_cache.hh"
 #include "isa/program.hh"
 #include "isa/registers.hh"
 #include "mem/sparse_memory.hh"
@@ -52,6 +54,22 @@ struct StepRecord
     bool halted = false;
 };
 
+/**
+ * Complete architectural register state at an instruction boundary, as
+ * seen from the current register window (windowed ABI) or the flat
+ * register file (conventional ABI). Together with the memory image
+ * this is everything the detailed core needs to switch in.
+ */
+struct ArchState
+{
+    Addr pc = 0;
+    bool windowedAbi = false;
+    unsigned callDepth = 0;
+    Addr windowBase = 0; ///< wbp at capture (windowed ABI only)
+    std::uint64_t intRegs[isa::numIntRegs] = {};
+    std::uint64_t fpRegs[isa::numFloatRegs] = {}; ///< raw IEEE bits
+};
+
 /** Load a program's data segments into a memory image. */
 void loadProgramData(const isa::Program &prog, mem::SparseMemory &memory);
 
@@ -75,6 +93,21 @@ class FuncSim
     FuncSimStats run(InstCount maxInsts =
                          std::numeric_limits<InstCount>::max());
 
+    /**
+     * Run until HALT or the instruction limit, dispatching once per
+     * basic block through the lazily built decoded-BB cache instead of
+     * once per instruction, and skipping per-step record upkeep.
+     * Architecturally identical to run(); just faster.
+     */
+    FuncSimStats runFast(InstCount maxInsts =
+                             std::numeric_limits<InstCount>::max());
+
+    /** Snapshot of the architectural register state (switch-in). */
+    ArchState captureState() const;
+
+    /** Current call depth (calls minus returns, floored at 0). */
+    unsigned callDepth() const { return depth_; }
+
     bool halted() const { return halted_; }
     Addr pc() const { return pc_; }
     const FuncSimStats &stats() const { return stats_; }
@@ -94,6 +127,14 @@ class FuncSim
     void writeReg(isa::RegClass cls, RegIndex idx, std::uint64_t value);
     void refreshFrameCache();
 
+    /**
+     * Execute the instruction at pc_ (si must be prog_.inst(pc_)).
+     * Record=false skips all StepRecord upkeep for the fast path.
+     * Returns false once halted.
+     */
+    template <bool Record>
+    bool execInst(const isa::StaticInst &si, StepRecord *rec);
+
     const isa::Program &prog_;
     mem::SparseMemory &mem_;
     Addr pc_ = 0;
@@ -107,6 +148,9 @@ class FuncSim
     // Windowed state.
     bool windowed_ = false;
     Addr wbp_ = 0;
+
+    // Decoded-BB dispatch cache, built on first runFast().
+    std::unique_ptr<isa::BbCache> bbCache_;
 
     FuncSimStats stats_;
 };

@@ -1,0 +1,38 @@
+#include "isa/bb_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace vca::isa {
+
+BbCache::BbCache(const Program &prog) : prog_(prog)
+{
+    if (!prog.finalized())
+        panic("BbCache: program '%s' not finalized", prog.name.c_str());
+}
+
+const BasicBlock &
+BbCache::blockAt(Addr pc)
+{
+    auto it = blocks_.find(pc);
+    if (it != blocks_.end())
+        return it->second;
+
+    BasicBlock bb;
+    bb.startPc = pc;
+    if (pc >= prog_.size()) {
+        // Off the image: Program::inst() decodes this as HALT.
+        bb.length = 1;
+    } else {
+        Addr p = pc;
+        for (;;) {
+            const StaticInst &si = prog_.inst(p);
+            ++bb.length;
+            ++p;
+            if (si.isControl() || si.isHalt || p >= prog_.size())
+                break;
+        }
+    }
+    return blocks_.emplace(pc, bb).first->second;
+}
+
+} // namespace vca::isa

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Decoded basic-block cache for fast functional execution.
+ *
+ * The functional fast-forward path dispatches once per basic block
+ * instead of once per instruction (cavatools-style find_bb/insnp):
+ * look the block up by start PC, then execute its body as a
+ * straight-line pointer walk over the already-decoded StaticInsts.
+ *
+ * Programs are immutable once finalized (there is no self-modifying
+ * code in VRISC-64), so blocks never need invalidation: every
+ * blockAt(pc) answer is a pure function of (program, pc). Blocks are
+ * discovered lazily — querying a PC in the middle of a previously
+ * discovered block simply creates a second, shorter block starting
+ * there, which keeps each lookup history-independent.
+ */
+
+#ifndef VCA_ISA_BB_CACHE_HH
+#define VCA_ISA_BB_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "isa/program.hh"
+#include "sim/types.hh"
+
+namespace vca::isa {
+
+/** A run of straight-line instructions; only the last may redirect. */
+struct BasicBlock
+{
+    Addr startPc = 0;
+    std::uint32_t length = 0; ///< instruction count, >= 1
+};
+
+class BbCache
+{
+  public:
+    /** @param prog finalized, immutable program. */
+    explicit BbCache(const Program &prog);
+
+    /**
+     * Block starting at @p pc (discovered on first use). A PC outside
+     * the code image yields a one-instruction block whose only
+     * instruction decodes as HALT, mirroring Program::inst().
+     */
+    const BasicBlock &blockAt(Addr pc);
+
+    /** Number of distinct blocks discovered so far. */
+    std::size_t blockCount() const { return blocks_.size(); }
+
+    const Program &program() const { return prog_; }
+
+  private:
+    const Program &prog_;
+    std::unordered_map<Addr, BasicBlock> blocks_;
+};
+
+} // namespace vca::isa
+
+#endif // VCA_ISA_BB_CACHE_HH

@@ -143,6 +143,20 @@ Cache::invalidateAll()
         next_->invalidateAll();
 }
 
+void
+Cache::copyStateFrom(const Cache &other)
+{
+    if (other.numSets_ != numSets_ ||
+        other.params_.assoc != params_.assoc ||
+        other.params_.lineBytes != params_.lineBytes) {
+        panic("cache %s: copyStateFrom across different geometries",
+              params_.name.c_str());
+    }
+    lines_ = other.lines_;
+    stamp_ = other.stamp_;
+    inflight_.clear();
+}
+
 MemSystem::MemSystem(const MemSystemParams &params, stats::StatGroup *parent)
     : stats::StatGroup("mem", parent),
       l2_(params.l2, nullptr, params.memLatency, this),

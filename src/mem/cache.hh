@@ -62,6 +62,29 @@ class Cache : public stats::StatGroup
     /** Invalidate all tags (used between warm-up configurations). */
     void invalidateAll();
 
+    /**
+     * Forget in-flight fills but keep tags. Functional warming runs on
+     * its own clock; dropping the outstanding-miss bookkeeping keeps
+     * those timestamps from leaking into the measured run's time base.
+     */
+    void
+    drainInflight()
+    {
+        inflight_.clear();
+        if (next_)
+            next_->drainInflight();
+    }
+
+    /**
+     * Adopt another cache's tag/LRU state (panics unless the geometry
+     * matches). Sampled simulation transplants a persistent,
+     * functionally-warmed hierarchy into each sample's fresh core so
+     * cache state accumulates across samples. Outstanding-miss
+     * bookkeeping is not copied: the destination starts with no
+     * in-flight fills, as if freshly drained.
+     */
+    void copyStateFrom(const Cache &other);
+
     const CacheParams &params() const { return params_; }
 
     // Statistics (public so formulas/benches can read them).
@@ -131,6 +154,23 @@ class MemSystem : public stats::StatGroup
     AccessResult dataAccess(Addr addr, bool write, Cycle now);
 
     void invalidateAll();
+
+    /** See Cache::drainInflight (covers all levels). */
+    void
+    drainInflight()
+    {
+        il1_.drainInflight();
+        dl1_.drainInflight();
+    }
+
+    /** See Cache::copyStateFrom (covers all levels). */
+    void
+    copyStateFrom(const MemSystem &other)
+    {
+        l2_.copyStateFrom(other.l2_);
+        il1_.copyStateFrom(other.il1_);
+        dl1_.copyStateFrom(other.dl1_);
+    }
 
     Cache &icache() { return il1_; }
     Cache &dcache() { return dl1_; }

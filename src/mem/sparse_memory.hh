@@ -84,6 +84,21 @@ class SparseMemory
     /** Number of pages currently allocated (for tests / footprint). */
     size_t allocatedPages() const { return pages_.size(); }
 
+    /**
+     * Visit every allocated page (unspecified order) as
+     * fn(pageBaseAddr, words) with words pointing at wordsPerPage
+     * uint64s. Used by the switch-in protocol to copy a whole
+     * functional image — including zero words, so stale nonzero
+     * destination contents cannot survive the transfer.
+     */
+    template <typename Fn>
+    void
+    forEachPage(Fn &&fn) const
+    {
+        for (const auto &[pageNum, page] : pages_)
+            fn(pageNum << pageShift, page.data());
+    }
+
     /** Drop all contents (invalidates every cached page pointer). */
     void
     clear()

@@ -21,7 +21,18 @@ HostStats::HostStats(StatGroup *parent)
                    [this] {
                        const double s = simSeconds.value();
                        return s > 0 ? simCycles.value() / s : 0.0;
-                   })
+                   }),
+      funcSeconds(this, "func_seconds",
+                  "wall-clock seconds spent in functional simulation"),
+      funcInsts(this, "func_insts",
+                "instructions executed by the functional core"),
+      funcRuns(this, "func_runs", "functional intervals contributing"),
+      funcMips(this, "func_mips",
+               "functional million instructions per host second",
+               [this] {
+                   const double s = funcSeconds.value();
+                   return s > 0 ? funcInsts.value() / s / 1e6 : 0.0;
+               })
 {
 }
 
@@ -33,6 +44,15 @@ HostStats::record(double seconds, double insts, double cycles)
     simInsts += insts;
     simCycles += cycles;
     ++simRuns;
+}
+
+void
+HostStats::recordFunctional(double seconds, double insts)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    funcSeconds += seconds;
+    funcInsts += insts;
+    ++funcRuns;
 }
 
 HostStats &

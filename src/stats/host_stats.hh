@@ -36,12 +36,24 @@ class HostStats : public StatGroup
     /** Accumulate one detailed-simulation interval (thread-safe). */
     void record(double seconds, double insts, double cycles);
 
+    /** Accumulate one functional (fast-forward/warming) interval. */
+    void recordFunctional(double seconds, double insts);
+
     stats::Scalar simSeconds; ///< wall-clock inside detailed simulation
     stats::Scalar simInsts;   ///< instructions committed in that time
     stats::Scalar simCycles;  ///< cycles simulated in that time
     stats::Scalar simRuns;    ///< detailed simulations contributing
     stats::Formula simMips;   ///< simulated million insts / host second
     stats::Formula cyclesPerSec; ///< simulated cycles / host second
+
+    // Functional-core throughput (fast-forward + warming in the
+    // sampled/simpoint modes). Kept separate from the sim_* detailed
+    // trajectory: the accuracy gate's >=5x speedup contract is
+    // func_mips vs sim_mips.
+    stats::Scalar funcSeconds; ///< wall-clock inside functional sim
+    stats::Scalar funcInsts;   ///< instructions executed functionally
+    stats::Scalar funcRuns;    ///< functional intervals contributing
+    stats::Formula funcMips;   ///< functional million insts / host sec
 
     /** Process-wide accumulator shared by runTiming() callers. */
     static HostStats &global();

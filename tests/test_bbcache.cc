@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Property tests for the decoded basic-block cache (isa/bb_cache.hh)
+ * that backs FuncSim::runFast — the fast-forward engine of the
+ * simpoint/sampled execution modes.
+ *
+ * The properties under test are the ones fast-forwarding correctness
+ * rests on:
+ *  - programs are immutable: building and exercising a cache never
+ *    changes the program image;
+ *  - the cache is a pure function of the Program: any two caches over
+ *    the same program agree on every query, in any query order (no
+ *    history dependence);
+ *  - every block respects the block invariant (non-control interior,
+ *    terminator or image end at the tail);
+ *  - runFast() through the cache is architecturally identical to the
+ *    step-by-step interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "func/func_sim.hh"
+#include "isa/bb_cache.hh"
+#include "isa/program.hh"
+#include "sim/logging.hh"
+#include "wload/asm_builder.hh"
+#include "wload/generator.hh"
+#include "wload/profile.hh"
+
+namespace {
+
+using namespace vca;
+using namespace vca::isa;
+using vca::wload::AsmBuilder;
+
+isa::Program
+makeProgram(AsmBuilder &b, bool windowed = false)
+{
+    isa::Program p;
+    p.name = "bbcache-test";
+    p.windowedAbi = windowed;
+    p.code = b.seal();
+    p.finalize();
+    return p;
+}
+
+/** A small program with branches, a loop, a call and straight line. */
+isa::Program
+branchyProgram()
+{
+    AsmBuilder b;
+    const auto fn = b.newLabel();
+    const auto loop = b.newLabel();
+    const auto skip = b.newLabel();
+    const auto done = b.newLabel();
+
+    b.addi(4, regZero, 8);       // counter
+    b.addi(5, regZero, 0);       // accumulator
+    b.bind(loop);
+    b.emitR(Opcode::Add, 5, 5, 4);
+    b.branch(Opcode::Beq, 4, regZero, skip);
+    b.addi(4, 4, -1);
+    b.bind(skip);
+    b.branch(Opcode::Bne, 4, regZero, loop);
+    b.call(fn);
+    b.jmp(done);
+    b.bind(fn);
+    b.addi(5, 5, 100);
+    b.ret();
+    b.bind(done);
+    b.addi(5, 5, 1);
+    b.halt();
+    return makeProgram(b);
+}
+
+bool
+isTerminator(const isa::StaticInst &si)
+{
+    return si.isControl() || si.isHalt;
+}
+
+/** The ground-truth block at pc, computed by direct scan. */
+isa::BasicBlock
+referenceBlock(const isa::Program &prog, Addr pc)
+{
+    isa::BasicBlock bb{pc, 0};
+    Addr p = pc;
+    while (true) {
+        ++bb.length;
+        if (p + 1 >= prog.size() || isTerminator(prog.inst(p)))
+            break;
+        ++p;
+    }
+    return bb;
+}
+
+} // namespace
+
+TEST(BbCache, RequiresFinalizedProgram)
+{
+    AsmBuilder b;
+    b.addi(4, regZero, 1);
+    b.halt();
+    isa::Program p;
+    p.name = "unfinalized";
+    p.code = b.seal(); // code present but never finalize()d
+    EXPECT_THROW(isa::BbCache cache(p), PanicError);
+}
+
+TEST(BbCache, BlockInvariantHoldsEverywhere)
+{
+    const isa::Program prog = branchyProgram();
+    isa::BbCache cache(prog);
+    for (Addr pc = 0; pc < prog.size(); ++pc) {
+        const isa::BasicBlock &bb = cache.blockAt(pc);
+        ASSERT_EQ(bb.startPc, pc);
+        ASSERT_GE(bb.length, 1u);
+        // Interior instructions never transfer control; the block
+        // ends at a terminator or at the image end.
+        for (Addr p = pc; p + 1 < pc + bb.length; ++p)
+            EXPECT_FALSE(isTerminator(prog.inst(p)))
+                << "control instruction inside block at pc " << p;
+        const Addr last = pc + bb.length - 1;
+        EXPECT_TRUE(isTerminator(prog.inst(last)) ||
+                    last + 1 == prog.size())
+            << "block at " << pc << " ends at " << last
+            << " without a terminator";
+        const isa::BasicBlock ref = referenceBlock(prog, pc);
+        EXPECT_EQ(bb.length, ref.length) << "pc " << pc;
+    }
+}
+
+TEST(BbCache, PureFunctionOfProgramAnyQueryOrder)
+{
+    const isa::Program prog = branchyProgram();
+
+    // Reference cache queried in ascending order.
+    isa::BbCache forward(prog);
+    std::vector<isa::BasicBlock> expect;
+    for (Addr pc = 0; pc < prog.size(); ++pc)
+        expect.push_back(forward.blockAt(pc));
+
+    // Independent caches queried in other orders (descending and a
+    // deterministic shuffle) must give identical answers: lookups are
+    // history-independent.
+    std::vector<Addr> pcs(prog.size());
+    for (Addr pc = 0; pc < prog.size(); ++pc)
+        pcs[pc] = pc;
+
+    for (int order = 0; order < 2; ++order) {
+        std::vector<Addr> qs = pcs;
+        if (order == 0)
+            std::reverse(qs.begin(), qs.end());
+        else
+            std::shuffle(qs.begin(), qs.end(),
+                         std::mt19937_64(12345));
+        isa::BbCache cache(prog);
+        for (Addr pc : qs) {
+            const isa::BasicBlock &bb = cache.blockAt(pc);
+            EXPECT_EQ(bb.startPc, expect[pc].startPc)
+                << "order " << order << " pc " << pc;
+            EXPECT_EQ(bb.length, expect[pc].length)
+                << "order " << order << " pc " << pc;
+        }
+        // Re-querying is stable too (memoized answers don't drift).
+        for (Addr pc : pcs)
+            EXPECT_EQ(cache.blockAt(pc).length, expect[pc].length);
+    }
+}
+
+TEST(BbCache, MidBlockQueryCreatesShorterAlignedBlock)
+{
+    // A query into the middle of a discovered block answers with a
+    // shorter block that ends on the same boundary, not with the
+    // enclosing one.
+    const isa::Program prog = branchyProgram();
+    isa::BbCache cache(prog);
+    const isa::BasicBlock head = cache.blockAt(0);
+    ASSERT_GE(head.length, 2u) << "test program needs a multi-inst "
+                                  "entry block";
+    const isa::BasicBlock mid = cache.blockAt(1);
+    EXPECT_EQ(mid.startPc, 1u);
+    EXPECT_EQ(mid.startPc + mid.length, head.startPc + head.length);
+}
+
+TEST(BbCache, ProgramImageIsImmutable)
+{
+    isa::Program prog = branchyProgram();
+    const std::vector<std::uint32_t> image = prog.code;
+    isa::BbCache cache(prog);
+    for (Addr pc = 0; pc < prog.size(); ++pc)
+        cache.blockAt(pc);
+    // Off-image queries too (decoded as HALT; must not grow the image).
+    cache.blockAt(prog.size());
+    cache.blockAt(prog.size() + 17);
+    EXPECT_EQ(prog.code, image);
+}
+
+TEST(BbCache, OffImageQueryIsAHaltBlock)
+{
+    const isa::Program prog = branchyProgram();
+    isa::BbCache cache(prog);
+    const isa::BasicBlock &bb = cache.blockAt(prog.size() + 3);
+    EXPECT_EQ(bb.startPc, prog.size() + 3);
+    EXPECT_EQ(bb.length, 1u);
+}
+
+TEST(BbCache, RunFastMatchesStepInterpreter)
+{
+    // Architectural equivalence of the two interpreters on a real
+    // benchmark binary, both ABIs, including a mid-run split to prove
+    // runFast can stop and resume at arbitrary boundaries.
+    for (const bool windowed : {false, true}) {
+        const isa::Program &prog = *wload::cachedProgram(
+            wload::profileByName("crafty"), windowed);
+
+        mem::SparseMemory memA, memB;
+        func::FuncSim fast(prog, memA);
+        func::FuncSim slow(prog, memB);
+
+        fast.runFast(10'000);
+        fast.runFast(7'777); // arbitrary resume boundary
+        slow.run(17'777);
+
+        ASSERT_EQ(fast.pc(), slow.pc()) << "windowed=" << windowed;
+        ASSERT_EQ(fast.halted(), slow.halted());
+        EXPECT_EQ(fast.stats().insts, slow.stats().insts);
+        EXPECT_EQ(fast.stats().loads, slow.stats().loads);
+        EXPECT_EQ(fast.stats().stores, slow.stats().stores);
+        for (RegIndex r = 0; r < isa::numIntRegs; ++r)
+            ASSERT_EQ(fast.readIntReg(r), slow.readIntReg(r))
+                << "r" << unsigned(r) << " windowed=" << windowed;
+        const func::ArchState sa = fast.captureState();
+        const func::ArchState sb = slow.captureState();
+        ASSERT_EQ(sa.pc, sb.pc);
+        ASSERT_EQ(sa.callDepth, sb.callDepth);
+        ASSERT_EQ(sa.windowedAbi, sb.windowedAbi);
+        for (unsigned r = 0; r < isa::numIntRegs; ++r)
+            ASSERT_EQ(sa.intRegs[r], sb.intRegs[r]) << "r" << r;
+        for (unsigned r = 0; r < isa::numFloatRegs; ++r)
+            ASSERT_EQ(sa.fpRegs[r], sb.fpRegs[r]) << "f" << r;
+    }
+}

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <vector>
+
 #include "cpu/conv_renamer.hh"
 #include "cpu/ooo_cpu.hh"
 #include "func/func_sim.hh"
@@ -408,6 +412,187 @@ TEST(Timing, SingleDcachePortIsSlower)
     auto r2 = cpu2.run(60'000, 2'000'000);
     auto r1 = cpu1.run(60'000, 4'000'000);
     EXPECT_LT(r1.ipc, r2.ipc);
+}
+
+// ---------------------------------------------------------------------
+// Switch-in: functional fast-forward of N instructions followed by
+// state transfer must leave the detailed core on the exact
+// architectural path — its commit stream from that point is
+// byte-identical to a pure detailed run's stream from instruction N.
+// ---------------------------------------------------------------------
+
+struct CommitRec
+{
+    Addr pc = 0;
+    std::uint64_t value = 0;
+    Addr addr = 0;
+
+    bool
+    operator==(const CommitRec &o) const
+    {
+        return pc == o.pc && value == o.value && addr == o.addr;
+    }
+};
+
+void
+attachRecorder(OooCpu &cpu, std::vector<std::vector<CommitRec>> &out)
+{
+    cpu.addCommitListener([&out](const DynInst &inst) {
+        CommitRec r;
+        r.pc = inst.pc;
+        if (inst.si->hasDest && !inst.si->isCall)
+            r.value = inst.result;
+        if (inst.si->isMem())
+            r.addr = inst.effAddr;
+        out[inst.tid].push_back(r);
+    });
+}
+
+void
+switchInEquivalence(const std::vector<const isa::Program *> &progs,
+                    RenamerKind kind, unsigned physRegs,
+                    InstCount ffInsts, InstCount runInsts)
+{
+    const auto n = progs.size();
+    const CpuParams params =
+        CpuParams::preset(kind, physRegs, unsigned(n));
+
+    // Reference: one detailed run from reset covering both spans.
+    std::vector<std::vector<CommitRec>> ref(n);
+    {
+        OooCpu cpu(params, progs);
+        attachRecorder(cpu, ref);
+        cpu.run(ffInsts + runInsts,
+                (ffInsts + runInsts) * 200 + 100'000);
+    }
+
+    // Candidate: fast-forward each thread functionally, switch in,
+    // then run the detailed core.
+    std::vector<std::unique_ptr<mem::SparseMemory>> fmem;
+    std::vector<std::unique_ptr<func::FuncSim>> fsim;
+    for (size_t t = 0; t < n; ++t) {
+        fmem.push_back(std::make_unique<mem::SparseMemory>());
+        fsim.push_back(
+            std::make_unique<func::FuncSim>(*progs[t], *fmem[t]));
+        fsim[t]->runFast(ffInsts);
+        ASSERT_FALSE(fsim[t]->halted())
+            << "thread " << t << " too short for the fast-forward";
+    }
+    OooCpu cpu(params, progs);
+    std::vector<std::vector<CommitRec>> got(n);
+    attachRecorder(cpu, got);
+    for (size_t t = 0; t < n; ++t)
+        cpu.switchIn(ThreadId(t), fsim[t]->captureState(), *fmem[t]);
+    cpu.run(runInsts, runInsts * 200 + 100'000);
+
+    for (size_t t = 0; t < n; ++t) {
+        ASSERT_GT(ref[t].size(), size_t(ffInsts))
+            << "thread " << t << " reference run too short";
+        ASSERT_FALSE(got[t].empty()) << "thread " << t;
+        const size_t overlap = std::min(got[t].size(),
+                                        ref[t].size() - size_t(ffInsts));
+        ASSERT_GE(overlap, size_t(runInsts) / 2) << "thread " << t;
+        for (size_t i = 0; i < overlap; ++i) {
+            const CommitRec &want = ref[t][size_t(ffInsts) + i];
+            const CommitRec &have = got[t][i];
+            ASSERT_TRUE(have == want)
+                << "thread " << t << " diverged at commit " << i
+                << ": ref pc=" << want.pc << " val=" << want.value
+                << " addr=" << want.addr << " vs pc=" << have.pc
+                << " val=" << have.value << " addr=" << have.addr;
+        }
+    }
+    cpu.renamer().validate();
+}
+
+TEST(SwitchIn, BaselineNonWindowed)
+{
+    switchInEquivalence(
+        {wload::cachedProgram(wload::profileByName("crafty"), false)},
+        RenamerKind::Baseline, 256, 3'000, 4'000);
+}
+
+TEST(SwitchIn, ConvWindowWindowed)
+{
+    switchInEquivalence(
+        {wload::cachedProgram(wload::profileByName("crafty"), true)},
+        RenamerKind::ConvWindow, 256, 3'000, 4'000);
+}
+
+TEST(SwitchIn, IdealWindowWindowed)
+{
+    switchInEquivalence(
+        {wload::cachedProgram(wload::profileByName("crafty"), true)},
+        RenamerKind::IdealWindow, 256, 3'000, 4'000);
+}
+
+TEST(SwitchIn, VcaWindowed)
+{
+    switchInEquivalence(
+        {wload::cachedProgram(wload::profileByName("crafty"), true)},
+        RenamerKind::Vca, 192, 3'000, 4'000);
+}
+
+TEST(SwitchIn, VcaNonWindowedBinary)
+{
+    switchInEquivalence(
+        {wload::cachedProgram(wload::profileByName("crafty"), false)},
+        RenamerKind::Vca, 192, 3'000, 4'000);
+}
+
+TEST(SwitchIn, CallHeavyDeepWindowStack)
+{
+    // A call-heavy binary fast-forwarded mid-recursion exercises the
+    // multi-frame window reconstruction in the conventional-window
+    // renamer and the wbp rebasing in the VCA renamer.
+    for (RenamerKind kind :
+         {RenamerKind::ConvWindow, RenamerKind::Vca}) {
+        switchInEquivalence(
+            {wload::cachedProgram(wload::profileByName("perlbmk_535"),
+                                  true)},
+            kind, 256, 5'000, 4'000);
+    }
+}
+
+TEST(SwitchIn, SmtTwoThreadsVca)
+{
+    switchInEquivalence(
+        {wload::cachedProgram(wload::profileByName("crafty"), true),
+         wload::cachedProgram(wload::profileByName("mesa"), true)},
+        RenamerKind::Vca, 192, 2'000, 3'000);
+}
+
+TEST(SwitchIn, SmtTwoThreadsBaseline)
+{
+    switchInEquivalence(
+        {wload::cachedProgram(wload::profileByName("crafty"), false),
+         wload::cachedProgram(wload::profileByName("mesa"), false)},
+        RenamerKind::Baseline, 256, 2'000, 3'000);
+}
+
+TEST(SwitchIn, AbiMismatchPanics)
+{
+    const isa::Program *windowed =
+        wload::cachedProgram(wload::profileByName("crafty"), true);
+    const isa::Program *flat =
+        wload::cachedProgram(wload::profileByName("crafty"), false);
+    mem::SparseMemory fm;
+    func::FuncSim sim(*flat, fm);
+    sim.runFast(100);
+    OooCpu cpu(paramsFor(RenamerKind::Vca, 192), {windowed});
+    EXPECT_THROW(cpu.switchIn(0, sim.captureState(), fm), PanicError);
+}
+
+TEST(SwitchIn, OnlyLegalBeforeFirstCycle)
+{
+    const isa::Program *prog =
+        wload::cachedProgram(wload::profileByName("crafty"), false);
+    mem::SparseMemory fm;
+    func::FuncSim sim(*prog, fm);
+    sim.runFast(100);
+    OooCpu cpu(paramsFor(RenamerKind::Baseline, 256), {prog});
+    cpu.run(50, 100'000);
+    EXPECT_THROW(cpu.switchIn(0, sim.captureState(), fm), PanicError);
 }
 
 } // namespace

@@ -312,4 +312,104 @@ TEST(FuncSim, RunRespectsInstructionLimit)
     EXPECT_EQ(stats.insts, 1000u);
 }
 
+TEST(FuncSim, CaptureStateReflectsArchitecturalRegisters)
+{
+    AsmBuilder b;
+    b.addi(4, regZero, 20);
+    b.addi(5, regZero, 22);
+    b.emitR(Opcode::Add, 6, 4, 5);
+    b.halt();
+    mem::SparseMemory m;
+    isa::Program p = makeProgram(b);
+    func::FuncSim sim(p, m);
+    func::StepRecord rec;
+    sim.step(rec);
+    sim.step(rec);
+    sim.step(rec);
+
+    const func::ArchState s = sim.captureState();
+    EXPECT_EQ(s.pc, sim.pc());
+    EXPECT_FALSE(s.windowedAbi);
+    EXPECT_EQ(s.callDepth, 0u);
+    for (RegIndex r = 0; r < isa::numIntRegs; ++r)
+        EXPECT_EQ(s.intRegs[r], sim.readIntReg(r)) << "r" << unsigned(r);
+    EXPECT_EQ(s.intRegs[6], 42u);
+}
+
+TEST(FuncSim, CaptureStateTracksWindowOnCallAndReturn)
+{
+    AsmBuilder b;
+    auto fn = b.newLabel();
+    b.addi(4, regZero, 7);
+    b.call(fn);
+    b.halt();
+    b.bind(fn);
+    b.addi(5, 4, 1); // callee sees a4 in the new window
+    b.ret();
+    mem::SparseMemory m;
+    isa::Program p = makeProgram(b, true);
+    func::FuncSim sim(p, m);
+    func::StepRecord rec;
+    sim.step(rec); // addi
+    sim.step(rec); // call -> window shifts
+    const func::ArchState in = sim.captureState();
+    EXPECT_TRUE(in.windowedAbi);
+    EXPECT_EQ(in.callDepth, 1u);
+    EXPECT_EQ(in.windowBase, sim.windowBase());
+    sim.step(rec); // addi in callee
+    sim.step(rec); // ret -> window shifts back
+    const func::ArchState out = sim.captureState();
+    EXPECT_EQ(out.callDepth, 0u);
+    EXPECT_EQ(out.windowBase, in.windowBase + layout::windowFrameBytes);
+}
+
+TEST(FuncSim, RunFastMatchesStepOnWindowedRecursion)
+{
+    // Deep recursion through the windowed ABI: the decoded-BB fast
+    // path and the stepping interpreter must stay in lockstep on pc,
+    // depth, window base and every visible register.
+    AsmBuilder b;
+    auto fib = b.newLabel();
+    auto recurse = b.newLabel();
+    auto done = b.newLabel();
+    b.addi(4, regZero, 12);
+    b.call(fib);
+    b.halt();
+    b.bind(fib);
+    b.addi(5, regZero, 2);
+    b.branch(Opcode::Bge, 4, 5, recurse);
+    b.jmp(done);
+    b.bind(recurse);
+    b.mov(10, 4);
+    b.addi(4, 10, -1);
+    b.call(fib);
+    b.mov(11, 4);
+    b.addi(4, 10, -2);
+    b.call(fib);
+    b.emitR(Opcode::Add, 4, 4, 11);
+    b.bind(done);
+    b.ret();
+    isa::Program p = makeProgram(b, true);
+
+    mem::SparseMemory ma, mb;
+    func::FuncSim fast(p, ma);
+    func::FuncSim slow(p, mb);
+    func::StepRecord rec;
+    // Compare at many interleaved checkpoints, not just the end.
+    while (!slow.halted()) {
+        fast.runFast(97);
+        for (int i = 0; i < 97 && slow.step(rec); ++i) {
+        }
+        ASSERT_EQ(fast.pc(), slow.pc());
+        ASSERT_EQ(fast.halted(), slow.halted());
+        ASSERT_EQ(fast.callDepth(), slow.callDepth());
+        ASSERT_EQ(fast.windowBase(), slow.windowBase());
+        for (RegIndex r = 0; r < isa::numIntRegs; ++r)
+            ASSERT_EQ(fast.readIntReg(r), slow.readIntReg(r))
+                << "r" << unsigned(r) << " at pc " << slow.pc();
+    }
+    EXPECT_TRUE(fast.halted());
+    EXPECT_EQ(fast.readIntReg(4), 144u); // fib(12)
+}
+
 } // namespace

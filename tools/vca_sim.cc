@@ -90,6 +90,20 @@ simMain(int argc, char **argv)
              "run windowed binaries: true | false | auto (by arch)");
     opts.add("insts", "200000", "instructions to commit per thread");
     opts.add("warmup", "20000", "warm-up instructions per thread");
+    opts.add("mode", "detailed",
+             "execution mode: detailed | simpoint (fast-forward to the "
+             "best BBV region) | sampled (SMARTS-style periodic "
+             "sampling)");
+    opts.add("sample-period", "50000",
+             "sampled mode: per-thread instructions between samples");
+    opts.add("sample-quantum", "2000",
+             "sampled mode: detailed instructions measured per sample");
+    opts.add("sample-func-warm", "0",
+             "non-detailed modes: functional warming instructions "
+             "(branch predictor + caches) before each switch-in; "
+             "0 = warm on every fast-forwarded instruction");
+    opts.add("sample-detail-warm", "1000",
+             "sampled mode: detailed warm-up instructions per sample");
     opts.add("dcache-ports", "2", "L1D ports");
     opts.add("astq", "4", "ASTQ entries (vca)");
     opts.add("table-assoc", "0",
@@ -196,6 +210,37 @@ simMain(int argc, char **argv)
         fatal("--bench must name at least one benchmark");
     const std::string windowsOpt = opts.get("windows");
 
+    analysis::SimMode simMode;
+    if (!analysis::parseSimMode(opts.get("mode"), simMode))
+        fatal("unknown --mode '%s' (detailed|simpoint|sampled)",
+              opts.get("mode").c_str());
+    if (simMode != analysis::SimMode::Detailed) {
+        // Detailed-only observers attach to the one long-lived core a
+        // detailed run measures; the sampled modes run many short
+        // cores (or pick a region first), so combining them would be
+        // a silent no-op at best. Error out instead.
+        const char *conflict = nullptr;
+        if (!opts.get("pipeview").empty())
+            conflict = "--pipeview";
+        else if (opts.getU64("trace") > 0)
+            conflict = "--trace";
+        else if (opts.getBool("reg-telemetry"))
+            conflict = "--reg-telemetry";
+        else if (opts.getU64("interval") > 0)
+            conflict = "--interval";
+        else if (!opts.get("stats-json").empty())
+            conflict = "--stats-json";
+        else if (!opts.get("debug-flags").empty())
+            conflict = "--debug-flags";
+        else if (!opts.get("chrome-trace").empty() &&
+                 opts.get("sweep-regs").empty())
+            conflict = "--chrome-trace";
+        if (conflict) {
+            fatal("%s requires --mode=detailed (it observes a single "
+                  "detailed core)", conflict);
+        }
+    }
+
     // Sweep mode: the (arch x size) grid goes through the parallel
     // sweep runner, memoized on disk, instead of the single-run path.
     if (!opts.get("sweep-regs").empty()) {
@@ -228,6 +273,12 @@ simMain(int argc, char **argv)
         runOpts.overrides.vcaDeadValueHints =
             opts.getBool("dead-hints") ? 1 : -1;
         runOpts.regTelemetry = opts.getBool("reg-telemetry");
+        runOpts.mode = simMode;
+        runOpts.samplePeriodInsts = opts.getU64("sample-period");
+        runOpts.sampleQuantumInsts = opts.getU64("sample-quantum");
+        runOpts.sampleFuncWarmInsts = opts.getU64("sample-func-warm");
+        runOpts.sampleDetailWarmInsts =
+            opts.getU64("sample-detail-warm");
 
         std::vector<analysis::SweepPoint> points;
         for (cpu::RenamerKind arch : archs) {
@@ -281,6 +332,12 @@ simMain(int argc, char **argv)
 
         std::printf("== Sweep: %s, %zu thread(s) ==\n",
                     opts.get("bench").c_str(), benchNames.size());
+        if (simMode != analysis::SimMode::Detailed) {
+            std::printf("mode=%s period=%llu quantum=%llu\n",
+                        analysis::simModeName(simMode),
+                        (unsigned long long)runOpts.samplePeriodInsts,
+                        (unsigned long long)runOpts.sampleQuantumInsts);
+        }
         std::printf("%-16s", "arch");
         for (unsigned regs : sizes)
             std::printf(" %9u", regs);
@@ -309,6 +366,13 @@ simMain(int argc, char **argv)
                         "cycles_per_sec=%.0f runs=%.0f\n",
                         host.simSeconds.value(), host.simMips.value(),
                         host.cyclesPerSec.value(), host.simRuns.value());
+        }
+        // Zero in every detailed sweep, so detailed output is
+        // byte-identical to earlier releases.
+        if (host.funcRuns.value() > 0) {
+            std::printf("func: seconds=%.3f insts=%.0f mips=%.3f\n",
+                        host.funcSeconds.value(), host.funcInsts.value(),
+                        host.funcMips.value());
         }
         // Points that exhausted their retry budget: the table above
         // shows them as n/a; spell out why on stderr and exit nonzero
@@ -344,6 +408,77 @@ simMain(int argc, char **argv)
     for (const std::string &name : benchNames) {
         programs.push_back(wload::cachedProgram(
             wload::profileByName(name), windowed));
+    }
+
+    // Single-run non-detailed modes go through the experiment harness
+    // (which owns the functional/detailed interleaving) and print a
+    // compact summary with the func/host throughput split the
+    // accuracy gate parses.
+    if (simMode != analysis::SimMode::Detailed) {
+        analysis::RunOptions runOpts;
+        runOpts.warmupInsts = opts.getU64("warmup");
+        runOpts.measureInsts = opts.getU64("insts");
+        runOpts.dcachePorts =
+            static_cast<unsigned>(opts.getU64("dcache-ports"));
+        runOpts.numThreads = static_cast<unsigned>(programs.size());
+        runOpts.stopOnFirstThread = programs.size() > 1;
+        runOpts.overrides.astqEntries =
+            static_cast<unsigned>(opts.getU64("astq"));
+        runOpts.overrides.vcaTableAssoc =
+            static_cast<unsigned>(opts.getU64("table-assoc"));
+        runOpts.overrides.vcaDeadValueHints =
+            opts.getBool("dead-hints") ? 1 : -1;
+        runOpts.mode = simMode;
+        runOpts.samplePeriodInsts = opts.getU64("sample-period");
+        runOpts.sampleQuantumInsts = opts.getU64("sample-quantum");
+        runOpts.sampleFuncWarmInsts = opts.getU64("sample-func-warm");
+        runOpts.sampleDetailWarmInsts =
+            opts.getU64("sample-detail-warm");
+
+        const auto &host = stats::HostStats::global();
+        const double sec0 = host.simSeconds.value();
+        const double insts0 = host.simInsts.value();
+        const double cycles0 = host.simCycles.value();
+        const double fsec0 = host.funcSeconds.value();
+        const double finsts0 = host.funcInsts.value();
+        const auto m = analysis::runTiming(
+            programs, kind, static_cast<unsigned>(opts.getU64("regs")),
+            runOpts);
+        if (!m.ok) {
+            std::fprintf(stderr, "configuration cannot operate: %s\n",
+                         m.error.c_str());
+            return 2;
+        }
+        std::printf("arch=%s regs=%llu threads=%zu windowed=%d "
+                    "mode=%s\n",
+                    cpu::renamerKindName(kind),
+                    (unsigned long long)opts.getU64("regs"),
+                    programs.size(), windowed ? 1 : 0,
+                    analysis::simModeName(simMode));
+        std::printf("cycles=%llu insts=%llu ipc=%.4f cpi=%.4f\n",
+                    (unsigned long long)m.cycles,
+                    (unsigned long long)m.insts, m.ipc, m.cpi);
+        for (size_t t = 0; t < m.threadInsts.size(); ++t) {
+            std::printf("thread %zu (%s): insts=%llu\n", t,
+                        benchNames[t].c_str(),
+                        (unsigned long long)m.threadInsts[t]);
+        }
+        std::printf("cycle accounting:");
+        for (const auto &[name, frac] : m.cycleBreakdown)
+            std::printf(" %s=%.1f%%", name.c_str(), 100 * frac);
+        std::printf("\n");
+        const double fsec = host.funcSeconds.value() - fsec0;
+        const double finsts = host.funcInsts.value() - finsts0;
+        const double dsec = host.simSeconds.value() - sec0;
+        const double dinsts = host.simInsts.value() - insts0;
+        const double dcycles = host.simCycles.value() - cycles0;
+        std::printf("func: seconds=%.3f insts=%.0f mips=%.3f\n", fsec,
+                    finsts, fsec > 0 ? finsts / fsec / 1e6 : 0.0);
+        std::printf("host: seconds=%.3f mips=%.3f "
+                    "cycles_per_sec=%.0f\n",
+                    dsec, dsec > 0 ? dinsts / dsec / 1e6 : 0.0,
+                    dsec > 0 ? dcycles / dsec : 0.0);
+        return 0;
     }
 
     cpu::CpuParams params = cpu::CpuParams::preset(
