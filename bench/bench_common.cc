@@ -1,5 +1,6 @@
 #include "bench_common.hh"
 
+#include <algorithm>
 #include <fstream>
 
 #include "analysis/explain.hh"
@@ -13,6 +14,32 @@ namespace vca::bench {
 using analysis::Measurement;
 using analysis::SweepPoint;
 using cpu::RenamerKind;
+
+namespace {
+
+/**
+ * Per-point sampling statistics collected by sweepSeries() on
+ * non-detailed runs, pending until the figure prints its `IPC ± CI`
+ * table and exports the BENCH_*.json sampling block. Always empty on
+ * detailed runs, so detailed stdout and JSON are untouched.
+ */
+struct SampledCiEntry
+{
+    std::string label;    ///< curve (SeriesSpec) label
+    std::string workload; ///< "+"-joined benchmark names
+    unsigned physRegs = 0;
+    double ipc = 0; ///< sampled point estimate (1 / mean CPI)
+    analysis::SamplingSummary summary;
+};
+
+std::vector<SampledCiEntry> &
+sampledCiPending()
+{
+    static std::vector<SampledCiEntry> pending;
+    return pending;
+}
+
+} // namespace
 
 std::map<std::string, std::vector<double>>
 sweepSeries(const std::vector<SeriesSpec> &specs,
@@ -50,6 +77,18 @@ sweepSeries(const std::vector<SeriesSpec> &specs,
             bool operable = true;
             for (const auto &w : spec.workloads) {
                 const Measurement &m = results[idx++];
+                if (m.ok && m.sampling.samples > 0) {
+                    SampledCiEntry e;
+                    e.label = spec.label;
+                    for (const std::string &b : w)
+                        e.workload +=
+                            (e.workload.empty() ? "" : "+") + b;
+                    e.physRegs = physRegs[s];
+                    e.ipc = m.sampling.meanCpi > 0
+                        ? 1.0 / m.sampling.meanCpi : 0.0;
+                    e.summary = m.sampling;
+                    sampledCiPending().push_back(std::move(e));
+                }
                 const double v = m.ok ? metric(spec, w, m) : -1.0;
                 if (v < 0) {
                     operable = false;
@@ -62,6 +101,56 @@ sweepSeries(const std::vector<SeriesSpec> &specs,
         series[spec.label] = std::move(row);
     }
     return series;
+}
+
+void
+printSampledCi(const std::vector<unsigned> &physRegs)
+{
+    const auto &pending = sampledCiPending();
+    if (pending.empty())
+        return;
+    // Cell = workload-mean sampled IPC ± workload-mean 95% half-width
+    // for one (curve, register-file size); the per-workload records go
+    // to BENCH_*.json in full.
+    std::printf("sampled IPC ± 95%% CI:\n");
+    std::vector<std::string> labels;
+    for (const SampledCiEntry &e : pending)
+        if (std::find(labels.begin(), labels.end(), e.label) ==
+            labels.end())
+            labels.push_back(e.label);
+    for (const std::string &label : labels) {
+        std::printf("%-12s", label.c_str());
+        for (unsigned regs : physRegs) {
+            double ipc = 0, hw = 0;
+            unsigned n = 0;
+            bool unbounded = false;
+            for (const SampledCiEntry &e : pending) {
+                if (e.label != label || e.physRegs != regs)
+                    continue;
+                ipc += e.ipc;
+                hw += (e.summary.ipcCiHi() -
+                       e.summary.ipcCiLo()) / 2;
+                unbounded = unbounded || e.summary.ciUnbounded;
+                ++n;
+            }
+            if (!n) {
+                std::printf(" %15s", "n/a");
+                continue;
+            }
+            char cell[32];
+            std::snprintf(cell, sizeof(cell), "%.3f±%s%.3f",
+                          ipc / n, unbounded ? "inf:" : "",
+                          hw / n);
+            std::printf(" %15s", cell);
+        }
+        std::printf("\n");
+    }
+}
+
+void
+clearSampledCi()
+{
+    sampledCiPending().clear();
 }
 
 std::map<std::string, std::vector<double>>
@@ -280,6 +369,31 @@ writeSeriesJson(const std::string &slug,
         w.endArray();
     }
     w.endObject();
+    // Sampled-run confidence intervals: one entry per measured
+    // (curve, workload, size) point. Empty (and absent) on detailed
+    // runs, so detailed exports keep their historical shape.
+    if (const auto &pending = sampledCiPending(); !pending.empty()) {
+        w.key("sampling").beginArray();
+        for (const SampledCiEntry &e : pending) {
+            w.beginObject();
+            w.key("label").string(e.label);
+            w.key("workload").string(e.workload);
+            w.key("phys_regs").number(std::uint64_t(e.physRegs));
+            w.key("samples").number(std::uint64_t(e.summary.samples));
+            w.key("ipc").number(e.ipc);
+            w.key("ipc_ci_lo").number(e.summary.ipcCiLo());
+            w.key("ipc_ci_hi").number(e.summary.ipcCiHi());
+            w.key("ci_unbounded").boolean(e.summary.ciUnbounded);
+            w.key("mean_cpi").number(e.summary.meanCpi);
+            w.key("cpi_variance").number(e.summary.cpiVariance);
+            w.key("mean_tag_valid_fraction")
+                .number(e.summary.meanTagValidFraction);
+            w.key("mean_bpred_table_occupancy")
+                .number(e.summary.meanBpredTableOccupancy);
+            w.endObject();
+        }
+        w.endArray();
+    }
     // 3C register-cache fill classification of the reference VCA
     // configuration, for regression tracking of the shadow models.
     if (const RegCacheSummary &rc = regCacheSummary(); rc.ok) {

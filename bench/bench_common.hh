@@ -103,6 +103,18 @@ void writeSeriesJson(const std::string &slug,
                      const std::map<std::string,
                                     std::vector<double>> &series);
 
+/**
+ * Print the `IPC ± CI` table for the sampled points the last
+ * sweepSeries() call measured (one row per curve, one column per
+ * register-file size; cells average the per-workload sampled IPC and
+ * 95% half-width). No-op on detailed runs — detailed bench stdout
+ * stays byte-identical.
+ */
+void printSampledCi(const std::vector<unsigned> &physRegs);
+
+/** Forget the pending sampled-CI entries (figure epilogue). */
+void clearSampledCi();
+
 /** Print one figure-style series table (and CSV when enabled). */
 inline void
 printSeries(const char *title, const char *valueName,
@@ -124,6 +136,7 @@ printSeries(const char *title, const char *valueName,
         }
         std::printf("\n");
     }
+    printSampledCi(physRegs);
 
     std::string slug;
     for (const char *c = title; *c && *c != ':'; ++c)
@@ -131,6 +144,7 @@ printSeries(const char *title, const char *valueName,
             std::tolower(static_cast<unsigned char>(*c)));
     writeSeriesCsv(slug, physRegs, series);
     writeSeriesJson(slug, physRegs, series);
+    clearSampledCi();
 }
 
 /**

@@ -7,11 +7,18 @@ halves of the sampling contract that tests/test_accuracy.cc pins down
 in-process:
 
   accuracy  |ipc_sampled - ipc_detailed| <= eps * ipc_detailed
-            (default eps 0.03; --eps)
+            (default eps 0.03; --eps), AND the detailed IPC must fall
+            inside the 95% confidence interval the sampled run reports
+            on its "sampling:" output line (unbounded n=1 intervals
+            pass trivially)
   speed     the functional fast-forward side of each sampled run must
             reach at least --speedup (default 5.0) times the host-MIPS
             of its detailed side, read from the run's own "func:" and
             "host:" output lines
+
+The per-architecture table also reports the CI width and the worst
+sample index (the sample whose CPI deviates most from the sampled
+mean).
 
 scripts/check.sh calls this after building Release; skip it there with
 CHECK_ACCURACY_GATE=0.
@@ -46,9 +53,10 @@ class ParseError(Exception):
 
 
 def parse_run(text):
-    """Extract {ipc, func_mips, host_mips} from one vca-sim run.
+    """Extract the gate's inputs from one vca-sim run.
 
-    Detailed runs have no "func:" line; func_mips is None there.
+    Detailed runs have no "func:" line (func_mips is None) and no
+    "sampling:" line (the CI keys are None).
     """
     out = {}
     m = re.search(r"^cycles=\d+ insts=\d+ ipc=([0-9.]+)", text,
@@ -64,6 +72,16 @@ def parse_run(text):
     if not m:
         raise ParseError("no 'host: ... mips=...' line in output")
     out["host_mips"] = float(m.group(1))
+    m = re.search(
+        r"^sampling: samples=(\d+) mean_cpi=[0-9.]+ cpi_var=[0-9.]+ "
+        r"ci95_cpi=\[[0-9.]+,[0-9.]+\] "
+        r"ipc_ci95=\[([0-9.]+),([0-9.]+)\] ci_unbounded=(\d) "
+        r"worst_sample=(-?\d+)", text, re.MULTILINE)
+    out["samples"] = int(m.group(1)) if m else None
+    out["ipc_ci_lo"] = float(m.group(2)) if m else None
+    out["ipc_ci_hi"] = float(m.group(3)) if m else None
+    out["ci_unbounded"] = bool(int(m.group(4))) if m else None
+    out["worst_sample"] = int(m.group(5)) if m else None
     return out
 
 
@@ -96,9 +114,24 @@ FULL_ARGS = ("--warmup=240000", "--insts=5000000")
 SIMPOINT_ARGS = ("--warmup=20000", "--insts=60000")
 
 
+def ci_check(arch, detailed_ipc, sampled):
+    """CI-containment flag list for one sampled run (empty = pass)."""
+    if sampled["ipc_ci_lo"] is None:
+        return [f"no 'sampling: ...' line in sampled output"]
+    if sampled["ci_unbounded"]:
+        return []  # n=1: the interval is unbounded by construction
+    if not sampled["ipc_ci_lo"] <= detailed_ipc \
+            <= sampled["ipc_ci_hi"]:
+        return [f"detailed ipc {detailed_ipc:.4f} outside sampled "
+                f"95% CI [{sampled['ipc_ci_lo']:.4f}, "
+                f"{sampled['ipc_ci_hi']:.4f}]"]
+    return []
+
+
 def gate(sim, bench, archs, eps, speedup, simpoint):
     failures = []
     print(f"{'arch':<14} {'detailed':>9} {'sampled':>9} {'err':>7} "
+          f"{'CI width':>9} {'worst':>6} "
           f"{'func MIPS':>10} {'sim MIPS':>9} {'ratio':>7}")
     for arch in archs:
         detailed = run_sim(sim, bench, arch, "detailed", DETAILED_ARGS)
@@ -116,8 +149,17 @@ def gate(sim, bench, archs, eps, speedup, simpoint):
             flags.append(f"ipc error {err:.1%} > {eps:.1%}")
         if ratio < speedup:
             flags.append(f"speedup {ratio:.1f}x < {speedup:.1f}x")
+        flags += ci_check(arch, detailed["ipc"], sampled)
+        if sampled["ipc_ci_lo"] is not None:
+            width = sampled["ipc_ci_hi"] - sampled["ipc_ci_lo"]
+            ci_col = ("unbnd" if sampled["ci_unbounded"]
+                      else f"{width:.4f}")
+            worst_col = str(sampled["worst_sample"])
+        else:
+            ci_col, worst_col = "n/a", "n/a"
         print(f"{arch:<14} {detailed['ipc']:>9.4f} "
               f"{sampled['ipc']:>9.4f} {err:>6.1%} "
+              f"{ci_col:>9} {worst_col:>6} "
               f"{sampled['func_mips']:>10.3f} "
               f"{sampled['host_mips']:>9.3f} {ratio:>6.1f}x"
               + ("  FAIL: " + "; ".join(flags) if flags else ""))
@@ -126,14 +168,26 @@ def gate(sim, bench, archs, eps, speedup, simpoint):
             full = run_sim(sim, bench, arch, "detailed", FULL_ARGS)
             sp = run_sim(sim, bench, arch, "simpoint", SIMPOINT_ARGS)
             sperr = abs(sp["ipc"] - full["ipc"]) / full["ipc"]
+            sp_flags = []
+            if sperr > eps:
+                sp_flags.append(
+                    f"simpoint ipc error {sperr:.1%} > {eps:.1%}")
+            sp_flags += [f"simpoint {f}"
+                         for f in ci_check(arch, full["ipc"], sp)]
+            if sp["ipc_ci_lo"] is not None:
+                width = sp["ipc_ci_hi"] - sp["ipc_ci_lo"]
+                ci_col = ("unbnd" if sp["ci_unbounded"]
+                          else f"{width:.4f}")
+                worst_col = str(sp["worst_sample"])
+            else:
+                ci_col, worst_col = "n/a", "n/a"
             line = (f"{arch + ' (simpoint)':<14} "
                     f"{full['ipc']:>9.4f} {sp['ipc']:>9.4f} "
-                    f"{sperr:>6.1%}")
-            if sperr > eps:
-                failures.append(
-                    f"{arch}: simpoint ipc error {sperr:.1%} > {eps:.1%}")
-                line += "  FAIL"
+                    f"{sperr:>6.1%} {ci_col:>9} {worst_col:>6}")
+            if sp_flags:
+                line += "  FAIL: " + "; ".join(sp_flags)
             print(line)
+            failures += [f"{arch}: {f}" for f in sp_flags]
     return failures
 
 
@@ -143,6 +197,10 @@ arch=vca regs=192 threads=1 windowed=1 mode=sampled
 cycles=12000 insts=24000 ipc=2.0000 cpi=0.5000
 thread 0 (crafty): insts=24000
 cycle accounting: commit=61.0% mem=20.0%
+sampling: samples=12 mean_cpi=0.500000 cpi_var=0.000400 \
+ci95_cpi=[0.487000,0.513000] ipc_ci95=[1.949318,2.053388] \
+ci_unbounded=0 worst_sample=7
+transplant: tag_valid=0.4012 bpred_occupancy=0.1200
 func: seconds=0.050 insts=160000 mips=3.200
 host: seconds=0.200 mips=0.150 cycles_per_sec=60000
 """
@@ -155,11 +213,32 @@ host: seconds=0.400 mips=0.150 cycles_per_sec=75000
 """
     s = parse_run(sampled_out)
     d = parse_run(detailed_out)
-    if s != {"ipc": 2.0, "func_mips": 3.2, "host_mips": 0.15}:
+    if s != {"ipc": 2.0, "func_mips": 3.2, "host_mips": 0.15,
+             "samples": 12, "ipc_ci_lo": 1.949318,
+             "ipc_ci_hi": 2.053388, "ci_unbounded": False,
+             "worst_sample": 7}:
         print(f"selftest: FAILED (sampled parse: {s})", file=sys.stderr)
         return 1
-    if d["ipc"] != 2.01 or d["func_mips"] is not None:
+    if d["ipc"] != 2.01 or d["func_mips"] is not None \
+            or d["ipc_ci_lo"] is not None:
         print(f"selftest: FAILED (detailed parse: {d})", file=sys.stderr)
+        return 1
+    if ci_check("vca", d["ipc"], s):
+        print("selftest: FAILED (CI containment rejected a "
+              "contained detailed ipc)", file=sys.stderr)
+        return 1
+    if not ci_check("vca", 2.10, s):
+        print("selftest: FAILED (CI containment accepted an "
+              "outside detailed ipc)", file=sys.stderr)
+        return 1
+    unbounded = dict(s, ci_unbounded=True)
+    if ci_check("vca", 2.10, unbounded):
+        print("selftest: FAILED (unbounded CI must pass trivially)",
+              file=sys.stderr)
+        return 1
+    if not ci_check("vca", d["ipc"], parse_run(detailed_out)):
+        print("selftest: FAILED (missing sampling line must flag)",
+              file=sys.stderr)
         return 1
     err = abs(s["ipc"] - d["ipc"]) / d["ipc"]
     if not err <= 0.03:

@@ -6,18 +6,23 @@ The document schema is versioned by the "schemaVersion" root key
 checks the structural contract the downstream tools (vca-explain,
 plot scripts, regression tracking) rely on:
 
-  - schemaVersion == 2 and the config/summary/cpu root blocks exist
-    with the right field types;
-  - the flat six-bucket cycle accounting partitions cpu.cycles
-    exactly (commit_active + mem_stall + exec_stall + rename_freelist
-    + window_shift + frontend == cycles);
+  - schemaVersion == 3 and the config/summary root blocks exist with
+    the right field types; config.mode names the execution mode;
+  - detailed documents (config.mode == "detailed" or absent) carry the
+    cpu tree: the flat six-bucket cycle accounting partitions
+    cpu.cycles exactly (commit_active + mem_stall + exec_stall +
+    rename_freelist + window_shift + frontend == cycles);
   - the hierarchical taxonomy partitions cpu.cycles exactly, at the
     machine level and independently per hardware-thread subtree; an
     all-zero taxonomy is tolerated (VCA_NTELEMETRY build) because the
     group is registered either way to keep the schema stable;
   - intervals (when present) have strictly increasing committed_cum,
     non-negative cycle spans, and a "partial" flag that may only be
-    set on the final record.
+    set on the final record;
+  - non-detailed documents (config.mode == "sampled" or "simpoint")
+    carry a "sampling" block instead of the cpu tree: a well-ordered
+    95% CI around mean_cpi, warmth fractions in [0, 1], and exactly
+    `samples` per-sample records.
 
 Usage:
   check_stats_schema.py FILE.json [FILE2.json ...]
@@ -30,10 +35,22 @@ Exit status: 0 when every file validates, 1 on a validation failure,
 import json
 import sys
 
-EXPECTED_VERSION = 2
+EXPECTED_VERSION = 3
 
 FLAT_BUCKETS = ("commit_active", "mem_stall", "exec_stall",
                 "rename_freelist", "window_shift", "frontend")
+
+MODES = ("detailed", "sampled", "simpoint")
+
+SAMPLING_SUMMARY_FIELDS = ("samples", "mean_cpi", "cpi_variance",
+                           "ci_lo_cpi", "ci_hi_cpi",
+                           "mean_tag_valid_fraction",
+                           "mean_bpred_table_occupancy")
+
+SAMPLE_RECORD_FIELDS = ("start_inst", "warm_cycles", "warm_insts",
+                        "cycles", "insts", "cpi",
+                        "tag_valid_fraction",
+                        "bpred_table_occupancy", "phase", "weight")
 
 
 def fail(errors, msg):
@@ -57,6 +74,53 @@ def taxonomy_leaf_sum(group, skip_threads=True):
     return total
 
 
+def validate_sampling(doc, where):
+    """Validate the non-detailed "sampling" block."""
+    errors = []
+    sampling = doc.get("sampling")
+    if not isinstance(sampling, dict):
+        return [f"{where}: non-detailed document is missing the "
+                f"sampling block"]
+    for key in SAMPLING_SUMMARY_FIELDS:
+        if not is_num(sampling.get(key)):
+            fail(errors, f"{where}: sampling.{key} is not a number")
+    if not isinstance(sampling.get("ci_unbounded"), bool):
+        fail(errors, f"{where}: sampling.ci_unbounded is not a "
+                     f"boolean")
+    if errors:
+        return errors
+    lo, hi = sampling["ci_lo_cpi"], sampling["ci_hi_cpi"]
+    mean = sampling["mean_cpi"]
+    if not lo <= mean <= hi:
+        fail(errors, f"{where}: CI [{lo}, {hi}] does not bracket "
+                     f"mean_cpi {mean}")
+    if sampling["cpi_variance"] < 0:
+        fail(errors, f"{where}: sampling.cpi_variance is negative")
+    for key in ("mean_tag_valid_fraction",
+                "mean_bpred_table_occupancy"):
+        if not 0 <= sampling[key] <= 1:
+            fail(errors, f"{where}: sampling.{key} outside [0, 1]")
+    if sampling["samples"] == 1 and not sampling["ci_unbounded"]:
+        fail(errors, f"{where}: one sample must flag ci_unbounded")
+    records = sampling.get("records")
+    if not isinstance(records, list):
+        fail(errors, f"{where}: sampling.records is not an array")
+        return errors
+    if len(records) != sampling["samples"]:
+        fail(errors, f"{where}: sampling.samples is "
+                     f"{sampling['samples']} but records has "
+                     f"{len(records)} entries")
+    for i, rec in enumerate(records):
+        tag = f"{where}: sampling.records[{i}]"
+        if not isinstance(rec, dict):
+            fail(errors, f"{tag}: not an object")
+            continue
+        for key in SAMPLE_RECORD_FIELDS:
+            if not is_num(rec.get(key)):
+                fail(errors, f"{tag}: {key} is not a number")
+    return errors
+
+
 def validate(doc, where):
     """Return a list of error strings (empty when the doc is valid)."""
     errors = []
@@ -69,8 +133,15 @@ def validate(doc, where):
                      f"expected {EXPECTED_VERSION}")
 
     config = doc.get("config")
+    mode = "detailed"
     if not isinstance(config, dict):
         fail(errors, f"{where}: missing config object")
+    else:
+        mode = config.get("mode", "detailed")
+        if mode not in MODES:
+            fail(errors, f"{where}: config.mode is {mode!r}, "
+                         f"expected one of {MODES}")
+            mode = "detailed"
     summary = doc.get("summary")
     if not isinstance(summary, dict):
         fail(errors, f"{where}: missing summary object")
@@ -78,6 +149,12 @@ def validate(doc, where):
         for key in ("cycles", "insts", "ipc"):
             if not is_num(summary.get(key)):
                 fail(errors, f"{where}: summary.{key} is not a number")
+
+    if mode != "detailed":
+        errors += validate_sampling(doc, where)
+        if "cpu" in doc and not isinstance(doc.get("cpu"), dict):
+            fail(errors, f"{where}: cpu is not a group")
+        return errors
 
     cpu = doc.get("cpu")
     if not isinstance(cpu, dict):
@@ -190,8 +267,9 @@ def make_valid_doc():
     }
     thread0 = json.loads(json.dumps(leaves))
     return {
-        "schemaVersion": 2,
-        "config": {"arch": "vca", "regs": 192, "threads": 1},
+        "schemaVersion": 3,
+        "config": {"arch": "vca", "regs": 192, "threads": 1,
+                   "mode": "detailed"},
         "summary": {"cycles": 100, "insts": 60, "ipc": 0.6},
         "cpu": {
             "cycles": 100,
@@ -210,6 +288,33 @@ def make_valid_doc():
              "committed": 30, "committed_cum": 60, "ipc": 0.6,
              "partial": True},
         ],
+    }
+
+
+def make_sampled_doc():
+    def rec(i, cpi):
+        return {"start_inst": 10000 + 10000 * i, "warm_cycles": 3200,
+                "warm_insts": 3000, "cycles": int(cpi * 2000),
+                "insts": 2000, "cpi": cpi,
+                "tag_valid_fraction": 0.4 + 0.1 * i,
+                "bpred_table_occupancy": 0.1 + 0.05 * i,
+                "phase": -1, "weight": 1.0}
+    return {
+        "schemaVersion": 3,
+        "config": {"arch": "vca", "regs": 192, "threads": 1,
+                   "mode": "sampled", "sample_period": 10000,
+                   "sample_quantum": 2000},
+        "summary": {"cycles": 6100, "insts": 6000, "ipc": 0.9836,
+                    "cpi": 1.0167},
+        "sampling": {
+            "samples": 3, "mean_cpi": 1.0167,
+            "cpi_variance": 0.000433,
+            "ci_lo_cpi": 0.965, "ci_hi_cpi": 1.068,
+            "ci_unbounded": False,
+            "mean_tag_valid_fraction": 0.5,
+            "mean_bpred_table_occupancy": 0.15,
+            "records": [rec(0, 1.0), rec(1, 1.01), rec(2, 1.04)],
+        },
     }
 
 
@@ -266,6 +371,49 @@ def selftest():
     doc = make_valid_doc()
     del doc["intervals"]
     expect(doc, True, "document without intervals")
+
+    expect(make_sampled_doc(), True, "valid sampled document")
+
+    doc = make_sampled_doc()
+    doc["config"]["mode"] = "simpoint"
+    expect(doc, True, "valid simpoint document")
+
+    doc = make_sampled_doc()
+    doc["config"]["mode"] = "interleaved"
+    expect(doc, False, "unknown config.mode")
+
+    doc = make_sampled_doc()
+    del doc["sampling"]
+    expect(doc, False, "non-detailed document without sampling")
+
+    doc = make_sampled_doc()
+    doc["sampling"]["ci_lo_cpi"] = 1.5
+    expect(doc, False, "CI that does not bracket the mean")
+
+    doc = make_sampled_doc()
+    doc["sampling"]["records"].pop()
+    expect(doc, False, "records/samples count mismatch")
+
+    doc = make_sampled_doc()
+    del doc["sampling"]["records"][0]["cpi"]
+    expect(doc, False, "record missing a field")
+
+    doc = make_sampled_doc()
+    doc["sampling"]["mean_tag_valid_fraction"] = 1.5
+    expect(doc, False, "warmth fraction outside [0, 1]")
+
+    doc = make_sampled_doc()
+    doc["sampling"]["samples"] = 1
+    doc["sampling"]["records"] = doc["sampling"]["records"][:1]
+    expect(doc, False, "n=1 without the ci_unbounded flag")
+
+    doc = make_sampled_doc()
+    doc["sampling"]["samples"] = 1
+    doc["sampling"]["records"] = doc["sampling"]["records"][:1]
+    doc["sampling"]["ci_unbounded"] = True
+    doc["sampling"]["ci_lo_cpi"] = doc["sampling"]["mean_cpi"] = 1.0
+    doc["sampling"]["ci_hi_cpi"] = 1.0
+    expect(doc, True, "n=1 flagged unbounded")
 
     for msg in failures:
         print(f"selftest: FAILED: {msg}", file=sys.stderr)

@@ -25,8 +25,17 @@ whose CPI contribution moved -- so a regression report says *why*
 simulated behavior changed, or that it did not (pure host-side
 slowdown). Benches written without the block degrade gracefully.
 
+Non-detailed runs additionally export a per-point "sampling" block
+(sampled IPC with a 95% confidence interval). When both sides carry
+it, the script flags points whose intervals are disjoint -- a
+statistically significant IPC change -- and a significantly *lower*
+candidate also fails the comparison. A non-detailed document without
+the block (written by an older bench) gets a one-line notice and the
+CI comparison is skipped for it; only the host-MIPS diff applies.
+
 Exit status: 0 when no bench regressed beyond the threshold, 1 on a
-regression, 2 on usage/input errors.
+regression (host-MIPS or significant sampled-IPC drop), 2 on
+usage/input errors.
 """
 
 import argparse
@@ -141,6 +150,84 @@ def compare(base, cand, threshold):
                            / len(speedups))
         print(f"{'geomean':<{width}}  {'':>10}  {'':>10}  "
               f"{geomean:>7.2f}x")
+    return regressed
+
+
+def load_sampling_points(path):
+    """Map point key -> (ipc, ci_lo, ci_hi, unbounded) for one file.
+
+    Detailed documents have no sampling block by design and return {}
+    silently. A *non-detailed* document without one was written before
+    the block existed (an old baseline): that is a one-line notice and
+    an empty map, never a hard error -- the host-MIPS comparison still
+    applies to it.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return {}  # load_host_mips already warned about this file
+    mode = doc.get("mode", "detailed")
+    if not isinstance(mode, str) or mode == "detailed":
+        return {}
+    block = doc.get("sampling")
+    if not isinstance(block, list):
+        print(f"notice: {path}: non-detailed run without a sampling "
+              f"block (written by an older bench?); skipping the "
+              f"CI-aware IPC comparison for it", file=sys.stderr)
+        return {}
+    name = Path(path).stem[len("BENCH_"):]
+    out = {}
+    for entry in block:
+        if not isinstance(entry, dict):
+            continue
+        try:
+            key = (f"{name}:{entry['label']}/{entry['workload']}"
+                   f"@{entry['phys_regs']}")
+            out[key] = (float(entry["ipc"]),
+                        float(entry["ipc_ci_lo"]),
+                        float(entry["ipc_ci_hi"]),
+                        bool(entry.get("ci_unbounded", False)))
+        except (KeyError, TypeError, ValueError):
+            continue
+    return out
+
+
+def collect_sampling(dirpath):
+    """Union of load_sampling_points over every BENCH_*.json."""
+    out = {}
+    for path in sorted(Path(dirpath).glob("BENCH_*.json")):
+        out.update(load_sampling_points(path))
+    return out
+
+
+def compare_sampling(base, cand):
+    """Flag sampled points whose 95% CIs are disjoint between runs.
+
+    Returns the keys whose candidate interval lies strictly *below*
+    the baseline interval (a statistically significant IPC drop).
+    Unbounded intervals (n=1) overlap everything by construction.
+    """
+    common = sorted(set(base) & set(cand))
+    if not common:
+        return []
+    regressed = []
+    significant = 0
+    for key in common:
+        bipc, blo, bhi, bunb = base[key]
+        cipc, clo, chi, cunb = cand[key]
+        if bunb or cunb:
+            continue
+        if chi < blo or clo > bhi:
+            significant += 1
+            direction = "drop" if chi < blo else "gain"
+            print(f"  {key}: sampled IPC {bipc:.4f} "
+                  f"[{blo:.4f}, {bhi:.4f}] -> {cipc:.4f} "
+                  f"[{clo:.4f}, {chi:.4f}]  significant {direction}")
+            if chi < blo:
+                regressed.append(key)
+    print(f"sampled IPC: {len(common)} comparable point(s), "
+          f"{significant} with disjoint 95% CIs")
     return regressed
 
 
@@ -355,6 +442,67 @@ def selftest():
             print("selftest: FAILED (missing taxonomy block not "
                   "handled)", file=sys.stderr)
             return 1
+        Path(basedir, "BENCH_slow.json").unlink()
+        Path(canddir, "BENCH_slow.json").unlink()
+
+        # A non-detailed document WITHOUT the sampling block (old
+        # baseline) is a one-line notice and an empty map -- never an
+        # input error.
+        from contextlib import redirect_stderr
+
+        def write_sampled(d, name, points):
+            doc = {"bench": name, "mode": "sampled",
+                   "host": {"sim_mips": 40.0}}
+            if points is not None:
+                doc["sampling"] = [
+                    {"label": lab, "workload": "crafty",
+                     "phys_regs": regs, "samples": 20, "ipc": ipc,
+                     "ipc_ci_lo": lo, "ipc_ci_hi": hi,
+                     "ci_unbounded": unb, "mean_cpi": 1 / ipc,
+                     "cpi_variance": 0.001,
+                     "mean_tag_valid_fraction": 0.5,
+                     "mean_bpred_table_occupancy": 0.2}
+                    for lab, regs, ipc, lo, hi, unb in points]
+            Path(d, f"BENCH_{name}.json").write_text(json.dumps(doc))
+
+        write_sampled(basedir, "old", None)
+        err = io.StringIO()
+        with redirect_stderr(err):
+            if load_sampling_points(Path(basedir, "BENCH_old.json")):
+                print("selftest: FAILED (missing sampling block not "
+                      "an empty map)", file=sys.stderr)
+                return 1
+        if "without a sampling block" not in err.getvalue():
+            print("selftest: FAILED (missing sampling block not "
+                  "noticed)", file=sys.stderr)
+            return 1
+        Path(basedir, "BENCH_old.json").unlink()
+
+        # CI-aware comparison: disjoint intervals are significant (a
+        # lower candidate regresses), overlapping ones are not, and
+        # unbounded n=1 intervals never flag.
+        write_sampled(basedir, "ci", [
+            ("vca", 192, 2.00, 1.90, 2.10, False),
+            ("vca", 256, 2.00, 1.90, 2.10, False),
+            ("ideal", 192, 2.00, 1.90, 2.10, True),
+        ])
+        write_sampled(canddir, "ci", [
+            ("vca", 192, 1.50, 1.40, 1.60, False),  # disjoint drop
+            ("vca", 256, 1.95, 1.85, 2.05, False),  # overlaps
+            ("ideal", 192, 1.00, 0.90, 1.10, False),  # base unbounded
+        ])
+        out = io.StringIO()
+        with redirect_stdout(out):
+            ipc_regressed = compare_sampling(
+                collect_sampling(basedir), collect_sampling(canddir))
+        if ipc_regressed != ["ci:vca/crafty@192"]:
+            print(f"selftest: FAILED (CI comparison flagged "
+                  f"{ipc_regressed})", file=sys.stderr)
+            return 1
+        if "significant drop" not in out.getvalue():
+            print("selftest: FAILED (significant drop not reported)",
+                  file=sys.stderr)
+            return 1
 
     print("selftest: OK")
     return 0
@@ -392,13 +540,18 @@ def main():
         print(f"error: {e}", file=sys.stderr)
         return 2
     regressed = compare(base, cand, args.threshold)
+    ipc_regressed = compare_sampling(collect_sampling(args.baseline),
+                                     collect_sampling(args.candidate))
     if regressed:
         print(f"FAIL: {len(regressed)} bench(es) regressed more than "
               f"{args.threshold:.0%}: {', '.join(regressed)}",
               file=sys.stderr)
         explain_regressions(regressed, args.baseline, args.candidate)
-        return 1
-    return 0
+    if ipc_regressed:
+        print(f"FAIL: {len(ipc_regressed)} sampled point(s) with a "
+              f"statistically significant IPC drop: "
+              f"{', '.join(ipc_regressed)}", file=sys.stderr)
+    return 1 if regressed or ipc_regressed else 0
 
 
 if __name__ == "__main__":

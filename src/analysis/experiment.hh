@@ -25,6 +25,10 @@
 #include "wload/generator.hh"
 #include "wload/profile.hh"
 
+namespace vca::telemetry {
+class ChromeTraceWriter;
+}
+
 namespace vca::analysis {
 
 /**
@@ -121,6 +125,90 @@ struct RunOptions
     InstCount sampleFuncWarmInsts = 0;
     /** Sampled mode: detailed (unmeasured) warm-up per sample. */
     InstCount sampleDetailWarmInsts = 1'000;
+    /**
+     * Optional sample-timeline observer for the non-detailed modes:
+     * when set, sampling.cc emits fast-forward spans, per-sample
+     * warm-up/measure quanta and transplant instants into this writer.
+     * Pure observation — never part of the point's cache identity
+     * (pointKey() serializes an explicit field list) and never shipped
+     * to isolated workers.
+     */
+    telemetry::ChromeTraceWriter *traceWriter = nullptr;
+};
+
+/**
+ * One detailed sample of a non-detailed run (one SMARTS quantum, or
+ * one SimPoint phase representative), as recorded by
+ * analysis/sampling.cc. The per-sample CPIs feed the confidence
+ * interval in SamplingSummary; the transplant summary captures how
+ * warm the transplanted microarchitectural state was at switch-in.
+ */
+struct SampleRecord
+{
+    /** Dynamic instructions fast-forwarded (all threads summed)
+     *  before this sample's switch-in. */
+    InstCount startInst = 0;
+    Cycle warmCycles = 0;      ///< detailed warm-up cycles
+    InstCount warmInsts = 0;   ///< detailed warm-up instructions
+    Cycle cycles = 0;          ///< measured quantum cycles
+    InstCount insts = 0;       ///< measured quantum instructions
+    double cpi = 0;            ///< cycles / insts of this sample
+    /** Fraction of cache lines (all levels) holding a valid tag at
+     *  switch-in, after the warm-model transplant. */
+    double tagValidFraction = 0;
+    /** Fraction of branch-predictor counters trained away from their
+     *  reset value at switch-in. */
+    double bpredTableOccupancy = 0;
+    /** SimPoint phase id (-1 for SMARTS samples). */
+    int phase = -1;
+    /** Blend weight (SimPoint phase weight; 1 for SMARTS samples). */
+    double weight = 1.0;
+
+    bool
+    operator==(const SampleRecord &o) const
+    {
+        return startInst == o.startInst && warmCycles == o.warmCycles &&
+               warmInsts == o.warmInsts && cycles == o.cycles &&
+               insts == o.insts && cpi == o.cpi &&
+               tagValidFraction == o.tagValidFraction &&
+               bpredTableOccupancy == o.bpredTableOccupancy &&
+               phase == o.phase && weight == o.weight;
+    }
+};
+
+/**
+ * Per-run sampling statistics: weighted mean/variance of the
+ * per-sample CPIs and a t-distribution 95% confidence interval (see
+ * analysis/sampling.hh for the estimator and DESIGN.md 5.1 for its
+ * independence assumptions). samples == 0 means "not a sampled run" —
+ * the whole block is then absent from every serialization.
+ */
+struct SamplingSummary
+{
+    unsigned samples = 0;
+    double meanCpi = 0;
+    double cpiVariance = 0;   ///< unbiased (reliability-weighted)
+    double ciLoCpi = 0;       ///< 95% CI lower bound (CPI)
+    double ciHiCpi = 0;       ///< 95% CI upper bound (CPI)
+    /** True when the CI is unbounded (a single sample: no variance
+     *  estimate exists). ciLo/ciHi then degenerate to the mean. */
+    bool ciUnbounded = false;
+    double meanTagValidFraction = 0;
+    double meanBpredTableOccupancy = 0;
+
+    /** 95% CI on IPC (the reciprocal interval; hi bound from ciLo). */
+    double ipcCiLo() const { return ciHiCpi > 0 ? 1.0 / ciHiCpi : 0; }
+    double ipcCiHi() const { return ciLoCpi > 0 ? 1.0 / ciLoCpi : 0; }
+
+    bool
+    operator==(const SamplingSummary &o) const
+    {
+        return samples == o.samples && meanCpi == o.meanCpi &&
+               cpiVariance == o.cpiVariance && ciLoCpi == o.ciLoCpi &&
+               ciHiCpi == o.ciHiCpi && ciUnbounded == o.ciUnbounded &&
+               meanTagValidFraction == o.meanTagValidFraction &&
+               meanBpredTableOccupancy == o.meanBpredTableOccupancy;
+    }
 };
 
 struct Measurement
@@ -151,6 +239,14 @@ struct Measurement
      *  rename-stall scalars). Only counters that exist on the
      *  configuration appear. */
     std::vector<std::pair<std::string, double>> counters;
+    /**
+     * Sampling statistics of a non-detailed run (sampling.samples == 0
+     * and sampleRecords empty on detailed runs). Serialized only when
+     * present, so detailed cache entries and their checksums are
+     * byte-identical with and without this layer.
+     */
+    SamplingSummary sampling;
+    std::vector<SampleRecord> sampleRecords;
 
     bool
     operator==(const Measurement &o) const
@@ -164,7 +260,8 @@ struct Measurement
                threadDcachePerInst == o.threadDcachePerInst &&
                threadInsts == o.threadInsts &&
                cycleBreakdown == o.cycleBreakdown &&
-               counters == o.counters;
+               counters == o.counters && sampling == o.sampling &&
+               sampleRecords == o.sampleRecords;
     }
 };
 

@@ -8,6 +8,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/sampling.hh"
 #include "sim/logging.hh"
 #include "trace/json.hh"
 
@@ -611,6 +612,307 @@ explainSelftest()
     if (failures == 0)
         std::fprintf(stderr, "vca-explain selftest: all checks "
                              "passed\n");
+    return failures == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------
+// Sampling error attribution
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Pearson r; 0 when either axis is (near-)constant or n < 2. */
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    const size_t n = xs.size();
+    if (n < 2 || ys.size() != n)
+        return 0;
+    double mx = 0, my = 0;
+    for (size_t i = 0; i < n; ++i) {
+        mx += xs[i];
+        my += ys[i];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+    double sxy = 0, sxx = 0, syy = 0;
+    for (size_t i = 0; i < n; ++i) {
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        syy += (ys[i] - my) * (ys[i] - my);
+    }
+    if (sxx <= 1e-12 || syy <= 1e-12)
+        return 0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+} // namespace
+
+SamplingReport
+explainSampling(const std::string &config, const Measurement &sampled,
+                const Measurement &detailed)
+{
+    SamplingReport r;
+    r.config = config;
+    r.summary = sampled.sampling;
+    r.sampledIpc =
+        r.summary.meanCpi > 0 ? 1.0 / r.summary.meanCpi : 0;
+    r.detailedCpi = detailed.insts > 0
+        ? static_cast<double>(detailed.cycles) /
+          static_cast<double>(detailed.insts)
+        : 0;
+    r.detailedIpc = r.detailedCpi > 0 ? 1.0 / r.detailedCpi : 0;
+    if (r.detailedIpc > 0)
+        r.ipcErrorPct =
+            100.0 * (r.sampledIpc - r.detailedIpc) / r.detailedIpc;
+    r.detailedIpcInCi = r.summary.samples > 0 &&
+        (r.summary.ciUnbounded ||
+         (r.detailedIpc >= r.summary.ipcCiLo() &&
+          r.detailedIpc <= r.summary.ipcCiHi()));
+
+    std::vector<double> absErr, tagValid, bpredOcc;
+    std::map<int, PhaseDeviation> phases;
+    double worstAbs = -1;
+    int idx = 0;
+    for (const SampleRecord &rec : sampled.sampleRecords) {
+        SampleDeviation d;
+        d.index = idx++;
+        d.rec = rec;
+        d.cpiError = rec.cpi - r.detailedCpi;
+        if (std::fabs(d.cpiError) > worstAbs) {
+            worstAbs = std::fabs(d.cpiError);
+            r.worstSample = d.index;
+        }
+        absErr.push_back(std::fabs(d.cpiError));
+        tagValid.push_back(rec.tagValidFraction);
+        bpredOcc.push_back(rec.bpredTableOccupancy);
+        if (rec.phase >= 0) {
+            PhaseDeviation &p = phases[rec.phase];
+            p.phase = rec.phase;
+            p.weight = rec.weight;
+            ++p.samples;
+            p.meanCpi += rec.cpi;
+            p.meanAbsError += std::fabs(d.cpiError);
+        }
+        r.samples.push_back(std::move(d));
+    }
+    r.corrTagValid = pearson(tagValid, absErr);
+    r.corrBpredOcc = pearson(bpredOcc, absErr);
+    for (auto &[phase, p] : phases) {
+        p.meanCpi /= p.samples;
+        p.meanAbsError /= p.samples;
+        r.phases.push_back(p);
+    }
+    return r;
+}
+
+std::string
+renderSamplingReport(const SamplingReport &r, bool markdown)
+{
+    std::ostringstream os;
+    const char *hl = markdown ? "**" : "";
+
+    if (markdown)
+        os << "# vca-explain --sampling: " << r.config << "\n\n";
+    else
+        os << "vca-explain --sampling: " << r.config << "\n";
+
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%s  sampled:  IPC %.4f (CPI %.4f), 95%% CI "
+                  "[%.4f, %.4f] over %u sample%s%s\n",
+                  markdown ? "-" : "", r.sampledIpc, r.summary.meanCpi,
+                  r.summary.ipcCiLo(), r.summary.ipcCiHi(),
+                  r.summary.samples, r.summary.samples == 1 ? "" : "s",
+                  r.summary.ciUnbounded ? " (CI unbounded: n=1)" : "");
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "%s  detailed: IPC %.4f (CPI %.4f)\n",
+                  markdown ? "-" : "", r.detailedIpc, r.detailedCpi);
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "%s  %sIPC error %+.2f%%%s; detailed IPC %s the "
+                  "95%% CI\n",
+                  markdown ? "-" : "", hl, r.ipcErrorPct, hl,
+                  r.detailedIpcInCi ? "inside" : "OUTSIDE");
+    os << line;
+
+    if (!r.samples.empty()) {
+        os << (markdown
+                   ? "\n## Per-sample deviation\n\n"
+                     "| idx | start inst | cpi | error | tag valid |"
+                     " bpred occ | phase |\n"
+                     "|----:|-----------:|----:|------:|----------:|"
+                     "----------:|------:|\n"
+                   : "\n  per-sample deviation (cpi - detailed cpi; "
+                     "worst marked *):\n"
+                     "   idx  start_inst       cpi     error  "
+                     "tag_valid  bpred_occ  phase\n");
+        for (const SampleDeviation &d : r.samples) {
+            if (markdown) {
+                std::snprintf(line, sizeof(line),
+                              "| %d | %llu | %.4f | %+.4f | %.4f |"
+                              " %.4f | %s |\n",
+                              d.index,
+                              static_cast<unsigned long long>(
+                                  d.rec.startInst),
+                              d.rec.cpi, d.cpiError,
+                              d.rec.tagValidFraction,
+                              d.rec.bpredTableOccupancy,
+                              d.rec.phase < 0
+                                  ? "-"
+                                  : std::to_string(d.rec.phase)
+                                        .c_str());
+            } else {
+                std::snprintf(line, sizeof(line),
+                              "  %c%3d  %10llu  %8.4f  %+8.4f     "
+                              "%.4f     %.4f  %5s\n",
+                              d.index == r.worstSample ? '*' : ' ',
+                              d.index,
+                              static_cast<unsigned long long>(
+                                  d.rec.startInst),
+                              d.rec.cpi, d.cpiError,
+                              d.rec.tagValidFraction,
+                              d.rec.bpredTableOccupancy,
+                              d.rec.phase < 0
+                                  ? "-"
+                                  : std::to_string(d.rec.phase)
+                                        .c_str());
+            }
+            os << line;
+        }
+
+        os << (markdown
+                   ? "\n## Warmth correlation\n\n"
+                   : "\n  warmth correlation (Pearson r of |error| "
+                     "vs transplant warmth):\n");
+        std::snprintf(line, sizeof(line),
+                      "%s  cache-tag valid fraction: %+.2f\n"
+                      "%s  bpred table occupancy:    %+.2f\n",
+                      markdown ? "-" : "", r.corrTagValid,
+                      markdown ? "-" : "", r.corrBpredOcc);
+        os << line
+           << (markdown ? "" : "  ")
+           << "  (negative r: colder transplants deviate more)\n";
+    }
+
+    if (!r.phases.empty()) {
+        os << (markdown
+                   ? "\n## Per-phase (SimPoint)\n\n"
+                     "| phase | weight | samples | mean cpi |"
+                     " mean abs error |\n"
+                     "|------:|-------:|--------:|---------:|"
+                     "---------------:|\n"
+                   : "\n  per-phase (SimPoint):\n"
+                     "  phase  weight  samples  mean_cpi  "
+                     "mean|error|\n");
+        for (const PhaseDeviation &p : r.phases) {
+            if (markdown)
+                std::snprintf(line, sizeof(line),
+                              "| %d | %.4f | %u | %.4f | %.4f |\n",
+                              p.phase, p.weight, p.samples, p.meanCpi,
+                              p.meanAbsError);
+            else
+                std::snprintf(line, sizeof(line),
+                              "  %5d  %6.4f  %7u  %8.4f     %8.4f\n",
+                              p.phase, p.weight, p.samples, p.meanCpi,
+                              p.meanAbsError);
+            os << line;
+        }
+    }
+    return os.str();
+}
+
+int
+samplingSelftest()
+{
+    // A synthetic sampled run against a detailed CPI of 1.0: sample 2
+    // is planted cold (low warmth) with a large deviation, so the
+    // worst-sample pick and the warmth correlation sign are known.
+    Measurement detailed;
+    detailed.ok = true;
+    detailed.cycles = 100'000;
+    detailed.insts = 100'000;
+
+    Measurement sampled;
+    sampled.ok = true;
+    auto mkRec = [](InstCount start, double cpi, double tag,
+                    double bp, int phase, double weight) {
+        SampleRecord rec;
+        rec.startInst = start;
+        rec.cycles = static_cast<Cycle>(cpi * 1000);
+        rec.insts = 1000;
+        rec.cpi = cpi;
+        rec.tagValidFraction = tag;
+        rec.bpredTableOccupancy = bp;
+        rec.phase = phase;
+        rec.weight = weight;
+        return rec;
+    };
+    sampled.sampleRecords = {
+        mkRec(10'000, 1.02, 0.90, 0.80, 0, 0.5),
+        mkRec(30'000, 0.98, 0.85, 0.75, 0, 0.5),
+        mkRec(50'000, 1.40, 0.10, 0.05, 1, 0.3),
+        mkRec(70'000, 1.05, 0.70, 0.60, 2, 0.2),
+    };
+    sampled.sampling = computeSamplingSummary(sampled.sampleRecords);
+
+    const SamplingReport r =
+        explainSampling("synthetic", sampled, detailed);
+
+    int failures = 0;
+    auto check = [&](bool ok, const char *what) {
+        if (!ok) {
+            std::fprintf(stderr,
+                         "vca-explain sampling selftest FAILED: %s\n",
+                         what);
+            ++failures;
+        }
+    };
+
+    check(std::fabs(r.detailedCpi - 1.0) < 1e-12,
+          "detailed CPI is the planted 1.0");
+    check(r.worstSample == 2, "worst sample is the planted cold one");
+    check(r.samples.size() == 4 &&
+              std::fabs(r.samples[2].cpiError - 0.40) < 1e-9,
+          "planted deviation is recovered per sample");
+    check(r.corrTagValid < -0.5,
+          "error anti-correlates with cache-tag warmth");
+    check(r.corrBpredOcc < -0.5,
+          "error anti-correlates with bpred warmth");
+    check(r.phases.size() == 3, "three SimPoint phases aggregate");
+    check(!r.phases.empty() && r.phases[0].samples == 2,
+          "phase 0 rolls up both of its samples");
+    bool phase1Worst = false;
+    for (const PhaseDeviation &p : r.phases)
+        if (p.phase == 1)
+            phase1Worst = p.meanAbsError > 0.35;
+    check(phase1Worst, "phase 1 carries the planted error");
+
+    // Degenerate: a single sample must flag an unbounded CI and the
+    // containment check must not reject it.
+    Measurement one;
+    one.ok = true;
+    one.sampleRecords = {mkRec(10'000, 1.20, 0.5, 0.5, -1, 1.0)};
+    one.sampling = computeSamplingSummary(one.sampleRecords);
+    const SamplingReport r1 =
+        explainSampling("synthetic-n1", one, detailed);
+    check(r1.summary.ciUnbounded, "n=1 flags an unbounded CI");
+    check(r1.detailedIpcInCi,
+          "unbounded CI contains the detailed IPC by definition");
+
+    const std::string text = renderSamplingReport(r, false);
+    const std::string md = renderSamplingReport(r, true);
+    check(text.find("per-phase (SimPoint)") != std::string::npos,
+          "terminal report includes the per-phase table");
+    check(text.find("warmth correlation") != std::string::npos,
+          "terminal report includes the warmth correlation");
+    check(md.find("## Per-sample deviation") != std::string::npos,
+          "markdown report includes the per-sample table");
+
+    if (failures == 0)
+        std::fprintf(stderr, "vca-explain sampling selftest: all "
+                             "checks passed\n");
     return failures == 0 ? 0 : 1;
 }
 

@@ -99,9 +99,11 @@ struct ExplainReport
 
 /**
  * Parse a vca-sim --stats-json document. Accepts schema v1 (no
- * schemaVersion key) and v2. Prefers the hierarchical taxonomy
+ * schemaVersion key), v2 and v3. Prefers the hierarchical taxonomy
  * subtree; falls back to the flat six-bucket cycle accounting when
- * the taxonomy is absent or all-zero (VCA_NTELEMETRY producer).
+ * the taxonomy is absent or all-zero (VCA_NTELEMETRY producer). A v3
+ * non-detailed document has no cpu tree at all; its input loads with
+ * an empty leaf set and explain() coarsens accordingly.
  * Throws sim::FatalError on unreadable/malformed input.
  */
 ExplainInput loadRunJson(const std::string &path,
@@ -128,6 +130,80 @@ std::string renderReport(const ExplainReport &r, bool markdown);
  * success, 1 on failure (diagnostics on stderr).
  */
 int explainSelftest();
+
+// ---------------------------------------------------------------------
+// Sampling error attribution (vca-explain --sampling)
+// ---------------------------------------------------------------------
+
+/** One sample's deviation from the matched detailed run. */
+struct SampleDeviation
+{
+    int index = 0;       ///< sample index in measurement order
+    SampleRecord rec;
+    double cpiError = 0; ///< rec.cpi - detailed CPI (signed)
+};
+
+/** Per-SimPoint-phase aggregation of the sample deviations. */
+struct PhaseDeviation
+{
+    int phase = -1;
+    double weight = 0;    ///< phase weight (fraction of execution)
+    unsigned samples = 0;
+    double meanCpi = 0;
+    double meanAbsError = 0; ///< mean |cpi - detailed CPI|
+};
+
+/**
+ * Sampled-vs-detailed error attribution for one configuration: which
+ * samples deviate from the detailed trajectory, whether the deviation
+ * correlates with how warm the transplanted microarchitectural state
+ * was at switch-in, and (for SimPoint runs) which phases carry the
+ * error.
+ */
+struct SamplingReport
+{
+    std::string config;       ///< human-readable configuration
+    SamplingSummary summary;  ///< the sampled run's CI summary
+    double sampledIpc = 0;
+    double detailedCpi = 0;
+    double detailedIpc = 0;
+    double ipcErrorPct = 0;   ///< (sampled - detailed)/detailed * 100
+    bool detailedIpcInCi = false;
+    int worstSample = -1;     ///< argmax |cpiError|; -1 when no samples
+    /**
+     * Pearson r of |cpiError| against the transplant warmth metrics
+     * across samples; 0 when degenerate (fewer than two samples or a
+     * zero-variance axis). Negative r means colder transplants (lower
+     * warmth) deviate more — the expected signature of insufficient
+     * warm-up.
+     */
+    double corrTagValid = 0;
+    double corrBpredOcc = 0;
+    std::vector<SampleDeviation> samples; ///< measurement order
+    std::vector<PhaseDeviation> phases;   ///< SimPoint runs only
+};
+
+/**
+ * Attribute the sampled run's IPC error against its matched detailed
+ * run. Pure and deterministic; `sampled` must carry sample records
+ * (non-detailed mode), `detailed` the matched detailed measurement.
+ */
+SamplingReport explainSampling(const std::string &config,
+                               const Measurement &sampled,
+                               const Measurement &detailed);
+
+/** Render a sampling report for the terminal (or as markdown). */
+std::string renderSamplingReport(const SamplingReport &r,
+                                 bool markdown);
+
+/**
+ * Self-test for the sampling error attribution: synthesize a sampled
+ * measurement whose deviations are planted to correlate with cold
+ * transplants and check the report recovers the error, the worst
+ * sample, the correlation sign and the per-phase rollup. Returns 0 on
+ * success, 1 on failure (diagnostics on stderr).
+ */
+int samplingSelftest();
 
 } // namespace vca::analysis
 

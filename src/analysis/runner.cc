@@ -272,6 +272,44 @@ writeMeasurement(trace::JsonWriter &w, const Measurement &m)
     for (const auto &[name, value] : m.counters)
         w.key(name).number(value);
     w.endObject();
+    // Sampling statistics exist only on non-detailed measurements.
+    // Written conditionally — and parsed tolerantly below — so that
+    // (a) detailed entries are byte-identical with or without this
+    // layer and (b) pre-sampling cache entries still verify: the
+    // content checksum covers the re-serialization of the parsed
+    // measurement, which for an entry without a sampling block must
+    // round-trip to an entry without one.
+    if (m.sampling.samples > 0) {
+        w.key("sampling").beginObject();
+        w.key("samples").number(std::uint64_t(m.sampling.samples));
+        w.key("mean_cpi").number(m.sampling.meanCpi);
+        w.key("cpi_variance").number(m.sampling.cpiVariance);
+        w.key("ci_lo_cpi").number(m.sampling.ciLoCpi);
+        w.key("ci_hi_cpi").number(m.sampling.ciHiCpi);
+        w.key("ci_unbounded").boolean(m.sampling.ciUnbounded);
+        w.key("mean_tag_valid_fraction")
+            .number(m.sampling.meanTagValidFraction);
+        w.key("mean_bpred_table_occupancy")
+            .number(m.sampling.meanBpredTableOccupancy);
+        w.key("records").beginArray();
+        for (const SampleRecord &r : m.sampleRecords) {
+            w.beginObject();
+            w.key("start_inst").number(std::uint64_t(r.startInst));
+            w.key("warm_cycles").number(std::uint64_t(r.warmCycles));
+            w.key("warm_insts").number(std::uint64_t(r.warmInsts));
+            w.key("cycles").number(std::uint64_t(r.cycles));
+            w.key("insts").number(std::uint64_t(r.insts));
+            w.key("cpi").number(r.cpi);
+            w.key("tag_valid_fraction").number(r.tagValidFraction);
+            w.key("bpred_table_occupancy")
+                .number(r.bpredTableOccupancy);
+            w.key("phase").number(double(r.phase));
+            w.key("weight").number(r.weight);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
     w.endObject();
 }
 
@@ -328,6 +366,49 @@ measurementFromValue(const trace::JsonValue &v)
         m.cycleBreakdown.emplace_back(name, value.asNumber());
     for (const auto &[name, value] : object("counters").members())
         m.counters.emplace_back(name, value.asNumber());
+    // Optional: only non-detailed measurements carry it, and entries
+    // written before the sampling layer existed never do.
+    if (const trace::JsonValue *s = v.find("sampling");
+        s && s->isObject()) {
+        m.sampling.samples = static_cast<unsigned>(
+            numberField(*s, "samples"));
+        m.sampling.meanCpi = numberField(*s, "mean_cpi");
+        m.sampling.cpiVariance = numberField(*s, "cpi_variance");
+        m.sampling.ciLoCpi = numberField(*s, "ci_lo_cpi");
+        m.sampling.ciHiCpi = numberField(*s, "ci_hi_cpi");
+        const trace::JsonValue *unb = s->find("ci_unbounded");
+        if (!unb)
+            fatal("measurement JSON: missing 'ci_unbounded'");
+        m.sampling.ciUnbounded = unb->asBool();
+        m.sampling.meanTagValidFraction =
+            numberField(*s, "mean_tag_valid_fraction");
+        m.sampling.meanBpredTableOccupancy =
+            numberField(*s, "mean_bpred_table_occupancy");
+        const trace::JsonValue *recs = s->find("records");
+        if (!recs || !recs->isArray())
+            fatal("measurement JSON: missing array 'records'");
+        for (size_t i = 0; i < recs->size(); ++i) {
+            const trace::JsonValue &rv = recs->at(i);
+            SampleRecord r;
+            r.startInst = static_cast<InstCount>(
+                numberField(rv, "start_inst"));
+            r.warmCycles = static_cast<Cycle>(
+                numberField(rv, "warm_cycles"));
+            r.warmInsts = static_cast<InstCount>(
+                numberField(rv, "warm_insts"));
+            r.cycles = static_cast<Cycle>(numberField(rv, "cycles"));
+            r.insts = static_cast<InstCount>(
+                numberField(rv, "insts"));
+            r.cpi = numberField(rv, "cpi");
+            r.tagValidFraction =
+                numberField(rv, "tag_valid_fraction");
+            r.bpredTableOccupancy =
+                numberField(rv, "bpred_table_occupancy");
+            r.phase = static_cast<int>(numberField(rv, "phase"));
+            r.weight = numberField(rv, "weight");
+            m.sampleRecords.push_back(r);
+        }
+    }
     return m;
 }
 

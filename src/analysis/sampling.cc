@@ -2,17 +2,80 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <memory>
+#include <sstream>
 
 #include "analysis/simpoint.hh"
 #include "func/func_sim.hh"
 #include "sim/logging.hh"
 #include "stats/host_stats.hh"
+#include "telemetry/chrome_trace.hh"
 
 namespace vca::analysis {
 
 namespace {
+
+/**
+ * Sample-timeline lane for --chrome-trace in the non-detailed modes:
+ * fast-forward spans, per-sample warm-up/measure quanta and transplant
+ * instants, in host time (the fast-forward/detail split is a host-cost
+ * story; simulated time is discontinuous across samples anyway). Lives
+ * on its own pid so Perfetto renders it as a separate process group
+ * from the sweep-runner host lanes (pid 100).
+ */
+constexpr int kSampleTracePid = 1;
+
+class SampleTracer
+{
+  public:
+    explicit SampleTracer(telemetry::ChromeTraceWriter *w) : w_(w)
+    {
+        if (!w_)
+            return;
+        w_->setProcessName(kSampleTracePid, "sample timeline");
+        w_->setThreadName(kSampleTracePid, 0, "samples");
+    }
+
+    /** RAII span; no-op without a writer. */
+    class Span
+    {
+      public:
+        Span(SampleTracer &tr, std::string name, std::string args = "")
+            : tr_(tr)
+        {
+            if (tr_.w_)
+                tr_.w_->begin(kSampleTracePid, 0, name,
+                              tr_.w_->hostNowUs(), std::move(args));
+        }
+        ~Span()
+        {
+            if (tr_.w_)
+                tr_.w_->end(kSampleTracePid, 0, tr_.w_->hostNowUs());
+        }
+
+      private:
+        SampleTracer &tr_;
+    };
+
+    void
+    transplant(const SampleRecord &rec)
+    {
+        if (!w_)
+            return;
+        std::ostringstream args;
+        args << "{\"start_inst\":" << rec.startInst
+             << ",\"tag_valid\":" << rec.tagValidFraction
+             << ",\"bpred_occupancy\":" << rec.bpredTableOccupancy
+             << "}";
+        w_->instant(kSampleTracePid, 0, "transplant", w_->hostNowUs(),
+                    args.str());
+    }
+
+  private:
+    telemetry::ChromeTraceWriter *w_;
+};
 
 /** Accumulate wall-clock seconds into a bucket while in scope. */
 class ScopedSeconds
@@ -262,6 +325,7 @@ runSmarts(const std::vector<const isa::Program *> &programs,
     WarmModel warm(params, n);
     Agg agg;
     HostSplit host;
+    SampleTracer tracer(opts.traceWriter);
 
     // Pre-sampling warm-up: fast-forward warmupInsts (functionally
     // warmed, unmeasured) before the first period, so sampling can be
@@ -270,6 +334,7 @@ runSmarts(const std::vector<const isa::Program *> &programs,
     // one region it cannot reproduce faithfully.
     if (opts.warmupInsts) {
         cpu::OooCpu reloc(params, programs);
+        SampleTracer::Span span(tracer, "fast-forward (warm-up)");
         ScopedSeconds tm(host.funcSeconds);
         for (unsigned t = 0; t < n; ++t)
             advance(warm, reloc.renamer(), *fsim[t], *programs[t],
@@ -292,6 +357,7 @@ runSmarts(const std::vector<const isa::Program *> &programs,
         });
 
         {
+            SampleTracer::Span span(tracer, "fast-forward");
             ScopedSeconds tm(host.funcSeconds);
             for (unsigned t = 0; t < n; ++t) {
                 const InstCount gap =
@@ -311,17 +377,39 @@ runSmarts(const std::vector<const isa::Program *> &programs,
             cpu.switchIn(ThreadId(t), fsim[t]->captureState(),
                          *fmem[t]);
 
+        SampleRecord rec;
+        for (unsigned t = 0; t < n; ++t)
+            rec.startInst += fsim[t]->stats().insts;
+        rec.tagValidFraction = cpu.memSystem().tagValidFraction();
+        rec.bpredTableOccupancy =
+            cpu.branchPredictor().tableOccupancy();
+        tracer.transplant(rec);
+
         {
             ScopedSeconds tm(host.simSeconds);
-            cpu.run(opts.sampleDetailWarmInsts,
+            {
+                SampleTracer::Span span(tracer, "detail warm-up");
+                const auto warmRes = cpu.run(
+                    opts.sampleDetailWarmInsts,
                     opts.sampleDetailWarmInsts * 200 + 100'000,
                     opts.stopOnFirstThread);
+                rec.warmCycles = warmRes.cycles;
+                rec.warmInsts = warmRes.totalInsts;
+            }
             cpu.resetStats();
+            SampleTracer::Span span(tracer, "measure");
             const auto res = cpu.run(
                 opts.sampleQuantumInsts,
                 opts.sampleQuantumInsts * 200 + 100'000,
                 opts.stopOnFirstThread);
             agg.add(cpu, res);
+            rec.cycles = res.cycles;
+            rec.insts = res.totalInsts;
+            if (res.totalInsts) {
+                rec.cpi =
+                    double(res.cycles) / double(res.totalInsts);
+                m.sampleRecords.push_back(rec);
+            }
             host.simCycles += double(cpu.currentCycle());
         }
         for (InstCount c : committed)
@@ -368,6 +456,7 @@ runSimPoint(const std::vector<const isa::Program *> &programs,
     const isa::Program &prog = *programs[0];
 
     HostSplit host;
+    SampleTracer tracer(opts.traceWriter);
     // The interval length is the measured interval, so each phase's
     // representative interval is exactly what gets simulated in
     // detail. BBV collection executes the program functionally once
@@ -375,6 +464,7 @@ runSimPoint(const std::vector<const isa::Program *> &programs,
     // functional side.
     SimPointResult sp;
     {
+        SampleTracer::Span span(tracer, "bbv collection");
         ScopedSeconds tm(host.funcSeconds);
         sp = pickSimPoint(prog, opts.measureInsts);
     }
@@ -409,6 +499,7 @@ runSimPoint(const std::vector<const isa::Program *> &programs,
         cpu.addCommitListener(
             [&committed](const cpu::DynInst &) { ++committed; });
         {
+            SampleTracer::Span span(tracer, "fast-forward");
             ScopedSeconds tm(host.funcSeconds);
             advance(warm, cpu.renamer(), fsim, prog, 0,
                     switchAt > pos ? switchAt - pos : 0,
@@ -423,12 +514,28 @@ runSimPoint(const std::vector<const isa::Program *> &programs,
         cpu.branchPredictor().copyStateFrom(warm.bpred);
         cpu.switchIn(0, fsim.captureState(), fmem);
 
+        SampleRecord rec;
+        rec.startInst = fsim.stats().insts;
+        rec.tagValidFraction = cpu.memSystem().tagValidFraction();
+        rec.bpredTableOccupancy =
+            cpu.branchPredictor().tableOccupancy();
+        rec.phase = static_cast<int>(r);
+        rec.weight = sp.phaseWeight[r];
+        tracer.transplant(rec);
+
         {
             ScopedSeconds tm(host.simSeconds);
-            cpu.run(opts.warmupInsts,
-                    opts.warmupInsts * 200 + 100'000,
-                    opts.stopOnFirstThread);
+            {
+                SampleTracer::Span span(tracer, "detail warm-up");
+                const auto warmRes =
+                    cpu.run(opts.warmupInsts,
+                            opts.warmupInsts * 200 + 100'000,
+                            opts.stopOnFirstThread);
+                rec.warmCycles = warmRes.cycles;
+                rec.warmInsts = warmRes.totalInsts;
+            }
             cpu.resetStats();
+            SampleTracer::Span span(tracer, "measure");
             const auto res =
                 cpu.run(opts.measureInsts,
                         opts.measureInsts * 200 + 100'000,
@@ -439,6 +546,11 @@ runSimPoint(const std::vector<const isa::Program *> &programs,
                                double(res.cycles) /
                                double(res.totalInsts);
                 weightUsed += sp.phaseWeight[r];
+                rec.cycles = res.cycles;
+                rec.insts = res.totalInsts;
+                rec.cpi =
+                    double(res.cycles) / double(res.totalInsts);
+                m.sampleRecords.push_back(rec);
             }
             host.simInsts += double(committed);
             host.simCycles += double(cpu.currentCycle());
@@ -482,11 +594,159 @@ runSampledTiming(const std::vector<const isa::Program *> &programs,
             runSimPoint(programs, params, opts, m);
         else
             runSmarts(programs, params, opts, m);
+        m.sampling = computeSamplingSummary(m.sampleRecords);
     } catch (const FatalError &e) {
         m.ok = false;
         m.error = e.what();
+        m.sampleRecords.clear();
+        m.sampling = SamplingSummary{};
     }
     return m;
+}
+
+// ---------------------------------------------------------------------
+// Confidence-interval estimator
+// ---------------------------------------------------------------------
+
+double
+weightedMean(const std::vector<double> &xs,
+             const std::vector<double> &w)
+{
+    double sw = 0, sx = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        sw += w[i];
+        sx += w[i] * xs[i];
+    }
+    return sw > 0 ? sx / sw : 0.0;
+}
+
+double
+weightedVariance(const std::vector<double> &xs,
+                 const std::vector<double> &w)
+{
+    double sw = 0, sw2 = 0;
+    for (double wi : w) {
+        sw += wi;
+        sw2 += wi * wi;
+    }
+    // The reliability-weight denominator (sw - sw2/sw) is zero for a
+    // single (or single effective) sample: no variance estimate.
+    if (sw <= 0 || sw * sw <= sw2)
+        return 0.0;
+    const double mean = weightedMean(xs, w);
+    double ss = 0;
+    for (size_t i = 0; i < xs.size(); ++i)
+        ss += w[i] * (xs[i] - mean) * (xs[i] - mean);
+    return ss / (sw - sw2 / sw);
+}
+
+double
+effectiveSampleCount(const std::vector<double> &w)
+{
+    double sw = 0, sw2 = 0;
+    for (double wi : w) {
+        sw += wi;
+        sw2 += wi * wi;
+    }
+    return sw2 > 0 ? (sw * sw) / sw2 : 0.0;
+}
+
+double
+tCritical95(double dof)
+{
+    // Two-sided 95% critical values of Student's t, dof 1..30.
+    static constexpr double kTable[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (dof < 1)
+        return kTable[0];
+    if (dof <= 30) {
+        // Floor fractional dof (Kish effective sizes): the smaller
+        // dof has the larger critical value, so this is conservative.
+        return kTable[static_cast<size_t>(dof) - 1];
+    }
+    // Cornish-Fisher-style tail correction t ~ z + (z^3 + z)/(4 dof);
+    // continuous with the table at dof 30 and -> 1.96 as dof -> inf.
+    constexpr double z = 1.959964;
+    return z + (z * z * z + z) / (4.0 * dof);
+}
+
+SamplingSummary
+computeSamplingSummary(const std::vector<SampleRecord> &records)
+{
+    SamplingSummary s;
+    if (records.empty())
+        return s;
+    std::vector<double> cpis, weights;
+    for (const SampleRecord &r : records) {
+        cpis.push_back(r.cpi);
+        weights.push_back(r.weight > 0 ? r.weight : 1.0);
+        s.meanTagValidFraction += r.tagValidFraction;
+        s.meanBpredTableOccupancy += r.bpredTableOccupancy;
+    }
+    s.samples = static_cast<unsigned>(records.size());
+    s.meanTagValidFraction /= double(records.size());
+    s.meanBpredTableOccupancy /= double(records.size());
+    s.meanCpi = weightedMean(cpis, weights);
+    if (records.size() < 2) {
+        // One sample: the variance of the estimator is unknowable, so
+        // the 95% interval is unbounded. Flag it and collapse the
+        // bounds to the point estimate instead of serializing
+        // infinities (JSON has none).
+        s.ciUnbounded = true;
+        s.ciLoCpi = s.ciHiCpi = s.meanCpi;
+        return s;
+    }
+    s.cpiVariance = weightedVariance(cpis, weights);
+    const double nEff = effectiveSampleCount(weights);
+    const double halfWidth =
+        tCritical95(nEff - 1.0) * std::sqrt(s.cpiVariance / nEff);
+    s.ciLoCpi = std::max(0.0, s.meanCpi - halfWidth);
+    s.ciHiCpi = s.meanCpi + halfWidth;
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// sampling.* statistics group
+// ---------------------------------------------------------------------
+
+SamplingStats::SamplingStats(stats::StatGroup *parent)
+    : stats::StatGroup("sampling", parent),
+      samples(this, "samples", "detailed samples measured"),
+      meanCpi(this, "mean_cpi", "weighted mean of per-sample CPIs"),
+      cpiVariance(this, "cpi_variance",
+                  "unbiased variance of per-sample CPIs"),
+      ciLoCpi(this, "ci_lo_cpi", "95% confidence interval low (CPI)"),
+      ciHiCpi(this, "ci_hi_cpi", "95% confidence interval high (CPI)"),
+      ciUnbounded(this, "ci_unbounded",
+                  "1 when the interval is unbounded (single sample)"),
+      ipcCiLo(this, "ipc_ci_lo", "95% confidence interval low (IPC)"),
+      ipcCiHi(this, "ipc_ci_hi", "95% confidence interval high (IPC)"),
+      meanTagValidFraction(this, "mean_tag_valid_fraction",
+                           "mean cache-tag valid fraction at "
+                           "switch-in"),
+      meanBpredTableOccupancy(this, "mean_bpred_table_occupancy",
+                              "mean predictor-table occupancy at "
+                              "switch-in")
+{
+}
+
+void
+SamplingStats::populate(const Measurement &m)
+{
+    samples = m.sampling.samples;
+    meanCpi = m.sampling.meanCpi;
+    cpiVariance = m.sampling.cpiVariance;
+    ciLoCpi = m.sampling.ciLoCpi;
+    ciHiCpi = m.sampling.ciHiCpi;
+    ciUnbounded = m.sampling.ciUnbounded ? 1 : 0;
+    ipcCiLo = m.sampling.ipcCiLo();
+    ipcCiHi = m.sampling.ipcCiHi();
+    meanTagValidFraction = m.sampling.meanTagValidFraction;
+    meanBpredTableOccupancy = m.sampling.meanBpredTableOccupancy;
 }
 
 const char *

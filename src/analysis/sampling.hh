@@ -37,6 +37,7 @@
 #define VCA_ANALYSIS_SAMPLING_HH
 
 #include "analysis/experiment.hh"
+#include "stats/statistics.hh"
 
 namespace vca::analysis {
 
@@ -49,6 +50,73 @@ Measurement runSampledTiming(
     const std::vector<const isa::Program *> &programs,
     cpu::RenamerKind kind, unsigned physRegs, const RunOptions &opts,
     const cpu::CpuParams &params);
+
+// ---------------------------------------------------------------------
+// Confidence-interval estimator (pure functions, unit-tested without
+// any simulation; DESIGN.md 5.1 documents the assumptions)
+// ---------------------------------------------------------------------
+
+/** Weighted mean of xs (weights w; equal weights = arithmetic mean).
+ *  Returns 0 when the total weight is 0. */
+double weightedMean(const std::vector<double> &xs,
+                    const std::vector<double> &w);
+
+/**
+ * Unbiased weighted sample variance (reliability weights): for equal
+ * weights this is the classic n-1 estimator. Returns 0 when fewer than
+ * two effective samples exist.
+ */
+double weightedVariance(const std::vector<double> &xs,
+                        const std::vector<double> &w);
+
+/**
+ * Kish effective sample size (sum w)^2 / sum w^2 — equals n for equal
+ * weights, shrinks when a few samples dominate the blend.
+ */
+double effectiveSampleCount(const std::vector<double> &w);
+
+/**
+ * Two-sided 95% critical value of Student's t distribution with @p dof
+ * degrees of freedom (table for 1..30, the normal quantile 1.96
+ * beyond). dof < 1 returns the dof=1 value (12.706).
+ */
+double tCritical95(double dof);
+
+/**
+ * Mean, variance and the 95% CLT/t confidence interval of per-sample
+ * CPIs. Degenerate cases: a single sample yields ciUnbounded (no
+ * variance estimate exists; the bounds collapse to the mean);
+ * identical samples yield a zero-width interval. The warmth means are
+ * filled from the records' transplant summaries.
+ */
+SamplingSummary computeSamplingSummary(
+    const std::vector<SampleRecord> &records);
+
+/**
+ * "sampling" statistics group, dumped with --stats and exported as the
+ * stats-JSON `sampling` block's scalar mirror. Populated from a
+ * finished Measurement (the measurement itself stays the source of
+ * truth for caching/serialization).
+ */
+class SamplingStats : public stats::StatGroup
+{
+  public:
+    explicit SamplingStats(stats::StatGroup *parent = nullptr);
+
+    /** Copy one measurement's sampling summary into the scalars. */
+    void populate(const Measurement &m);
+
+    stats::Scalar samples;
+    stats::Scalar meanCpi;
+    stats::Scalar cpiVariance;
+    stats::Scalar ciLoCpi;
+    stats::Scalar ciHiCpi;
+    stats::Scalar ciUnbounded;
+    stats::Scalar ipcCiLo;
+    stats::Scalar ipcCiHi;
+    stats::Scalar meanTagValidFraction;
+    stats::Scalar meanBpredTableOccupancy;
+};
 
 } // namespace vca::analysis
 

@@ -88,6 +88,29 @@ class BranchPredictor : public stats::StatGroup
      */
     void copyStateFrom(const BranchPredictor &other);
 
+    /**
+     * Fraction of direction-table counters trained away from their
+     * reset value (bimodal/gshare reset to 1, chooser to 2) — how warm
+     * the predictor is. The sampled modes record it at each switch-in
+     * so per-sample error can be correlated with transplant warmth.
+     */
+    double
+    tableOccupancy() const
+    {
+        const size_t total =
+            bimodal_.size() + gshare_.size() + chooser_.size();
+        if (!total)
+            return 0;
+        size_t trained = 0;
+        for (Counter c : bimodal_)
+            trained += c != 1 ? 1 : 0;
+        for (Counter c : gshare_)
+            trained += c != 1 ? 1 : 0;
+        for (Counter c : chooser_)
+            trained += c != 2 ? 1 : 0;
+        return double(trained) / double(total);
+    }
+
     stats::Scalar lookups;
     stats::Scalar condMispredicts;
     stats::Scalar rasMispredicts;

@@ -85,6 +85,23 @@ class Cache : public stats::StatGroup
      */
     void copyStateFrom(const Cache &other);
 
+    /**
+     * Fraction of lines holding a valid tag — how warm this level is.
+     * The sampled modes record it at each switch-in (right after the
+     * warm-model transplant) so per-sample error can be correlated
+     * with transplant warmth.
+     */
+    double
+    tagValidFraction() const
+    {
+        if (lines_.empty())
+            return 0;
+        size_t valid = 0;
+        for (const Line &l : lines_)
+            valid += l.valid ? 1 : 0;
+        return double(valid) / double(lines_.size());
+    }
+
     const CacheParams &params() const { return params_; }
 
     // Statistics (public so formulas/benches can read them).
@@ -175,6 +192,23 @@ class MemSystem : public stats::StatGroup
     Cache &icache() { return il1_; }
     Cache &dcache() { return dl1_; }
     Cache &l2() { return l2_; }
+
+    /** Valid-tag fraction across every line of every level (the
+     *  hierarchy-wide warmth the sampling layer records). */
+    double
+    tagValidFraction() const
+    {
+        const auto lines = [](const Cache &c) {
+            return double(c.params().sizeBytes / c.params().lineBytes);
+        };
+        const double total =
+            lines(il1_) + lines(dl1_) + lines(l2_);
+        if (total <= 0)
+            return 0;
+        return (il1_.tagValidFraction() * lines(il1_) +
+                dl1_.tagValidFraction() * lines(dl1_) +
+                l2_.tagValidFraction() * lines(l2_)) / total;
+    }
 
     /** Tag an address with a thread id to model distinct address spaces. */
     static Addr

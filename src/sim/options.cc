@@ -39,6 +39,7 @@ Options::parse(int argc, const char *const *argv)
         if (!haveValue && key.rfind("no-", 0) == 0 &&
             opts_.count(key.substr(3))) {
             opts_[key.substr(3)].value = "false";
+            opts_[key.substr(3)].set = true;
             continue;
         }
 
@@ -49,12 +50,14 @@ Options::parse(int argc, const char *const *argv)
         }
         if (haveValue) {
             it->second.value = value;
+            it->second.set = true;
             continue;
         }
         // Boolean flags may omit the value; otherwise take the next arg.
         if (it->second.defaultValue == "true" ||
             it->second.defaultValue == "false") {
             it->second.value = "true";
+            it->second.set = true;
             continue;
         }
         if (i + 1 >= argc) {
@@ -62,8 +65,18 @@ Options::parse(int argc, const char *const *argv)
             return false;
         }
         it->second.value = argv[++i];
+        it->second.set = true;
     }
     return true;
+}
+
+bool
+Options::wasSet(const std::string &name) const
+{
+    auto it = opts_.find(name);
+    if (it == opts_.end())
+        panic("option '%s' was never registered", name.c_str());
+    return it->second.set;
 }
 
 std::string

@@ -41,6 +41,10 @@ class Options
     }
     const std::string &error() const { return error_; }
 
+    /** True when the option appeared on the command line (in any
+     *  form), regardless of whether it restates the default. */
+    bool wasSet(const std::string &name) const;
+
     /** Formatted usage listing of all registered options. */
     std::string usage(const std::string &program) const;
 
@@ -50,6 +54,7 @@ class Options
         std::string value;
         std::string defaultValue;
         std::string help;
+        bool set = false;
     };
 
     std::map<std::string, Opt> opts_;

@@ -35,8 +35,12 @@ namespace vca::trace {
  *      optional intervals array
  *   2  adds schemaVersion, the cpu.cycle_accounting.taxonomy subtree,
  *      per-interval "partial" flags and "tax.*" leaf probes
+ *   3  adds config.mode and the non-detailed document shape: a
+ *      "sampling" block (per-sample records plus the mean/variance/
+ *      95%-CI summary) instead of the cpu tree, which only a detailed
+ *      run's single long-lived core can produce
  */
-inline constexpr unsigned kStatsJsonSchemaVersion = 2;
+inline constexpr unsigned kStatsJsonSchemaVersion = 3;
 
 /**
  * Export a statistics tree as JSON. The group itself becomes the

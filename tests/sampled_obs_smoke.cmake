@@ -1,0 +1,58 @@
+# Smoke test: the observability surface of the sampled execution mode.
+# A --mode=sampled run with --stats-json and --chrome-trace must
+#   - produce a schemaVersion-3 document that passes
+#     scripts/check_stats_schema.py (non-detailed shape: config.mode
+#     plus the sampling block with per-sample records);
+#   - produce a chrome trace that passes check_chrome_trace.py
+#     (balanced B/E, monotone timestamps) AND carries the sample
+#     timeline lane (fast-forward / measure spans, transplant
+#     instants) alongside the host lanes.
+#
+# Invoked by ctest (see CMakeLists.txt) with:
+#   VCA_SIM         path to the vca-sim binary
+#   PYTHON3         python3 interpreter
+#   SCHEMA_CHECKER  scripts/check_stats_schema.py
+#   TRACE_CHECKER   scripts/check_chrome_trace.py
+#   OUT             scratch path prefix for the JSON outputs
+
+execute_process(
+    COMMAND "${VCA_SIM}" --bench=crafty --arch=vca --regs=192
+            --mode=sampled --warmup=5000 --insts=20000
+            --sample-period=10000 --sample-quantum=2000
+            --stats=false
+            "--stats-json=${OUT}.stats.json"
+            "--chrome-trace=${OUT}.trace.json"
+    RESULT_VARIABLE sim_rc)
+if(NOT sim_rc EQUAL 0)
+    message(FATAL_ERROR "sampled vca-sim run failed (rc=${sim_rc})")
+endif()
+
+execute_process(
+    COMMAND "${PYTHON3}" "${SCHEMA_CHECKER}" "${OUT}.stats.json"
+    RESULT_VARIABLE schema_rc)
+if(NOT schema_rc EQUAL 0)
+    message(FATAL_ERROR
+            "sampled stats JSON failed schema validation "
+            "(rc=${schema_rc})")
+endif()
+
+execute_process(
+    COMMAND "${PYTHON3}" "${TRACE_CHECKER}" "${OUT}.trace.json"
+    RESULT_VARIABLE trace_rc)
+if(NOT trace_rc EQUAL 0)
+    message(FATAL_ERROR
+            "sampled chrome trace failed validation (rc=${trace_rc})")
+endif()
+
+# The sample-timeline lane must actually be present: its process name
+# metadata plus at least one measure span and one transplant instant.
+file(READ "${OUT}.trace.json" trace_text)
+foreach(needle "sample timeline" "\"measure\"" "\"transplant\"")
+    string(FIND "${trace_text}" "${needle}" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR
+                "sampled chrome trace is missing '${needle}'")
+    endif()
+endforeach()
+
+file(REMOVE "${OUT}.stats.json" "${OUT}.trace.json")

@@ -325,6 +325,15 @@ TEST(Accuracy, SampledDeterministicAcrossJobCounts)
                   analysis::measurementToJson(parallel[i]))
             << "point " << i << " differs between 1 and 8 workers";
         EXPECT_TRUE(serial[i] == parallel[i]);
+        // The confidence interval is a pure function of the sample
+        // set, so it must be bit-identical across worker counts.
+        EXPECT_TRUE(serial[i].sampling == parallel[i].sampling)
+            << "point " << i << " CI differs between 1 and 8 workers";
+        EXPECT_GT(serial[i].sampling.samples, 0u);
+        EXPECT_EQ(serial[i].sampling.ciLoCpi,
+                  parallel[i].sampling.ciLoCpi);
+        EXPECT_EQ(serial[i].sampling.ciHiCpi,
+                  parallel[i].sampling.ciHiCpi);
     }
 }
 
@@ -342,6 +351,16 @@ TEST(Accuracy, SampledDeterministicUnderIsolation)
                   analysis::measurementToJson(isolated[i]))
             << "point " << i << " differs under --isolate";
         EXPECT_TRUE(inProcess[i] == isolated[i]);
+        // The sampling summary (CI included) and the per-sample
+        // records must survive the worker result-file round trip.
+        EXPECT_TRUE(inProcess[i].sampling == isolated[i].sampling)
+            << "point " << i << " CI differs under --isolate";
+        EXPECT_EQ(inProcess[i].sampleRecords.size(),
+                  isolated[i].sampleRecords.size());
+        EXPECT_EQ(inProcess[i].sampling.ciLoCpi,
+                  isolated[i].sampling.ciLoCpi);
+        EXPECT_EQ(inProcess[i].sampling.ciHiCpi,
+                  isolated[i].sampling.ciHiCpi);
     }
 }
 

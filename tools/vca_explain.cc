@@ -13,9 +13,19 @@
  *               --spec bench=crafty,arch=regwindow,regs=192
  *   vca-explain --run base.json --spec bench=crafty,arch=vca,regs=64
  *
+ * A second report mode attributes sampled-vs-detailed IPC error: give
+ * --sampling one non-detailed spec and the tool simulates both it and
+ * the matched detailed configuration through the sweep cache, then
+ * reports per-sample deviation, transplant-warmth correlation and the
+ * per-SimPoint-phase error rollup:
+ *
+ *   vca-explain --sampling \
+ *               --spec bench=crafty,arch=vca,regs=192,mode=sampled
+ *
  * Options:
  *   --markdown   render the report as a markdown document
- *   --selftest   planted-gap self test (CI); no other inputs needed
+ *   --sampling   sampled-vs-detailed error attribution (one spec)
+ *   --selftest   planted-gap + sampling self tests (CI); no inputs
  *
  * Exit status: 0 report printed / selftest passed, 1 selftest or
  * simulation failure, 2 usage error.
@@ -40,17 +50,26 @@ usage(std::FILE *to)
     std::fprintf(to,
         "usage: vca-explain (--run FILE | --spec KEY=VAL[,...]) x2\n"
         "                   [--markdown]\n"
+        "       vca-explain --sampling --spec KEY=VAL[,...]\n"
         "       vca-explain --selftest\n"
         "\n"
         "Attribute the CPI gap between two runs (A then B) to the\n"
-        "cycle-taxonomy leaves and report where the gap opens.\n"
+        "cycle-taxonomy leaves and report where the gap opens; or,\n"
+        "with --sampling, attribute one non-detailed spec's IPC error\n"
+        "against its matched detailed run (per sample, per SimPoint\n"
+        "phase, and against transplant warmth).\n"
         "\n"
         "  --run FILE   a vca-sim --stats-json document\n"
         "  --spec ...   simulate a config through the sweep cache:\n"
         "               bench=NAME[+NAME2] arch=baseline|regwindow|\n"
         "               ideal|vca regs=N [insts=N] [warmup=N]\n"
+        "               [mode=detailed|sampled|simpoint] [period=N]\n"
+        "               [quantum=N] [fwarm=N] [dwarm=N]\n"
         "  --markdown   emit a markdown report instead of plain text\n"
-        "  --selftest   verify a planted gap is attributed correctly\n");
+        "  --sampling   sampled-vs-detailed error attribution; takes\n"
+        "               exactly one --spec with a non-detailed mode\n"
+        "  --selftest   verify planted gaps/errors are attributed\n"
+        "               correctly\n");
 }
 
 cpu::RenamerKind
@@ -68,9 +87,9 @@ parseArch(const std::string &name)
                "regwindow, ideal or vca)", name.c_str());
 }
 
-/** Simulate one --spec through the shared on-disk sweep cache. */
-analysis::ExplainInput
-runSpec(const std::string &spec)
+/** Parse one --spec into a sweep point + readable config string. */
+analysis::SweepPoint
+parseSpecPoint(const std::string &spec, std::string &config)
 {
     std::string bench = "crafty";
     std::string arch = "vca";
@@ -99,6 +118,18 @@ runSpec(const std::string &spec)
             opts.measureInsts = std::stoull(val);
         else if (key == "warmup")
             opts.warmupInsts = std::stoull(val);
+        else if (key == "mode") {
+            if (!analysis::parseSimMode(val, opts.mode))
+                fatal("vca-explain: unknown mode '%s' "
+                           "(detailed|simpoint|sampled)", val.c_str());
+        } else if (key == "period")
+            opts.samplePeriodInsts = std::stoull(val);
+        else if (key == "quantum")
+            opts.sampleQuantumInsts = std::stoull(val);
+        else if (key == "fwarm")
+            opts.sampleFuncWarmInsts = std::stoull(val);
+        else if (key == "dwarm")
+            opts.sampleDetailWarmInsts = std::stoull(val);
         else
             fatal("vca-explain: unknown --spec key '%s'",
                        key.c_str());
@@ -120,15 +151,62 @@ runSpec(const std::string &spec)
             static_cast<unsigned>(point.benches.size());
     }
 
+    config = "bench=" + bench + " arch=" + arch +
+             " regs=" + std::to_string(regs);
+    if (opts.mode != analysis::SimMode::Detailed)
+        config += std::string(" mode=") +
+                  analysis::simModeName(opts.mode);
+    return point;
+}
+
+/** Simulate one --spec through the shared on-disk sweep cache. */
+analysis::ExplainInput
+runSpec(const std::string &spec)
+{
+    std::string config;
+    const analysis::SweepPoint point = parseSpecPoint(spec, config);
     const analysis::Measurement m =
         analysis::SweepRunner::global().runPoint(point);
     if (!m.ok)
         fatal("vca-explain: spec '%s' is inoperable: %s",
                    spec.c_str(), m.error.c_str());
-    const std::string config =
-        "bench=" + bench + " arch=" + arch +
-        " regs=" + std::to_string(regs);
     return analysis::explainInputFromMeasurement(spec, config, m);
+}
+
+/**
+ * --sampling: run the spec in its non-detailed mode and the matched
+ * detailed configuration, then attribute the sampled IPC error.
+ */
+int
+runSamplingReport(const std::string &spec, bool markdown)
+{
+    std::string config;
+    analysis::SweepPoint point = parseSpecPoint(spec, config);
+    if (point.opts.mode == analysis::SimMode::Detailed)
+        fatal("vca-explain: --sampling needs a non-detailed spec "
+                   "(add mode=sampled or mode=simpoint)");
+
+    analysis::SweepPoint detailedPoint = point;
+    detailedPoint.opts.mode = analysis::SimMode::Detailed;
+
+    const analysis::Measurement sampled =
+        analysis::SweepRunner::global().runPoint(point);
+    if (!sampled.ok)
+        fatal("vca-explain: spec '%s' is inoperable: %s",
+                   spec.c_str(), sampled.error.c_str());
+    const analysis::Measurement detailed =
+        analysis::SweepRunner::global().runPoint(detailedPoint);
+    if (!detailed.ok)
+        fatal("vca-explain: matched detailed run for '%s' is "
+                   "inoperable: %s", spec.c_str(),
+                   detailed.error.c_str());
+
+    const analysis::SamplingReport report =
+        analysis::explainSampling(config, sampled, detailed);
+    std::fputs(analysis::renderSamplingReport(report, markdown)
+                   .c_str(),
+               stdout);
+    return 0;
 }
 
 } // namespace
@@ -138,6 +216,7 @@ main(int argc, char **argv)
 {
     bool markdown = false;
     bool selftest = false;
+    bool sampling = false;
     // (kind, value) in order: kind 'r' = --run file, 's' = --spec.
     std::vector<std::pair<char, std::string>> inputs;
 
@@ -157,6 +236,8 @@ main(int argc, char **argv)
             inputs.emplace_back('s', value("--spec"));
         else if (arg == "--markdown")
             markdown = true;
+        else if (arg == "--sampling")
+            sampling = true;
         else if (arg == "--selftest")
             selftest = true;
         else if (arg == "--help" || arg == "-h") {
@@ -176,7 +257,22 @@ main(int argc, char **argv)
                                  "inputs\n");
             return 2;
         }
-        return vca::analysis::explainSelftest();
+        const int gap = vca::analysis::explainSelftest();
+        const int samp = vca::analysis::samplingSelftest();
+        return (gap == 0 && samp == 0) ? 0 : 1;
+    }
+    if (sampling) {
+        if (inputs.size() != 1 || inputs[0].first != 's') {
+            std::fprintf(stderr, "vca-explain: --sampling takes "
+                                 "exactly one --spec input\n");
+            return 2;
+        }
+        try {
+            return runSamplingReport(inputs[0].second, markdown);
+        } catch (const vca::FatalError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
     }
     if (inputs.size() != 2) {
         std::fprintf(stderr, "vca-explain: need exactly two inputs "

@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -34,6 +35,7 @@
 
 #include "analysis/experiment.hh"
 #include "analysis/runner.hh"
+#include "analysis/sampling.hh"
 #include "cpu/ooo_cpu.hh"
 #include "cpu/tracer.hh"
 #include "sim/options.hh"
@@ -215,26 +217,26 @@ simMain(int argc, char **argv)
         fatal("unknown --mode '%s' (detailed|simpoint|sampled)",
               opts.get("mode").c_str());
     if (simMode != analysis::SimMode::Detailed) {
-        // Detailed-only observers attach to the one long-lived core a
-        // detailed run measures; the sampled modes run many short
-        // cores (or pick a region first), so combining them would be
-        // a silent no-op at best. Error out instead.
+        // Instruction-granular observers (pipeline traces, commit
+        // traces, DPRINTF, register telemetry) attach to the one
+        // long-lived core a detailed run measures; the sampled modes
+        // run many short cores, so combining them would be a silent
+        // no-op at best. Error out naming the offending flag.
+        // Aggregate observability (--stats, --stats-json, --interval,
+        // --chrome-trace) works in every mode: sampled runs export the
+        // sampling confidence layer instead of the cpu tree, and
+        // chrome traces carry a sample-timeline lane.
         const char *conflict = nullptr;
         if (!opts.get("pipeview").empty())
             conflict = "--pipeview";
+        else if (opts.wasSet("pipeview-instants"))
+            conflict = "--pipeview-instants";
         else if (opts.getU64("trace") > 0)
             conflict = "--trace";
         else if (opts.getBool("reg-telemetry"))
             conflict = "--reg-telemetry";
-        else if (opts.getU64("interval") > 0)
-            conflict = "--interval";
-        else if (!opts.get("stats-json").empty())
-            conflict = "--stats-json";
         else if (!opts.get("debug-flags").empty())
             conflict = "--debug-flags";
-        else if (!opts.get("chrome-trace").empty() &&
-                 opts.get("sweep-regs").empty())
-            conflict = "--chrome-trace";
         if (conflict) {
             fatal("%s requires --mode=detailed (it observes a single "
                   "detailed core)", conflict);
@@ -435,6 +437,15 @@ simMain(int argc, char **argv)
         runOpts.sampleDetailWarmInsts =
             opts.getU64("sample-detail-warm");
 
+        // Sample-timeline lane: fast-forward spans, warm-up/measure
+        // quanta and transplant instants (host timebase).
+        std::unique_ptr<telemetry::ChromeTraceWriter> chromeWriter;
+        if (!opts.get("chrome-trace").empty()) {
+            chromeWriter = std::make_unique<telemetry::ChromeTraceWriter>(
+                opts.get("chrome-trace"));
+            runOpts.traceWriter = chromeWriter.get();
+        }
+
         const auto &host = stats::HostStats::global();
         const double sec0 = host.simSeconds.value();
         const double insts0 = host.simInsts.value();
@@ -444,6 +455,13 @@ simMain(int argc, char **argv)
         const auto m = analysis::runTiming(
             programs, kind, static_cast<unsigned>(opts.getU64("regs")),
             runOpts);
+        if (chromeWriter) {
+            if (chromeWriter->finish()) {
+                inform("wrote chrome trace %s (%llu events)",
+                       chromeWriter->path().c_str(),
+                       (unsigned long long)chromeWriter->eventCount());
+            }
+        }
         if (!m.ok) {
             std::fprintf(stderr, "configuration cannot operate: %s\n",
                          m.error.c_str());
@@ -467,6 +485,31 @@ simMain(int argc, char **argv)
         for (const auto &[name, frac] : m.cycleBreakdown)
             std::printf(" %s=%.1f%%", name.c_str(), 100 * frac);
         std::printf("\n");
+        // The confidence line the accuracy gate parses: a sampled
+        // estimate without its uncertainty is not a result.
+        int worst = -1;
+        double worstDev = -1;
+        for (size_t i = 0; i < m.sampleRecords.size(); ++i) {
+            const double dev =
+                std::abs(m.sampleRecords[i].cpi - m.sampling.meanCpi);
+            if (dev > worstDev) {
+                worstDev = dev;
+                worst = static_cast<int>(i);
+            }
+        }
+        std::printf("sampling: samples=%u mean_cpi=%.6f "
+                    "cpi_var=%.6f ci95_cpi=[%.6f,%.6f] "
+                    "ipc_ci95=[%.6f,%.6f] ci_unbounded=%d "
+                    "worst_sample=%d\n",
+                    m.sampling.samples, m.sampling.meanCpi,
+                    m.sampling.cpiVariance, m.sampling.ciLoCpi,
+                    m.sampling.ciHiCpi, m.sampling.ipcCiLo(),
+                    m.sampling.ipcCiHi(),
+                    m.sampling.ciUnbounded ? 1 : 0, worst);
+        std::printf("transplant: tag_valid=%.4f "
+                    "bpred_occupancy=%.4f\n",
+                    m.sampling.meanTagValidFraction,
+                    m.sampling.meanBpredTableOccupancy);
         const double fsec = host.funcSeconds.value() - fsec0;
         const double finsts = host.funcInsts.value() - finsts0;
         const double dsec = host.simSeconds.value() - sec0;
@@ -478,6 +521,84 @@ simMain(int argc, char **argv)
                     "cycles_per_sec=%.0f\n",
                     dsec, dsec > 0 ? dinsts / dsec / 1e6 : 0.0,
                     dsec > 0 ? dcycles / dsec : 0.0);
+        analysis::SamplingStats samplingStats;
+        samplingStats.populate(m);
+        if (opts.getBool("stats")) {
+            std::printf("\n-- statistics --\n");
+            std::ostringstream os;
+            samplingStats.dump(os);
+            stats::HostStats::global().dump(os);
+            std::fputs(os.str().c_str(), stdout);
+        }
+        if (!opts.get("stats-json").empty()) {
+            std::ofstream jsonFile(opts.get("stats-json"));
+            if (!jsonFile)
+                fatal("cannot open --stats-json '%s'",
+                      opts.get("stats-json").c_str());
+            trace::JsonWriter w(jsonFile);
+            w.beginObject();
+            w.key("schemaVersion")
+                .number(std::uint64_t(trace::kStatsJsonSchemaVersion));
+            w.key("config").beginObject();
+            w.key("arch").string(cpu::renamerKindName(kind));
+            w.key("regs").number(opts.getU64("regs"));
+            w.key("threads").number(std::uint64_t(programs.size()));
+            w.key("windowed").boolean(windowed);
+            w.key("insts").number(std::uint64_t(runOpts.measureInsts));
+            w.key("mode").string(analysis::simModeName(simMode));
+            w.key("sample_period")
+                .number(std::uint64_t(runOpts.samplePeriodInsts));
+            w.key("sample_quantum")
+                .number(std::uint64_t(runOpts.sampleQuantumInsts));
+            w.key("sample_detail_warm")
+                .number(std::uint64_t(runOpts.sampleDetailWarmInsts));
+            w.endObject();
+            w.key("summary").beginObject();
+            w.key("cycles").number(std::uint64_t(m.cycles));
+            w.key("insts").number(std::uint64_t(m.insts));
+            w.key("ipc").number(m.ipc);
+            w.key("cpi").number(m.cpi);
+            w.endObject();
+            w.key("sampling").beginObject();
+            w.key("samples")
+                .number(std::uint64_t(m.sampling.samples));
+            w.key("mean_cpi").number(m.sampling.meanCpi);
+            w.key("cpi_variance").number(m.sampling.cpiVariance);
+            w.key("ci_lo_cpi").number(m.sampling.ciLoCpi);
+            w.key("ci_hi_cpi").number(m.sampling.ciHiCpi);
+            w.key("ci_unbounded").boolean(m.sampling.ciUnbounded);
+            w.key("ipc_ci_lo").number(m.sampling.ipcCiLo());
+            w.key("ipc_ci_hi").number(m.sampling.ipcCiHi());
+            w.key("mean_tag_valid_fraction")
+                .number(m.sampling.meanTagValidFraction);
+            w.key("mean_bpred_table_occupancy")
+                .number(m.sampling.meanBpredTableOccupancy);
+            w.key("records").beginArray();
+            for (const analysis::SampleRecord &r : m.sampleRecords) {
+                w.beginObject();
+                w.key("start_inst")
+                    .number(std::uint64_t(r.startInst));
+                w.key("warm_cycles")
+                    .number(std::uint64_t(r.warmCycles));
+                w.key("warm_insts")
+                    .number(std::uint64_t(r.warmInsts));
+                w.key("cycles").number(std::uint64_t(r.cycles));
+                w.key("insts").number(std::uint64_t(r.insts));
+                w.key("cpi").number(r.cpi);
+                w.key("tag_valid_fraction")
+                    .number(r.tagValidFraction);
+                w.key("bpred_table_occupancy")
+                    .number(r.bpredTableOccupancy);
+                w.key("phase").number(double(r.phase));
+                w.key("weight").number(r.weight);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+            trace::writeJsonGroup(stats::HostStats::global(), w);
+            w.endObject();
+            jsonFile << '\n';
+        }
         return 0;
     }
 
@@ -651,6 +772,7 @@ simMain(int argc, char **argv)
             w.key("threads").number(std::uint64_t(programs.size()));
             w.key("windowed").boolean(windowed);
             w.key("insts").number(std::uint64_t(insts));
+            w.key("mode").string("detailed");
             w.endObject();
             w.key("summary").beginObject();
             w.key("cycles").number(std::uint64_t(res.cycles));
